@@ -1,0 +1,63 @@
+"""E1 — Slides 2/4: "Evolution" and "Technology scaling".
+
+Regenerates the performance-projection figure: Meuer's law (x1000 per
+decade, the Top500 trend) against Moore's law alone (x100 per decade),
+and the single-thread frequency wall that forces the many-core turn.
+"""
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    TechnologyModel,
+    format_series,
+    meuers_law,
+    moores_law,
+    performance_projection,
+)
+from repro.analysis.scaling import exaflop_year
+
+from benchmarks.conftest import run_once
+
+
+def build_projection():
+    rows = performance_projection(base_year=1993, base_flops=59.7e9, years=30)
+    tm = TechnologyModel()
+    return rows, tm
+
+
+def test_e01_scaling_laws(benchmark):
+    rows, tm = run_once(benchmark, build_projection)
+
+    table = Table(
+        ["year", "Meuer trend (flop/s)", "Moore-only (flop/s)", "gap (=parallelism)"],
+        title="E1 / slides 2+4: performance evolution",
+    )
+    for year, meuer, moore in rows[::5]:
+        table.add_row(year, meuer, moore, meuer / moore)
+    table.print()
+
+    print(
+        format_series(
+            "single-thread growth per 4y window",
+            [2000, 2004, 2008, 2012],
+            [
+                tm.single_thread_factor(y, y + 4)
+                for y in (2000, 2004, 2008, 2012)
+            ],
+        )
+    )
+    print(f"projected exaflop year (slide 3's ~10 years per factor 1000): "
+          f"{exaflop_year():.1f}")
+
+    # --- shape assertions (the paper's stated numbers) ----------------
+    assert meuers_law(10) == pytest.approx(1000.0)          # x1000 / decade
+    assert moores_law(10) == pytest.approx(100, rel=0.02)   # x100 / decade
+    # The decade gap between the two laws is ~10x (slide 2's arrows).
+    _, meuer10, moore10 = rows[10]
+    _, meuer0, moore0 = rows[0]
+    assert (meuer10 / meuer0) / (moore10 / moore0) == pytest.approx(10, rel=0.02)
+    # Frequency wall: single-thread growth collapses after ~2005.
+    assert tm.single_thread_factor(2000, 2004) > 4
+    assert tm.single_thread_factor(2008, 2012) < 1.5
+    assert 2017 < exaflop_year() < 2019

@@ -1,0 +1,55 @@
+"""E2 — Slide 5: "Rationale".
+
+The concrete numbers behind "clusters need to utilize accelerators":
+
+* BG/P -> BG/Q delivered ~x15-20 compute at roughly the same power
+  envelope in 4 years (proprietary-line pace);
+* commodity CPUs deliver only x4-8 in 4 years;
+* Meuer's law demands ~x16 per 4 years — so the gap must come from
+  many-core accelerators.
+"""
+
+import pytest
+
+from repro.analysis import Table, TechnologyModel
+from repro.hardware import catalog
+
+from benchmarks.conftest import run_once
+
+
+def build():
+    tm = TechnologyModel()
+    bgp, bgq = catalog.BGP_CHIP, catalog.BGQ_CHIP
+    xeon, knc = catalog.XEON_E5_2680_DUAL, catalog.XEON_PHI_KNC
+    return {
+        "bg_perf_ratio": bgq.peak_flops / bgp.peak_flops,
+        "bg_power_ratio": bgq.tdp_watts / bgp.tdp_watts,
+        "bg_gflops_w": (bgp.gflops_per_watt, bgq.gflops_per_watt),
+        "cpu_factor_4y": tm.commodity_cpu_factor_4y(),
+        "required_4y": tm.required_factor_4y(),
+        "knc_vs_xeon_peak": knc.peak_flops / xeon.peak_flops,
+        "knc_vs_xeon_gfw": knc.gflops_per_watt / xeon.gflops_per_watt,
+        "knc_gflops_w": knc.gflops_per_watt,
+    }
+
+
+def test_e02_rationale(benchmark):
+    d = run_once(benchmark, build)
+
+    table = Table(["quantity", "value", "paper's claim"], title="E2 / slide 5: rationale")
+    table.add_row("BG/P->BG/Q perf factor", d["bg_perf_ratio"], "~20x in 4 years")
+    table.add_row("BG/P->BG/Q power factor", d["bg_power_ratio"], "same energy envelope")
+    table.add_row("commodity CPU factor / 4y", d["cpu_factor_4y"], "4x to at most 8x")
+    table.add_row("Meuer demand / 4y", d["required_4y"], "~16x")
+    table.add_row("KNC vs dual-Xeon peak", d["knc_vs_xeon_peak"], "accelerator fills the gap")
+    table.add_row("KNC GFlop/W", d["knc_gflops_w"], "~5 GFlop/W (slide 15)")
+    table.print()
+
+    # --- shape assertions ---------------------------------------------
+    assert 12 < d["bg_perf_ratio"] <= 20          # "factor 20" (chip-level ~15)
+    assert d["bg_power_ratio"] < d["bg_perf_ratio"] / 3  # ~same envelope
+    assert 4.0 <= d["cpu_factor_4y"] <= 8.0        # slide 5 verbatim
+    assert d["required_4y"] > d["cpu_factor_4y"]   # CPUs can't keep pace
+    assert d["knc_vs_xeon_peak"] > 1.8             # accelerator closes the gap
+    assert d["knc_vs_xeon_gfw"] > 1.5              # and is more efficient
+    assert d["knc_gflops_w"] == pytest.approx(4.5, rel=0.15)

@@ -1,0 +1,92 @@
+"""E4 — Slide 8: "IB can be assumed as fast as PCIe besides latency".
+
+Regenerates the message-size sweep behind slide 8's argument: the
+PCIe host-device path has lower latency, InfiniBand has comparable
+bandwidth — so offloading over the fabric only loses for *small*
+transfers, and "larger messages, i.e. less sensitive to latency"
+(whole parallel kernels offloaded wholesale) make the fabric path
+viable.  With FDR-class links the curves genuinely cross.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.hardware.pcie import PCIeGeneration, PCIeSpec
+from repro.network import (
+    IB_FDR,
+    InfinibandFabric,
+    LogGPModel,
+    crossover_size,
+    fit_loggp,
+    probe_fabric,
+)
+from repro.network.extoll import ExtollFabric
+from repro.simkernel import Simulator
+
+from benchmarks.conftest import run_once
+
+SIZES = [64, 1024, 8 << 10, 64 << 10, 1 << 20, 16 << 20]
+
+
+def pcie_model(spec: PCIeSpec = PCIeSpec(PCIeGeneration.GEN2, 16)) -> LogGPModel:
+    times = [spec.latency_s + n / spec.bandwidth_bytes_per_s for n in SIZES]
+    return fit_loggp(SIZES, times, name="pcie-gen2-x16")
+
+
+def probe_ib(spec):
+    sim = Simulator()
+    eps = [f"cn{i}" for i in range(4)]
+    ib = InfinibandFabric(sim, eps, spec=spec) if spec else InfinibandFabric(sim, eps)
+    for e in eps:
+        ib.attach_endpoint(e)
+    return probe_fabric(ib, "cn0", "cn1", SIZES)
+
+
+def build():
+    sim = Simulator()
+    bns = [f"bn{i}" for i in range(4)]
+    ex = ExtollFabric(sim, bns, dims=(4, 1, 1))
+    for b in bns:
+        ex.attach_endpoint(b)
+    return {
+        "pcie": pcie_model(),
+        "ib_qdr": probe_ib(None),
+        "ib_fdr": probe_ib(IB_FDR),
+        "extoll": probe_fabric(ex, "bn0", "bn1", SIZES),
+    }
+
+
+def test_e04_ib_vs_pcie_crossover(benchmark):
+    m = run_once(benchmark, build)
+    pcie, qdr, fdr, extoll = m["pcie"], m["ib_qdr"], m["ib_fdr"], m["extoll"]
+
+    table = Table(
+        ["size [B]", "PCIe [us]", "IB QDR [us]", "IB FDR [us]", "EXTOLL [us]"],
+        title="E4 / slide 8: transfer time vs message size",
+    )
+    for n in SIZES:
+        table.add_row(
+            n,
+            pcie.transfer_time(n) * 1e6,
+            qdr.transfer_time(n) * 1e6,
+            fdr.transfer_time(n) * 1e6,
+            extoll.transfer_time(n) * 1e6,
+        )
+    table.print()
+    n_cross = crossover_size(pcie, fdr)
+    print(f"PCIe/FDR crossover at ~{n_cross:.0f} B "
+          f"(PCIe wins below, the fabric above)")
+
+    # --- shape assertions ---------------------------------------------
+    # Latency: PCIe clearly wins at small sizes against both IB gens.
+    assert pcie.transfer_time(64) < qdr.transfer_time(64)
+    assert pcie.transfer_time(64) < fdr.transfer_time(64)
+    # Bandwidth: "as fast as PCIe besides latency" — QDR within 2x.
+    assert qdr.transfer_time(16 << 20) < 2.0 * pcie.transfer_time(16 << 20)
+    # FDR genuinely crosses over: slower small, faster large.
+    assert fdr.transfer_time(16 << 20) < pcie.transfer_time(16 << 20)
+    assert 1e2 < n_cross < 1e6
+    # EXTOLL: lower latency than PCIe-staged offload AND competitive
+    # bandwidth — the booster fabric dominates the staging path.
+    assert extoll.transfer_time(64) < pcie.transfer_time(64)
+    assert extoll.transfer_time(16 << 20) < 1.5 * pcie.transfer_time(16 << 20)

@@ -1,0 +1,154 @@
+"""E7 — Slide 16: EXTOLL's relevant features, microbenchmarked.
+
+* VELO: small-message engine -> sub-2us end-to-end latency;
+* RMA: bulk engine -> streams at ~link rate;
+* 6-link 3D torus: nearest-neighbour exchange uses disjoint links, so
+  the aggregate scales with node count (no central switch);
+* link-level retransmission: the error model costs throughput on a
+  lossy link but transfers still complete (RAS).
+
+Also the DESIGN.md §5.2 fidelity ablation: contention-mode versus
+analytic-mode transfer times on an idle fabric agree, and diverge
+under load.
+"""
+
+import pytest
+
+from repro.analysis import Table, format_series
+from repro.network import EXTOLL_TOURMALET, ExtollFabric, Message
+from repro.network.extoll import EXTOLL_GALIBIER
+from repro.simkernel import Simulator
+
+from benchmarks.conftest import run_once
+
+SIZES = [8, 64, 512, 4 << 10, 64 << 10, 1 << 20, 16 << 20]
+
+
+def make_torus(sim, n=27, dims=(3, 3, 3), contention=True, spec=EXTOLL_TOURMALET):
+    bns = [f"bn{i}" for i in range(n)]
+    fabric = ExtollFabric(sim, bns, dims=dims, contention=contention, spec=spec)
+    for b in bns:
+        fabric.attach_endpoint(b)
+    return fabric, bns
+
+
+def ping(sim, fabric, src, dst, size):
+    done = {}
+
+    def send(sim):
+        msg = Message(src=src, dst=dst, size_bytes=size)
+        yield from fabric.interface(src).send(msg)
+
+    def recv(sim):
+        m = yield fabric.interface(dst).inbox.get()
+        done["latency"] = m.latency + fabric.interface(dst).recv_overhead_s
+
+    sim.process(send(sim))
+    sim.process(recv(sim))
+    sim.run()
+    return done["latency"]
+
+
+def latency_curve():
+    out = {}
+    for size in SIZES:
+        sim = Simulator()
+        fabric, bns = make_torus(sim)
+        out[size] = ping(sim, fabric, "bn0", "bn1", size)
+    return out
+
+
+def neighbour_exchange(n_nodes, dims):
+    """All nodes send to their +x neighbour simultaneously."""
+    sim = Simulator()
+    fabric, bns = make_torus(sim, n=n_nodes, dims=dims)
+    size = 4 << 20
+    coords = {b: fabric.topo.graph.nodes[b]["coord"] for b in bns}
+    by_coord = {c: b for b, c in coords.items()}
+
+    def send(sim, src):
+        c = coords[src]
+        nxt = ((c[0] + 1) % dims[0],) + tuple(c[1:])
+        dst = by_coord[nxt]
+        yield from fabric.transfer(src, dst, size)
+
+    for b in bns:
+        sim.process(send(sim, b))
+    sim.run()
+    return n_nodes * size / sim.now  # aggregate bytes/s
+
+
+def build():
+    lat = latency_curve()
+
+    # Contention vs analytic fidelity (idle fabric).
+    sim_c = Simulator()
+    fc, _ = make_torus(sim_c, contention=True)
+    t_contention = ping(sim_c, fc, "bn0", "bn26", 1 << 20)
+    sim_a = Simulator()
+    fa, _ = make_torus(sim_a, contention=False)
+    t_analytic = ping(sim_a, fa, "bn0", "bn26", 1 << 20)
+
+    # Retransmission: Galibier-style lossy link vs clean link.
+    sim_clean = Simulator()
+    f_clean, _ = make_torus(sim_clean)
+    t_clean = ping(sim_clean, f_clean, "bn0", "bn1", 64 << 20)
+    import dataclasses
+
+    lossy_spec = dataclasses.replace(EXTOLL_TOURMALET, per_byte_error_rate=2e-8)
+    sim_lossy = Simulator()
+    f_lossy, _ = make_torus(sim_lossy, spec=lossy_spec)
+    t_lossy = ping(sim_lossy, f_lossy, "bn0", "bn1", 64 << 20)
+
+    agg = {
+        8: neighbour_exchange(8, (2, 2, 2)),
+        27: neighbour_exchange(27, (3, 3, 3)),
+        64: neighbour_exchange(64, (4, 4, 4)),
+    }
+    return {
+        "latency": lat,
+        "contention_vs_analytic": (t_contention, t_analytic),
+        "retransmission": (t_clean, t_lossy),
+        "aggregate": agg,
+    }
+
+
+def test_e07_extoll_microbench(benchmark):
+    d = run_once(benchmark, build)
+
+    table = Table(
+        ["size [B]", "latency/transfer time [us]", "bandwidth [GB/s]", "engine"],
+        title="E7 / slide 16: EXTOLL VELO/RMA microbenchmark",
+    )
+    for size in SIZES:
+        t = d["latency"][size]
+        engine = "VELO" if size <= EXTOLL_TOURMALET.velo_max_bytes else "RMA"
+        table.add_row(size, t * 1e6, size / t / 1e9, engine)
+    table.print()
+
+    print(
+        format_series(
+            "neighbour-exchange aggregate [GB/s] vs torus size",
+            list(d["aggregate"]),
+            [v / 1e9 for v in d["aggregate"].values()],
+        )
+    )
+    tc, ta = d["contention_vs_analytic"]
+    print(f"fidelity ablation (idle fabric, 1 MiB): contention={tc*1e6:.2f} us, "
+          f"analytic={ta*1e6:.2f} us")
+    t_clean, t_lossy = d["retransmission"]
+    print(f"retransmission: clean={t_clean*1e3:.2f} ms, "
+          f"lossy={t_lossy*1e3:.2f} ms (completes despite errors)")
+
+    # --- shape assertions ---------------------------------------------
+    # VELO latency below 2 microseconds for minimal messages.
+    assert d["latency"][8] < 2e-6
+    # RMA streams at >90% of the 5.4 GB/s link rate for bulk.
+    bulk = 16 << 20
+    assert bulk / d["latency"][bulk] > 0.9 * EXTOLL_TOURMALET.bandwidth_bytes_per_s
+    # Torus neighbour exchange scales ~linearly (disjoint links).
+    assert d["aggregate"][64] > 6 * d["aggregate"][8]
+    # Idle-fabric fidelity: the two modes agree within overheads.
+    assert tc == pytest.approx(ta, rel=0.05)
+    # The lossy link pays a visible, bounded penalty yet completes.
+    assert t_clean < t_lossy < 4 * t_clean

@@ -1,0 +1,53 @@
+"""E8 — Slide 18: "Positioning DEEP".
+
+Regenerates the scalability-vs-versatility map: the BlueGene line sits
+high-scalability/low-versatility, Power and Nehalem clusters the
+opposite corner — and the DEEP system covers both regimes by combining
+a versatile Cluster with a scalable Booster.
+"""
+
+import pytest
+
+from repro.analysis import Table, positioning_map
+
+from benchmarks.conftest import run_once
+
+
+def build():
+    return positioning_map()
+
+
+def test_e08_positioning(benchmark):
+    entries = run_once(benchmark, build)
+
+    table = Table(
+        ["system", "peak [TF]", "scalability (y)", "versatility (x)", "family"],
+        title="E8 / slide 18: positioning map",
+    )
+    for e in entries:
+        table.add_row(e.name, e.peak_tflops, e.scalability, e.versatility, e.family)
+    table.print()
+
+    by_name = {e.name: e for e in entries}
+    bluegene = [e for e in entries if e.family == "BlueGene"]
+    commodity = [by_name["IBM Power 6"], by_name["Nehalem cluster (300 TF)"]]
+
+    # --- shape assertions ---------------------------------------------
+    # The two populations separate along both axes, as drawn.
+    assert min(e.scalability for e in bluegene) > max(
+        e.scalability for e in commodity
+    )
+    assert max(e.versatility for e in bluegene) < max(
+        e.versatility for e in commodity
+    )
+    # DEEP's two sides land in opposite regimes...
+    booster = by_name["DEEP Booster"]
+    cluster = by_name["DEEP Cluster"]
+    assert booster.scalability > cluster.scalability
+    assert cluster.versatility > booster.versatility
+    # ...and the combined system dominates each side separately.
+    deep = by_name["DEEP System"]
+    assert deep.scalability == booster.scalability
+    assert deep.versatility == cluster.versatility
+    # The booster beats commodity clusters on the scalability axis.
+    assert booster.scalability > by_name["Nehalem cluster (300 TF)"].scalability

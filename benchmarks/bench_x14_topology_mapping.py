@@ -1,0 +1,88 @@
+"""X14 (extension) — topology-aware rank placement on the EXTOLL torus.
+
+Slide 16's 3D torus gives adjacency for free — *if* logical neighbours
+are physical neighbours.  ``MPI_Cart_create(reorder=True)`` aligns the
+Cartesian grid with the physical torus coordinates.  The bench runs
+repeated 3D halo exchanges on a Booster world whose ranks were
+deliberately scrambled across the torus, with and without reorder.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.mpi import MPIWorld
+from repro.network import ExtollFabric
+from repro.simkernel import Simulator
+
+from benchmarks.conftest import run_once
+
+DIMS = (4, 4, 4)
+HALO_BYTES = 2 << 20
+ROUNDS = 10
+
+
+def run_halo(reorder: bool) -> dict:
+    sim = Simulator(seed=0)
+    n = DIMS[0] * DIMS[1] * DIMS[2]
+    names = [f"bn{i}" for i in range(n)]
+    fabric = ExtollFabric(sim, names, dims=DIMS)
+    for b in names:
+        fabric.attach_endpoint(b)
+    world = MPIWorld(sim, [fabric])
+
+    # Scramble placement: rank i on a pseudo-random torus node.
+    import zlib
+
+    order = sorted(range(n), key=lambda i: zlib.crc32(f"scramble{i}".encode()))
+    placements = [(names[order[i]], None) for i in range(n)]
+    times = []
+    hop_stats = []
+
+    def main(proc):
+        cw = proc.comm_world
+        cart = yield from cw.create_cart(list(DIMS), reorder=reorder)
+        me = world.endpoint_of(cart.group.gpid_of(cart.rank))
+        hops = [
+            fabric.routing.hops(me, world.endpoint_of(cart.group.gpid_of(nb)))
+            for nb in cart.neighbours()
+        ]
+        hop_stats.extend(hops)
+        t0 = proc.sim.now
+        for _ in range(ROUNDS):
+            yield from cart.halo_exchange(HALO_BYTES)
+        times.append(proc.sim.now - t0)
+
+    world.create_world(placements, main)
+    sim.run()
+    return {
+        "time": max(times) / ROUNDS,
+        "mean_hops": sum(hop_stats) / len(hop_stats),
+    }
+
+
+def build():
+    return {
+        "naive": run_halo(reorder=False),
+        "reordered": run_halo(reorder=True),
+    }
+
+
+def test_x14_topology_mapping(benchmark):
+    d = run_once(benchmark, build)
+
+    table = Table(
+        ["placement", "mean neighbour hops", "halo-exchange time [ms]"],
+        title="X14: 4x4x4 torus halo exchange, scrambled ranks",
+    )
+    table.add_row("naive (as scrambled)", d["naive"]["mean_hops"],
+                  d["naive"]["time"] * 1e3)
+    table.add_row("cart reorder=True", d["reordered"]["mean_hops"],
+                  d["reordered"]["time"] * 1e3)
+    table.print()
+
+    # --- shape assertions ---------------------------------------------
+    # Reordering collapses neighbour distance toward 1 physical hop...
+    assert d["reordered"]["mean_hops"] < 0.6 * d["naive"]["mean_hops"]
+    assert d["reordered"]["mean_hops"] < 1.7
+    # ...and buys real exchange time (less link sharing + latency).
+    assert d["reordered"]["time"] < 0.9 * d["naive"]["time"]

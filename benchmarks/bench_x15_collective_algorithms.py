@@ -1,0 +1,76 @@
+"""X15 (extension) — allreduce algorithm selection on the Booster.
+
+ParaStation MPI (slide 28) selects collective algorithms by message
+size; this bench regenerates the classic algorithm-crossover figure on
+the EXTOLL torus: latency-optimal recursive doubling for small
+payloads versus bandwidth-optimal ring for large ones, with
+reduce+bcast as the naive baseline.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.mpi import MPIWorld, SUM
+from repro.network import ExtollFabric
+from repro.simkernel import Simulator
+
+from benchmarks.conftest import run_once
+
+SIZES = [8, 4 << 10, 256 << 10, 4 << 20, 32 << 20]
+ALGOS = ["recursive-doubling", "ring", "reduce-bcast"]
+N = 16
+
+
+def time_allreduce(algorithm: str, size: int) -> float:
+    sim = Simulator(seed=0)
+    names = [f"bn{i}" for i in range(N)]
+    fabric = ExtollFabric(sim, names, dims=(4, 4, 1))
+    for b in names:
+        fabric.attach_endpoint(b)
+    world = MPIWorld(sim, [fabric])
+    times = []
+
+    def main(proc):
+        cw = proc.comm_world
+        t0 = proc.sim.now
+        yield from cw.allreduce(1.0, SUM, size_bytes=size, algorithm=algorithm)
+        times.append(proc.sim.now - t0)
+
+    world.create_world([(b, None) for b in names], main)
+    sim.run()
+    return max(times)
+
+
+def build():
+    return {
+        (algo, size): time_allreduce(algo, size)
+        for algo in ALGOS
+        for size in SIZES
+    }
+
+
+def test_x15_collective_algorithms(benchmark):
+    d = run_once(benchmark, build)
+
+    table = Table(
+        ["size [B]"] + [f"{a} [us]" for a in ALGOS] + ["best"],
+        title=f"X15: allreduce algorithms, {N} booster nodes on EXTOLL",
+    )
+    for size in SIZES:
+        row = {a: d[(a, size)] for a in ALGOS}
+        best = min(row, key=row.get)
+        table.add_row(size, *[row[a] * 1e6 for a in ALGOS], best)
+    table.print()
+
+    # --- shape assertions ---------------------------------------------
+    small, large = SIZES[0], SIZES[-1]
+    # Small payloads: recursive doubling (fewest rounds) wins.
+    assert d[("recursive-doubling", small)] <= d[("ring", small)]
+    # Large payloads: the ring's bandwidth optimality wins.
+    assert d[("ring", large)] < d[("recursive-doubling", large)]
+    assert d[("ring", large)] < d[("reduce-bcast", large)]
+    # There is a genuine crossover between the two regimes.
+    ratios = [
+        d[("ring", s)] / d[("recursive-doubling", s)] for s in SIZES
+    ]
+    assert ratios[0] > 1.0 > ratios[-1]

@@ -1,0 +1,100 @@
+"""X16 (extension) — three communication classes on the Booster.
+
+Slide 9 names two application classes; adding the spectral/transpose
+class completes the picture DEEP's designers faced:
+
+* **stencil** — O(halo) per-worker traffic, shrinks with scale:
+  near-perfect strong scaling (the Booster's home turf);
+* **FFT/transpose** — all-to-all: per-worker traffic is ~constant
+  with scale, so runtime hits a bandwidth floor almost immediately —
+  the class that *cannot* profit from more Booster nodes and stays on
+  the Cluster (or needs bisection-heavy fabrics);
+* **irregular** — imbalance/Amdahl-bound: early gains, hard floor.
+
+The measured ordering (stencil >> irregular > fft at full scale) is
+the quantitative basis for slide 9's "how to map different
+requirements to most suited hardware".
+"""
+
+import pytest
+
+from repro.analysis import Table, parallel_efficiency
+from repro.apps import fft_graph, irregular_graph, stencil_graph
+from repro.deep import DeepSystem, MachineConfig
+from repro.deep.offload import execute_partition
+from repro.ompss import partition_tasks
+
+from benchmarks.conftest import run_once
+
+SCALES = [1, 4, 16, 32]
+UNITS = 32
+
+
+def build_graph(kind: str):
+    if kind == "stencil":
+        return stencil_graph(UNITS, sweeps=3, slab_bytes=4 << 20, flops_per_byte=200.0)
+    if kind == "fft":
+        return fft_graph(UNITS, iterations=2, pencil_bytes=4 << 20)
+    return irregular_graph(UNITS, supersteps=3, mean_flops=2e9, seed=5)
+
+
+def run_kernel(kind: str, n_ranks: int) -> float:
+    system = DeepSystem(MachineConfig(n_cluster=1, n_booster=max(SCALES)))
+    graph = build_graph(kind)
+    plan = partition_tasks(graph, n_ranks, "locality")
+    times = []
+
+    def main(proc):
+        t0 = proc.sim.now
+        yield from execute_partition(proc, plan)
+        yield from proc.comm_world.barrier()
+        times.append(proc.sim.now - t0)
+
+    system.launch_on_booster(main, n_ranks=n_ranks)
+    system.run()
+    return max(times)
+
+
+def build():
+    return {
+        kind: {p: run_kernel(kind, p) for p in SCALES}
+        for kind in ("stencil", "fft", "irregular")
+    }
+
+
+def test_x16_communication_classes(benchmark):
+    data = run_once(benchmark, build)
+
+    table = Table(
+        ["nodes"]
+        + [f"{k} eff" for k in ("stencil", "fft", "irregular")],
+        title="X16: strong-scaling efficiency of three communication classes",
+    )
+    base = {k: data[k][1] for k in data}
+    for p in SCALES:
+        table.add_row(
+            p,
+            *[
+                parallel_efficiency(base[k], data[k][p], p)
+                for k in ("stencil", "fft", "irregular")
+            ],
+        )
+    table.print()
+
+    eff = {
+        k: parallel_efficiency(base[k], data[k][SCALES[-1]], SCALES[-1])
+        for k in data
+    }
+    # --- shape assertions ---------------------------------------------
+    # Full-scale ordering: halo class far ahead; the transpose class is
+    # the worst scaler (its per-node volume never shrinks).
+    assert eff["stencil"] > 10 * eff["irregular"] > 10 * 0.5 * eff["fft"]
+    assert eff["stencil"] > 0.5
+    assert eff["fft"] < eff["irregular"]
+    # Stencil and irregular still gain from 1 -> 4 nodes...
+    assert data["stencil"][4] < data["stencil"][1]
+    assert data["irregular"][4] < data["irregular"][1]
+    # ...while FFT hits its bandwidth floor immediately: distributing
+    # it makes the transpose a network transfer and runtime saturates.
+    assert data["fft"][32] == pytest.approx(data["fft"][16], rel=0.5)
+    assert data["fft"][4] > 0.5 * data["fft"][1]

@@ -1,0 +1,83 @@
+"""X18 (extension) — slide 15: "sufficient memory bandwidth".
+
+KNC qualifies as a Booster processor only because its GDDR5 feeds the
+wide vector units: for low-arithmetic-intensity kernels (spMV,
+stencils — exactly slide 9's scalable class!) the chip's advantage
+over a Xeon equals the *bandwidth* ratio, not the flop ratio.  The
+roofline table quantifies that, kernel by kernel.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.analysis.roofline import (
+    REFERENCE_KERNELS,
+    attainable_flops,
+    balance_point,
+    compare,
+)
+from repro.hardware.catalog import XEON_E5_2680_DUAL, XEON_PHI_KNC
+
+from benchmarks.conftest import run_once
+
+
+def build():
+    rows = []
+    for k in REFERENCE_KERNELS:
+        rows.append(
+            {
+                "kernel": k.name,
+                "ai": k.intensity,
+                "xeon": attainable_flops(XEON_E5_2680_DUAL, k.intensity),
+                "knc": attainable_flops(XEON_PHI_KNC, k.intensity),
+                "speedup": compare(XEON_PHI_KNC, XEON_E5_2680_DUAL, k),
+            }
+        )
+    return {
+        "rows": rows,
+        "balance_xeon": balance_point(XEON_E5_2680_DUAL),
+        "balance_knc": balance_point(XEON_PHI_KNC),
+        "bw_ratio": (
+            XEON_PHI_KNC.memory.bandwidth_bytes_per_s
+            / XEON_E5_2680_DUAL.memory.bandwidth_bytes_per_s
+        ),
+        "flop_ratio": (
+            XEON_PHI_KNC.sustained_flops / XEON_E5_2680_DUAL.sustained_flops
+        ),
+    }
+
+
+def test_x18_roofline(benchmark):
+    d = run_once(benchmark, build)
+
+    table = Table(
+        ["kernel", "AI [flop/B]", "Xeon [GF/s]", "KNC [GF/s]", "KNC speedup"],
+        title="X18 / slide 15: roofline — dual Xeon E5 vs Xeon Phi KNC",
+    )
+    for r in d["rows"]:
+        table.add_row(
+            r["kernel"], r["ai"], r["xeon"] / 1e9, r["knc"] / 1e9, r["speedup"]
+        )
+    table.print()
+    print(
+        f"machine balance: Xeon {d['balance_xeon']:.1f} flop/B, "
+        f"KNC {d['balance_knc']:.1f} flop/B; "
+        f"bandwidth ratio {d['bw_ratio']:.2f}x, flop ratio {d['flop_ratio']:.2f}x"
+    )
+
+    # --- shape assertions ---------------------------------------------
+    rows = {r["kernel"]: r for r in d["rows"]}
+    # Low-AI kernels (spMV, stencil): the speedup equals the BANDWIDTH
+    # ratio — slide 15's point that the GDDR is what qualifies KNC.
+    for name in ("spmv (27-pt)", "stencil sweep"):
+        assert rows[name]["speedup"] == pytest.approx(d["bw_ratio"], rel=0.02)
+    # High-AI kernels (gemm/potrf tiles): the speedup approaches the
+    # flop ratio instead.
+    assert rows["dgemm tile 256"]["speedup"] == pytest.approx(
+        d["flop_ratio"], rel=0.05
+    )
+    # Every scalable-class kernel still runs faster on the Booster chip.
+    assert all(r["speedup"] > 1.0 for r in d["rows"])
+    # KNC's balance point is far to the right: it starves sooner
+    # without high AI (the design pressure for wide vector kernels).
+    assert d["balance_knc"] > d["balance_xeon"]

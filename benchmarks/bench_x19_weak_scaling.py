@@ -1,0 +1,80 @@
+"""X19 (extension) — weak scaling on the Booster (Gustafson's regime).
+
+Slide 3's exascale premise — "have to face more and huger levels of
+parallelism" — presumes weak scaling: the problem grows with the
+machine.  The regular HSCP class must keep near-constant time per
+step as workers and problem grow together; that is what makes an
+O(100k)-core Booster usable at all (slide 9).
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.apps import irregular_graph, stencil_graph
+from repro.deep import DeepSystem, MachineConfig
+from repro.deep.offload import execute_partition
+from repro.ompss import partition_tasks
+from repro.units import mib
+
+from benchmarks.conftest import run_once
+
+SCALES = [1, 4, 16, 32]
+
+
+def run_weak(kind: str, n_ranks: int) -> float:
+    """One worker-unit of problem per rank: time per sweep set."""
+    system = DeepSystem(MachineConfig(n_cluster=1, n_booster=max(SCALES)))
+    if kind == "stencil":
+        graph = stencil_graph(
+            n_ranks, sweeps=3, slab_bytes=mib(8), flops_per_byte=300.0
+        )
+    else:
+        graph = irregular_graph(n_ranks, supersteps=3, mean_flops=3e9, seed=2)
+    plan = partition_tasks(graph, n_ranks, "locality")
+    times = []
+
+    def main(proc):
+        t0 = proc.sim.now
+        yield from execute_partition(proc, plan)
+        yield from proc.comm_world.barrier()
+        times.append(proc.sim.now - t0)
+
+    system.launch_on_booster(main, n_ranks=n_ranks)
+    system.run()
+    return max(times)
+
+
+def build():
+    return {
+        kind: {p: run_weak(kind, p) for p in SCALES}
+        for kind in ("stencil", "irregular")
+    }
+
+
+def test_x19_weak_scaling(benchmark):
+    data = run_once(benchmark, build)
+
+    table = Table(
+        ["nodes", "stencil t [ms]", "stencil weak-eff",
+         "irregular t [ms]", "irregular weak-eff"],
+        title="X19: weak scaling (one problem unit per node)",
+    )
+    for p in SCALES:
+        table.add_row(
+            p,
+            data["stencil"][p] * 1e3,
+            data["stencil"][1] / data["stencil"][p],
+            data["irregular"][p] * 1e3,
+            data["irregular"][1] / data["irregular"][p],
+        )
+    table.print()
+
+    # --- shape assertions ---------------------------------------------
+    st = data["stencil"]
+    # Regular class: time per step stays ~flat as machine+problem grow.
+    assert st[32] < 1.35 * st[1]
+    assert st[32] / st[1] == pytest.approx(1.0, abs=0.35)
+    # Irregular class: skew + the serial master make weak scaling decay
+    # visibly faster than the stencil's.
+    ir = data["irregular"]
+    assert ir[32] / ir[1] > st[32] / st[1]

@@ -1,0 +1,95 @@
+"""X20 (extension) — slide 3: "Power consumption (are ~100 MW acceptable?)".
+
+Energy to solution of one fixed HSCP versus how many Booster nodes
+execute it.  Two regimes fight:
+
+* more nodes -> shorter runtime -> less *idle-time* energy burned by
+  the rest of the machine (race to idle);
+* more nodes -> more active silicon per second and more network
+  traffic.
+
+With the Booster's near-perfect strong scaling on the halo class, the
+dynamic policy of slide 21 can pick the energy-optimal width instead
+of being stuck with a fixed accelerator count (slide 6).
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.apps import stencil_graph
+from repro.deep import (
+    DeepSystem,
+    MachineConfig,
+    OFFLOAD_WORKER_COMMAND,
+    offload_graph,
+    offload_worker,
+)
+from repro.units import mib
+
+from benchmarks.conftest import run_once
+
+WIDTHS = [2, 4, 8, 16, 32]
+SLABS = 32
+
+
+def run_width(n_workers: int) -> dict:
+    system = DeepSystem(
+        MachineConfig(n_cluster=2, n_booster=max(WIDTHS), n_gateways=2)
+    )
+    system.register_command(OFFLOAD_WORKER_COMMAND, offload_worker)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        inter = yield from proc.spawn(cw, OFFLOAD_WORKER_COMMAND, n_workers)
+        if cw.rank == 0:
+            graph = stencil_graph(
+                SLABS, sweeps=4, slab_bytes=mib(8), flops_per_byte=1000.0
+            )
+            result = yield from offload_graph(
+                proc, inter, graph, strategy="locality"
+            )
+            out["time"] = result.elapsed_s
+        yield from cw.barrier()
+
+    system.launch(main)
+    system.run()
+    out["energy"] = system.energy_joules()
+    out["booster_energy"] = sum(
+        n.energy.energy_joules() for n in system.machine.booster_nodes
+    )
+    return out
+
+
+def build():
+    return {w: run_width(w) for w in WIDTHS}
+
+
+def test_x20_energy_to_solution(benchmark):
+    d = run_once(benchmark, build)
+
+    table = Table(
+        ["booster nodes", "kernel time [ms]", "machine energy [J]",
+         "booster energy [J]", "energy-delay [J*s]"],
+        title="X20 / slide 3: energy to solution vs Booster width",
+    )
+    for w in WIDTHS:
+        r = d[w]
+        table.add_row(
+            w, r["time"] * 1e3, r["energy"], r["booster_energy"],
+            r["energy"] * r["time"],
+        )
+    table.print()
+
+    # --- shape assertions ---------------------------------------------
+    times = [d[w]["time"] for w in WIDTHS]
+    energies = [d[w]["energy"] for w in WIDTHS]
+    # Strong scaling holds across the sweep.
+    assert times == sorted(times, reverse=True)
+    assert times[-1] < 0.25 * times[0]
+    # Race to idle wins on this machine: with the whole Booster idling
+    # at ~95 W per KNC anyway, finishing fast saves machine energy.
+    assert energies[-1] < energies[0]
+    # Energy-delay product improves even more strongly with width.
+    edp = [d[w]["energy"] * d[w]["time"] for w in WIDTHS]
+    assert edp[-1] < 0.25 * edp[0]

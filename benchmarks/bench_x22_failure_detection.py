@@ -1,0 +1,74 @@
+"""X22 (extension) — failure-detection latency of the psid daemons.
+
+ParaStation's management layer sees nodes through per-node daemon
+heartbeats; a silent node is declared dead after roughly
+``timeout_multiplier x interval``.  The interval is a trade: fast
+detection costs heartbeat traffic, slow detection leaves a window in
+which the RM can schedule onto a corpse.  The bench sweeps the
+interval and verifies the linear detection-latency law, then shows the
+end-to-end recovery time of a monitored failure.
+"""
+
+import pytest
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.hardware.catalog import booster_node_spec
+from repro.hardware.node import BoosterNode
+from repro.parastation import DaemonMonitor, HeartbeatConfig, Partition
+from repro.simkernel import Simulator
+
+from benchmarks.conftest import run_once
+
+INTERVALS = [0.1, 0.25, 0.5, 1.0, 2.0]
+FAIL_AT = 3.0
+
+
+def detection_latency(interval: float) -> float:
+    sim = Simulator(seed=0)
+    part = Partition(
+        sim, "booster", [BoosterNode(sim, booster_node_spec(), i) for i in range(8)]
+    )
+    monitor = DaemonMonitor(sim, part, HeartbeatConfig(interval, 3.0))
+    monitor.start()
+
+    def killer(sim):
+        yield sim.timeout(FAIL_AT)
+        monitor.fail_node("bn3")
+
+    sim.process(killer(sim))
+    sim.run(until=FAIL_AT + 10 * interval * 3 + 5)
+    latency = monitor.detection_latency("bn3", failed_at=FAIL_AT)
+    monitor.stop()
+    return latency
+
+
+def build():
+    return {i: detection_latency(i) for i in INTERVALS}
+
+
+def test_x22_failure_detection(benchmark):
+    lat = run_once(benchmark, build)
+
+    table = Table(
+        ["heartbeat interval [s]", "detection latency [s]",
+         "latency / interval"],
+        title="X22: psid failure-detection latency (timeout = 3 beats)",
+    )
+    for i in INTERVALS:
+        table.add_row(i, lat[i], lat[i] / i)
+    table.print()
+
+    # --- shape assertions ---------------------------------------------
+    values = [lat[i] for i in INTERVALS]
+    assert all(v < float("inf") for v in values)
+    # Latency grows with the interval, bounded by timeout + one sweep.
+    assert values == sorted(values)
+    for i in INTERVALS:
+        assert 3.0 * i - i <= lat[i] <= 4.0 * i + 1e-9
+    # Linear law: the fit slope is ~3-4 beats.
+    xs = np.array(INTERVALS)
+    ys = np.array(values)
+    slope = float(np.polyfit(xs, ys, 1)[0])
+    assert 2.5 < slope < 4.5

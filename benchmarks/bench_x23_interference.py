@@ -1,0 +1,88 @@
+"""X23 (extension) — co-scheduled jobs interfering on shared fabrics.
+
+A production DEEP machine runs many jobs at once (slide 21's resource
+management); they share the InfiniBand fat tree and, crucially, the
+few SMFU gateways.  This bench runs two identical offloading
+applications (disjoint node sets) first in isolation and then
+concurrently, and reports the interference slowdown — plus how adding
+BI gateways buys it back.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.apps import stencil_graph
+from repro.deep import (
+    DeepSystem,
+    MachineConfig,
+    OFFLOAD_WORKER_COMMAND,
+    offload_graph,
+    offload_worker,
+)
+from repro.units import mib
+
+from benchmarks.conftest import run_once
+
+
+def run_jobs(n_jobs: int, n_gateways: int) -> float:
+    """Mean per-job offload time with *n_jobs* running concurrently."""
+    system = DeepSystem(
+        MachineConfig(n_cluster=2 * n_jobs, n_booster=8 * n_jobs,
+                      n_gateways=n_gateways)
+    )
+    system.register_command(OFFLOAD_WORKER_COMMAND, offload_worker)
+    times = []
+
+    def make_main(job_idx):
+        def main(proc):
+            cw = proc.comm_world
+            inter = yield from proc.spawn(cw, OFFLOAD_WORKER_COMMAND, 8)
+            if cw.rank == 0:
+                g = stencil_graph(
+                    8, sweeps=3, slab_bytes=mib(8), flops_per_byte=50.0
+                )
+                t0 = proc.sim.now
+                yield from offload_graph(proc, inter, g, strategy="locality")
+                times.append(proc.sim.now - t0)
+            yield from cw.barrier()
+
+        return main
+
+    cns = system.machine.cluster_nodes
+    for j in range(n_jobs):
+        placements = [(n.name, n) for n in cns[2 * j: 2 * j + 2]]
+        system.world.create_world(placements, make_main(j), name=f"job{j}")
+    system.run()
+    assert len(times) == n_jobs
+    return sum(times) / n_jobs
+
+
+def build():
+    return {
+        "solo @1gw": run_jobs(1, 1),
+        "2 jobs @1gw": run_jobs(2, 1),
+        "2 jobs @2gw": run_jobs(2, 2),
+        "2 jobs @4gw": run_jobs(2, 4),
+    }
+
+
+def test_x23_job_interference(benchmark):
+    d = run_once(benchmark, build)
+
+    table = Table(
+        ["scenario", "mean offload time [ms]", "slowdown vs solo"],
+        title="X23: co-scheduled offloads sharing the SMFU gateways",
+    )
+    solo = d["solo @1gw"]
+    for k, v in d.items():
+        table.add_row(k, v * 1e3, v / solo)
+    table.print()
+
+    # --- shape assertions ---------------------------------------------
+    # A single gateway shared by two transfer-bound jobs hurts: the
+    # bridge uplink carries both jobs' result streams.
+    assert d["2 jobs @1gw"] > 1.3 * solo
+    # A gateway per job removes the bridge bottleneck entirely (each
+    # job's own root ingress is then the limit, as when solo).
+    assert d["2 jobs @2gw"] < 1.15 * solo
+    assert d["2 jobs @4gw"] < 1.15 * solo

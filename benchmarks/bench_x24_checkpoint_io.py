@@ -1,0 +1,98 @@
+"""X24 (extension) — checkpointing at scale: the I/O wall.
+
+Combines the parallel-filesystem substrate with the Daly analysis:
+
+* measured checkpoint time vs concurrent writers — linear until the
+  OST aggregate saturates, then flat at ``N x state / aggregate_BW``;
+* the exascale projection (slides 3's resiliency *and* power/scale
+  pairing): as the machine grows, per-node MTBF divides down while the
+  checkpoint cost grows with total state over a fixed-bandwidth
+  filesystem — machine efficiency at the Daly-optimal interval
+  decays, quantifying why "resiliency" is on the exascale challenge
+  list (and why DEEP-ER attacked I/O next).
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.io import FileSystemSpec, checkpoint_write_time
+from repro.resilience import daly_optimal_interval, expected_runtime
+from repro.simkernel import Simulator
+from repro.units import gbyte_per_s, gib
+
+from benchmarks.conftest import run_once
+
+FS = FileSystemSpec(
+    n_targets=16,
+    ost_bandwidth=gbyte_per_s(1.0),
+    per_client_bandwidth=gbyte_per_s(1.5),
+)
+STATE_PER_NODE = gib(2)
+NODE_MTBF = 5.0 * 365 * 24 * 3600.0  # 5 years per node
+WORK = 24 * 3600.0  # a day of computation
+
+
+def build():
+    # stripe_count=1 isolates the OST aggregate limit (with striping,
+    # each stripe runs at its client share fixed at grant time — see
+    # ParallelFileSystem.write).
+    writers_sweep = {
+        n: checkpoint_write_time(
+            Simulator, FS, n_writers=n, bytes_per_writer=STATE_PER_NODE,
+            stripe_count=1,
+        )
+        for n in (1, 4, 16, 64, 256)
+    }
+
+    scale = {}
+    for n_nodes in (64, 256, 1024, 4096, 16384):
+        # Checkpoint cost: all nodes' state over the shared filesystem.
+        ckpt = max(
+            n_nodes * STATE_PER_NODE / FS.aggregate_bandwidth,
+            STATE_PER_NODE / FS.per_client_bandwidth,
+        )
+        mtbf = NODE_MTBF / n_nodes
+        interval = daly_optimal_interval(ckpt, mtbf)
+        wall = expected_runtime(WORK, interval, ckpt, 2 * ckpt, mtbf)
+        scale[n_nodes] = {
+            "ckpt": ckpt,
+            "mtbf": mtbf,
+            "interval": interval,
+            "efficiency": WORK / wall,
+        }
+    return writers_sweep, scale
+
+
+def test_x24_checkpoint_io(benchmark):
+    writers, scale = run_once(benchmark, build)
+
+    t1 = Table(
+        ["concurrent writers", "checkpoint time [s]", "aggregate [GB/s]"],
+        title="X24a: checkpoint write time vs writers (2 GiB/node, 16 GB/s FS)",
+    )
+    for n, t in writers.items():
+        t1.add_row(n, t, n * STATE_PER_NODE / t / 1e9)
+    t1.print()
+
+    t2 = Table(
+        ["nodes", "system MTBF [h]", "checkpoint C [s]",
+         "Daly interval [s]", "machine efficiency"],
+        title="X24b: resiliency at scale (5 a/node MTBF, fixed filesystem)",
+    )
+    for n, r in scale.items():
+        t2.add_row(n, r["mtbf"] / 3600, r["ckpt"], r["interval"], r["efficiency"])
+    t2.print()
+
+    # --- shape assertions ---------------------------------------------
+    # Few writers: client-limited, time ~flat.  Many: aggregate-bound.
+    assert writers[4] < 1.5 * writers[1]
+    assert writers[256] == pytest.approx(
+        256 * STATE_PER_NODE / FS.aggregate_bandwidth, rel=0.05
+    )
+    agg_achieved = 256 * STATE_PER_NODE / writers[256]
+    assert agg_achieved > 0.9 * FS.aggregate_bandwidth
+    # The scale cliff: efficiency decays monotonically with node count.
+    effs = [scale[n]["efficiency"] for n in sorted(scale)]
+    assert effs == sorted(effs, reverse=True)
+    assert scale[64]["efficiency"] > 0.97
+    assert scale[16384]["efficiency"] < 0.75

@@ -1,0 +1,23 @@
+"""Benchmark-harness helpers.
+
+Every ``bench_eNN_*.py`` file regenerates one figure/claim of the
+paper (see DESIGN.md §3 and EXPERIMENTS.md).  Each benchmark:
+
+* runs the simulation experiment once under ``benchmark.pedantic``
+  (wall-time of the simulator is what pytest-benchmark reports);
+* **prints** the table/series the paper's figure expresses — the
+  console output of ``pytest benchmarks/ --benchmark-only -s`` is the
+  reproduction artifact;
+* asserts the figure's qualitative *shape* (who wins, crossovers,
+  growth laws), so a regression in the models fails the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one execution of *fn* (simulations are deterministic;
+    repeating them only reruns identical event streams)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Static versus dynamic Booster assignment on a mixed workload.
+
+Slide 6's accelerated cluster wires accelerators to hosts statically;
+slides 7/8 pool them.  This example pushes the same random job mix
+(half the jobs never touch an accelerator) through both policies and
+prints what the pooling buys.
+
+Run:  python examples/batch_scheduling.py
+"""
+
+from repro.analysis import Table
+from repro.apps import JobMix, random_job_mix
+from repro.hardware.catalog import booster_node_spec, cluster_node_spec
+from repro.hardware.node import BoosterNode, ClusterNode
+from repro.parastation import BoosterPolicy, JobSpec, Partition, Scheduler
+from repro.simkernel import Simulator
+
+MIX = JobMix(
+    n_jobs=40,
+    accel_fraction=0.5,
+    offload_duty=0.3,
+    mean_runtime_s=90.0,
+    mean_interarrival_s=15.0,
+    max_cluster_nodes=3,
+    max_booster_nodes=4,
+    seed=21,
+)
+
+
+def run(policy: BoosterPolicy) -> dict:
+    sim = Simulator(seed=2)
+    cluster = Partition(
+        sim, "cluster", [ClusterNode(sim, cluster_node_spec(), i) for i in range(8)]
+    )
+    booster = Partition(
+        sim, "booster", [BoosterNode(sim, booster_node_spec(), i) for i in range(8)]
+    )
+    sched = Scheduler(sim, cluster, booster, policy=policy)
+    used = [0.0]
+
+    def make_body(gjob):
+        def body(job):
+            if gjob.n_booster == 0:
+                yield sim.timeout(gjob.runtime_s)
+                return
+            pre = gjob.runtime_s * (1 - gjob.offload_duty) / 2
+            yield sim.timeout(pre)
+            if policy is BoosterPolicy.DYNAMIC:
+                nodes = yield from sched.claim_booster_wait(job, gjob.n_booster)
+                yield sim.timeout(gjob.runtime_s * gjob.offload_duty)
+                sched.release_booster(job, nodes)
+            else:
+                yield sim.timeout(gjob.runtime_s * gjob.offload_duty)
+            used[0] += gjob.runtime_s * gjob.offload_duty * gjob.n_booster
+            yield sim.timeout(pre)
+
+        return body
+
+    def submitter(sim):
+        t = 0.0
+        for gjob in random_job_mix(MIX):
+            yield sim.timeout(gjob.arrival_s - t)
+            t = gjob.arrival_s
+            sched.submit(
+                JobSpec(
+                    gjob.name, gjob.n_cluster, gjob.n_booster,
+                    gjob.runtime_s * 1.3, make_body(gjob),
+                )
+            )
+
+    sim.process(submitter(sim))
+    sim.run()
+    allocated = booster.allocated_node_seconds()
+    return {
+        "makespan": sched.ledger.makespan(),
+        "wait": sched.ledger.mean_wait(),
+        "allocated": allocated,
+        "used": used[0],
+    }
+
+
+def main() -> None:
+    static = run(BoosterPolicy.STATIC)
+    dynamic = run(BoosterPolicy.DYNAMIC)
+    table = Table(
+        ["metric", "static (slide 6)", "dynamic pool (slides 7/8)"],
+        title="40-job mixed workload, 8 CN + 8 BN",
+    )
+    table.add_row("makespan [s]", static["makespan"], dynamic["makespan"])
+    table.add_row("mean queue wait [s]", static["wait"], dynamic["wait"])
+    table.add_row("booster node-s allocated", static["allocated"], dynamic["allocated"])
+    table.add_row("booster node-s used", static["used"], dynamic["used"])
+    for label, r in (("static", static), ("dynamic", dynamic)):
+        waste = 1 - r["used"] / r["allocated"] if r["allocated"] else 0.0
+        table.add_row(f"{label}: allocated-but-idle", f"{waste:.1%}", "")
+    table.print()
+    print("\nSame booster work either way — the static policy just holds the"
+          "\nnodes hostage while jobs do cluster-side work (or none at all).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The code-division advisor: mapping phases to suited hardware.
+
+Slide 9 asks "how to map different requirements to most suited
+hardware".  Given per-phase scalability profiles of an application,
+the advisor predicts each phase's runtime (and energy) on the Cluster
+and on the Booster — including the offload data-movement toll — and
+recommends the division, under a time or an energy objective.
+
+Run:  python examples/code_division.py
+"""
+
+from repro.analysis import Table
+from repro.deep import DivisionAdvisor, PhaseProfile
+from repro.hardware.catalog import XEON_E5_2680_DUAL, XEON_PHI_KNC
+
+PROFILES = [
+    PhaseProfile(
+        "setup+io", total_flops=8e9, serial_fraction=0.85, regular=False
+    ),
+    PhaseProfile(
+        "stencil HSCP", total_flops=8e13, serial_fraction=0.0,
+        comm_bytes_per_rank=2e6, comm_latency_events=4,
+        transfer_bytes=2e9, regular=True,
+    ),
+    PhaseProfile(
+        "spmv solve", total_flops=6e12, serial_fraction=0.02,
+        comm_bytes_per_rank=8e5, comm_latency_events=40,
+        transfer_bytes=1e9, regular=True,
+    ),
+    PhaseProfile(
+        "graph rebalance", total_flops=4e10, serial_fraction=0.25,
+        comm_latency_events=800, regular=False,
+    ),
+]
+
+
+def main() -> None:
+    advisor = DivisionAdvisor(
+        XEON_E5_2680_DUAL, XEON_PHI_KNC, n_cluster=8, n_booster=32,
+        bridge_bandwidth=2 * 4e9,
+    )
+
+    for objective in ("time", "energy"):
+        report = advisor.divide(PROFILES, objective=objective)
+        table = Table(
+            ["phase", "cluster [ms]", "booster [ms]",
+             "cluster [J]", "booster [J]", "placement"],
+            title=f"division by {objective}",
+        )
+        for p in PROFILES:
+            cn, bn = report.estimates[p.name]
+            table.add_row(
+                p.name, cn.total_s * 1e3, bn.total_s * 1e3,
+                cn.energy_j, bn.energy_j, report.placements[p.name],
+            )
+        table.print()
+        print(f"predicted application: {report.predicted_time()*1e3:.1f} ms, "
+              f"{report.predicted_energy():.1f} J "
+              f"(offloaded: {report.offloaded_phases()})")
+
+    hscp = PROFILES[1]
+    breakeven = advisor.breakeven_flops(hscp)
+    print(f"\nbreakeven work for the HSCP's shape: {breakeven:.3g} flop "
+          f"(its actual work: {hscp.total_flops:.3g} flop)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Global-MPI spawn cost versus Booster-world size (slides 21/27).
+
+``MPI_Comm_spawn`` is the startup path of every offloaded code part;
+this example sweeps the spawned world's size and prints the cost
+curve, which grows logarithmically thanks to ParaStation's tree
+startup — the property that makes per-phase dynamic Booster
+assignment affordable.
+
+Run:  python examples/spawn_scaling.py
+"""
+
+from repro import DeepSystem, MachineConfig
+from repro.analysis import Table
+from repro.units import format_time
+
+
+def spawn_time(n_children: int) -> float:
+    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=64, n_gateways=2))
+    times = {}
+
+    def child(proc):
+        yield from proc.comm_world.barrier()
+
+    system.register_command("child", child)
+
+    def main(proc):
+        cw = proc.comm_world
+        t0 = proc.sim.now
+        yield from proc.spawn(cw, "child", n_children)
+        times[cw.rank] = proc.sim.now - t0
+        yield from cw.barrier()
+
+    system.launch(main)
+    system.run()
+    return max(times.values())
+
+
+def main() -> None:
+    table = Table(
+        ["booster processes", "spawn cost", "cost / process"],
+        title="MPI_Comm_spawn startup cost",
+    )
+    prev = None
+    for n in (1, 2, 4, 8, 16, 32, 64):
+        t = spawn_time(n)
+        table.add_row(n, format_time(t), format_time(t / n))
+        prev = t
+    table.print()
+    print("\nDoubling the world adds a roughly constant increment: tree "
+          "startup, cost ~ a + b * log2(n).")
+
+
+if __name__ == "__main__":
+    main()

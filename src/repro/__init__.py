@@ -1,0 +1,56 @@
+"""deep-sim: a discrete-event reproduction of the DEEP project.
+
+Reproduces *"The DEEP Project: Pursuing Cluster-Computing in the
+Many-Core Era"* (Eicker, Lippert, Suarez, Moschny — ICPP/HUCAA 2013):
+the **Cluster-Booster architecture** with InfiniBand + EXTOLL fabrics,
+**Global MPI** via ``MPI_Comm_spawn`` over the SMFU bridge, the
+**OmpSs offload** programming model, and **ParaStation** resource
+management — all as a deterministic discrete-event simulation.
+
+Quickstart::
+
+    from repro import DeepSystem, MachineConfig
+    from repro.apps import coupled_application
+    from repro.deep.application import run_application
+
+    system = DeepSystem(MachineConfig(n_cluster=4, n_booster=8))
+    report = run_application(system, coupled_application(), mode="cluster-booster")
+    print(report.total_time_s)
+
+Layer map (bottom-up): :mod:`repro.simkernel` (event kernel) ->
+:mod:`repro.hardware` / :mod:`repro.network` (machine models) ->
+:mod:`repro.mpi` / :mod:`repro.parastation` (system software) ->
+:mod:`repro.ompss` / :mod:`repro.deep` (programming model + the
+paper's contribution) -> :mod:`repro.apps` / :mod:`repro.analysis`.
+"""
+
+from repro._version import __version__
+from repro.simkernel import Simulator
+from repro.deep import DeepSystem, Machine, MachineConfig
+from repro.deep.application import (
+    Application,
+    ExchangePhase,
+    KernelPhase,
+    RunReport,
+    SerialPhase,
+    run_application,
+)
+from repro.mpi import MPIWorld
+from repro.ompss import OmpSsRuntime, TaskGraph
+
+__all__ = [
+    "Application",
+    "DeepSystem",
+    "ExchangePhase",
+    "KernelPhase",
+    "MPIWorld",
+    "Machine",
+    "MachineConfig",
+    "OmpSsRuntime",
+    "RunReport",
+    "SerialPhase",
+    "Simulator",
+    "TaskGraph",
+    "__version__",
+    "run_application",
+]

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``      — version, layer map, experiment list;
+* ``machine``   — build a DEEP machine and print its inventory;
+* ``demo``      — run the quickstart scenario end to end;
+* ``positioning`` — print the slide-18 map;
+* ``roofline``  — print the Xeon-vs-KNC roofline table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print version and orientation."""
+    from repro import __version__
+
+    print(f"deep-sim {__version__} — reproduction of the DEEP project "
+          f"(Eicker et al., ICPP/HUCAA 2013)")
+    print(__doc__)
+    print("Experiments E1-E12 + X13-X24: run "
+          "`pytest benchmarks/ --benchmark-only -s`")
+    return 0
+
+
+def cmd_machine(args: argparse.Namespace) -> int:
+    """Build a machine and print its inventory."""
+    from repro import DeepSystem, MachineConfig
+    from repro.analysis import Table
+
+    config = MachineConfig(
+        n_cluster=args.cluster, n_booster=args.booster, n_gateways=args.gateways
+    )
+    system = DeepSystem(config)
+    m = system.machine
+    table = Table(["component", "value"], title="DEEP machine inventory")
+    table.add_row("cluster nodes (CN)", config.n_cluster)
+    table.add_row("CN processor", m.cluster_nodes[0].spec.processor.name)
+    table.add_row("booster nodes (BN)", config.n_booster)
+    table.add_row("BN processor", m.booster_nodes[0].spec.processor.name)
+    table.add_row("BI gateways", config.n_gateways)
+    table.add_row("EXTOLL torus", "x".join(map(str, m.extoll_fabric.dims)))
+    table.add_row("IB fabric", config.ib.name)
+    table.add_row("peak compute [TF]", m.total_peak_flops() / 1e12)
+    table.add_row("nameplate power [kW]", m.total_power_estimate() / 1e3)
+    table.print()
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Run the quickstart scenario."""
+    import runpy
+    from pathlib import Path
+
+    quickstart = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    if quickstart.exists():
+        runpy.run_path(str(quickstart), run_name="__main__")
+        return 0
+    # Installed without the examples tree: inline fallback.
+    from repro import DeepSystem, MachineConfig
+    from repro.apps import stencil_graph
+    from repro.deep import OFFLOAD_WORKER_COMMAND, offload_graph, offload_worker
+
+    system = DeepSystem(MachineConfig(n_cluster=4, n_booster=8, n_gateways=2))
+    system.register_command(OFFLOAD_WORKER_COMMAND, offload_worker)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        inter = yield from proc.spawn(cw, OFFLOAD_WORKER_COMMAND, 8)
+        if cw.rank == 0:
+            g = stencil_graph(8, sweeps=4)
+            out["result"] = yield from offload_graph(proc, inter, g)
+        yield from cw.barrier()
+
+    system.launch(main)
+    system.run()
+    r = out["result"]
+    print(f"offloaded {r.n_tasks} tasks to 8 booster nodes in "
+          f"{r.elapsed_s * 1e3:.2f} ms (simulated)")
+    return 0
+
+
+def cmd_positioning(args: argparse.Namespace) -> int:
+    """Print the slide-18 positioning map."""
+    from repro.analysis import Table, positioning_map
+
+    table = Table(
+        ["system", "peak [TF]", "scalability", "versatility", "family"],
+        title="slide 18: positioning map",
+    )
+    for e in positioning_map():
+        table.add_row(e.name, e.peak_tflops, e.scalability, e.versatility, e.family)
+    table.print()
+    return 0
+
+
+def cmd_roofline(args: argparse.Namespace) -> int:
+    """Print the Xeon-vs-KNC roofline table."""
+    from repro.analysis import Table
+    from repro.analysis.roofline import (
+        REFERENCE_KERNELS,
+        attainable_flops,
+        balance_point,
+    )
+    from repro.hardware.catalog import XEON_E5_2680_DUAL, XEON_PHI_KNC
+
+    table = Table(
+        ["kernel", "AI [flop/B]", "Xeon [GF/s]", "KNC [GF/s]"],
+        title="roofline: dual Xeon E5 vs Xeon Phi KNC",
+    )
+    for k in REFERENCE_KERNELS:
+        table.add_row(
+            k.name, k.intensity,
+            attainable_flops(XEON_E5_2680_DUAL, k.intensity) / 1e9,
+            attainable_flops(XEON_PHI_KNC, k.intensity) / 1e9,
+        )
+    table.print()
+    print(f"balance points: Xeon {balance_point(XEON_E5_2680_DUAL):.1f}, "
+          f"KNC {balance_point(XEON_PHI_KNC):.1f} flop/B")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("info", help="version and orientation")
+    p_machine = sub.add_parser("machine", help="print a machine inventory")
+    p_machine.add_argument("--cluster", type=int, default=8)
+    p_machine.add_argument("--booster", type=int, default=16)
+    p_machine.add_argument("--gateways", type=int, default=2)
+    sub.add_parser("demo", help="run the quickstart scenario")
+    sub.add_parser("positioning", help="print the slide-18 map")
+    sub.add_parser("roofline", help="print the roofline table")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "machine": cmd_machine,
+        "demo": cmd_demo,
+        "positioning": cmd_positioning,
+        "roofline": cmd_roofline,
+    }
+    if args.command is None:
+        parser.print_help()
+        return 1
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

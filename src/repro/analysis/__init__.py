@@ -1,0 +1,56 @@
+"""Analysis: scaling laws, positioning, metrics, and report tables."""
+
+from repro.analysis.scaling import (
+    MEUER_FACTOR_PER_DECADE,
+    MOORE_DOUBLING_YEARS,
+    TechnologyModel,
+    meuers_law,
+    moores_law,
+    performance_projection,
+)
+from repro.analysis.positioning import (
+    PositionEntry,
+    REFERENCE_SYSTEMS,
+    positioning_map,
+    scalability_score,
+)
+from repro.analysis.metrics import (
+    amdahl_speedup,
+    energy_to_solution,
+    gustafson_speedup,
+    karp_flatt,
+    parallel_efficiency,
+    speedup,
+)
+from repro.analysis.report import Table, format_series
+from repro.analysis.roofline import (
+    KernelPoint,
+    REFERENCE_KERNELS,
+    attainable_flops,
+    balance_point,
+)
+
+__all__ = [
+    "KernelPoint",
+    "MEUER_FACTOR_PER_DECADE",
+    "MOORE_DOUBLING_YEARS",
+    "PositionEntry",
+    "REFERENCE_KERNELS",
+    "attainable_flops",
+    "balance_point",
+    "REFERENCE_SYSTEMS",
+    "Table",
+    "TechnologyModel",
+    "amdahl_speedup",
+    "energy_to_solution",
+    "format_series",
+    "gustafson_speedup",
+    "karp_flatt",
+    "meuers_law",
+    "moores_law",
+    "parallel_efficiency",
+    "performance_projection",
+    "positioning_map",
+    "scalability_score",
+    "speedup",
+]

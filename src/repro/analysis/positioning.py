@@ -1,0 +1,170 @@
+"""Positioning map: scalability vs versatility (slide 18, E8).
+
+Slide 18 places systems on two axes: *highly scalable architectures*
+(the BlueGene line) versus *low-medium scalable architectures* (Power,
+Nehalem clusters) — and claims the DEEP system covers both regimes:
+Cluster for versatile workloads, Booster for scalable ones.
+
+The y-axis (**scalability**) is computed from machine *balance*, the
+quantity that actually limits strong scaling:
+
+* network injection bandwidth per node flop (bytes/flop) — how much
+  communication a flop of work can afford;
+* flops wasted per message latency (``latency x node_flops``) — the
+  cost of fine-grained synchronisation;
+* a direct-network bonus (torus + hardware collectives: BlueGene,
+  EXTOLL) over switched commodity fabrics.
+
+The x-axis (**versatility**) reflects single-thread strength and
+memory headroom — what irregular, latency-sensitive codes need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class SystemBalance:
+    """Per-node balance figures of one machine."""
+
+    name: str
+    peak_tflops: float
+    node_flops: float
+    injection_bandwidth: float  # bytes/s per node into the network
+    mpi_latency_s: float
+    single_thread_gflops: float
+    memory_per_node_gib: float
+    direct_network: bool  # torus/hw-collectives vs switched fabric
+    family: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class PositionEntry:
+    """One system on the slide-18 map."""
+
+    name: str
+    peak_tflops: float
+    scalability: float  # 0..1
+    versatility: float  # 0..1
+    family: str = ""
+
+
+def _norm_log(value: float, lo: float, hi: float) -> float:
+    """log-scaled position of *value* in [lo, hi], clipped to [0, 1]."""
+    if value <= lo:
+        return 0.0
+    if value >= hi:
+        return 1.0
+    return math.log10(value / lo) / math.log10(hi / lo)
+
+
+def scalability_score(balance: SystemBalance) -> float:
+    """Balance-based scalability in [0, 1].
+
+    Monotonic in bytes/flop, antitonic in latency x flops, +0.15 for
+    direct networks, clipped to [0, 1].
+    """
+    if balance.node_flops <= 0:
+        raise ConfigurationError("node_flops must be > 0")
+    bpf = balance.injection_bandwidth / balance.node_flops
+    bpf_term = _norm_log(bpf, 0.003, 0.5)
+    lat_flops = balance.mpi_latency_s * balance.node_flops
+    lat_term = 1.0 - _norm_log(lat_flops, 1e4, 1e6)
+    score = 0.7 * bpf_term + 0.3 * lat_term
+    if balance.direct_network:
+        score += 0.15
+    return max(min(score, 1.0), 0.0)
+
+
+def versatility_score(balance: SystemBalance) -> float:
+    """Single-thread strength + memory headroom, in [0, 1]."""
+    st = min(balance.single_thread_gflops / 25.0, 1.0)
+    mem = min(balance.memory_per_node_gib / 64.0, 1.0)
+    return max(min(0.6 * st + 0.4 * mem, 1.0), 0.0)
+
+
+def position(balance: SystemBalance) -> PositionEntry:
+    """Place one machine on the map."""
+    return PositionEntry(
+        balance.name,
+        balance.peak_tflops,
+        scalability_score(balance),
+        versatility_score(balance),
+        balance.family,
+    )
+
+
+#: Slide 18's reference systems, from their public specs.
+REFERENCE_SYSTEMS: list[SystemBalance] = [
+    SystemBalance(
+        "IBM BG/L (JUBL)", 45.0, 5.6e9, 1.05e9, 2.5e-6, 2.8, 0.5, True, "BlueGene"
+    ),
+    SystemBalance(
+        "IBM BG/P (223 TF)", 223.0, 13.6e9, 5.1e9, 2.0e-6, 3.4, 2.0, True, "BlueGene"
+    ),
+    SystemBalance(
+        "IBM BG/P (1 PF)", 1000.0, 13.6e9, 5.1e9, 2.0e-6, 3.4, 2.0, True, "BlueGene"
+    ),
+    SystemBalance(
+        "IBM BG/Q (5.9 PF)", 5900.0, 204.8e9, 20e9, 1.2e-6, 12.8, 16.0, True, "BlueGene"
+    ),
+    SystemBalance(
+        "IBM Power 6", 9.0, 150e9, 2e9, 3.0e-6, 18.8, 128.0, False, "Power"
+    ),
+    SystemBalance(
+        "Nehalem cluster (300 TF)", 300.0, 100e9, 3.2e9, 2.5e-6, 11.7, 24.0, False,
+        "cluster",
+    ),
+]
+
+
+def deep_balances(
+    cluster_node_flops: float = 311e9,
+    booster_node_flops: float = 707e9,
+    ib_bandwidth: float = 4e9,
+    ib_latency_s: float = 1.3e-6,
+    extoll_link_bandwidth: float = 5.4e9,
+    extoll_links: int = 6,
+    extoll_latency_s: float = 1.0e-6,
+    deep_peak_tflops: float = 500.0,
+) -> list[SystemBalance]:
+    """Balance entries for the DEEP Cluster and Booster sides."""
+    return [
+        SystemBalance(
+            "DEEP Cluster", deep_peak_tflops * 0.1, cluster_node_flops,
+            ib_bandwidth, ib_latency_s, 19.4, 64.0, False, "DEEP",
+        ),
+        SystemBalance(
+            "DEEP Booster", deep_peak_tflops * 0.9, booster_node_flops,
+            extoll_link_bandwidth * extoll_links, extoll_latency_s,
+            11.8 / 4.0, 8.0, True, "DEEP",
+        ),
+    ]
+
+
+def positioning_map(**deep_kwargs) -> list[PositionEntry]:
+    """Reference systems + DEEP Cluster/Booster + the combined system.
+
+    The combined DEEP entry takes the Booster's scalability and the
+    Cluster's versatility — slide 18's point: the architecture spans
+    both regimes instead of sitting on the frontier's one end.
+    """
+    entries = [position(b) for b in REFERENCE_SYSTEMS]
+    cluster_b, booster_b = deep_balances(**deep_kwargs)
+    cluster_e = position(cluster_b)
+    booster_e = position(booster_b)
+    entries.extend([cluster_e, booster_e])
+    entries.append(
+        PositionEntry(
+            "DEEP System",
+            cluster_b.peak_tflops + booster_b.peak_tflops,
+            max(cluster_e.scalability, booster_e.scalability),
+            max(cluster_e.versatility, booster_e.versatility),
+            "DEEP",
+        )
+    )
+    return entries

@@ -1,0 +1,86 @@
+"""Fixed-width tables and series for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures
+express, so the terminal output of ``pytest benchmarks/`` *is* the
+reproduction artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class Table:
+    """A fixed-width text table."""
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ConfigurationError("table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row (stringified; floats get 4 significant digits)."""
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        """The table as a string."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(f"== {self.title} ==")
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print("\n" + self.render())
+
+    def to_csv(self) -> str:
+        """The table as CSV text (header + rows), for external plotting."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        """Write :meth:`to_csv` to *path*."""
+        with open(path, "w", newline="") as fh:
+            fh.write(self.to_csv())
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        a = abs(v)
+        if a >= 1e5 or a < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_series(name: str, xs: Iterable[Any], ys: Iterable[Any]) -> str:
+    """One labelled x/y series as aligned text (a 'figure' line set)."""
+    pairs = list(zip(xs, ys))
+    body = "  ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in pairs)
+    return f"{name}: {body}"

@@ -1,0 +1,71 @@
+"""Roofline analysis: where kernels land on a processor's rooflines.
+
+Slide 15 lists "sufficient memory bandwidth" among KNC's qualifying
+features — a roofline statement: a many-core chip's flop advantage is
+worthless to low-arithmetic-intensity kernels unless its memory system
+keeps pace.  This module computes attainable performance per kernel
+and the machine balance point, and compares processors kernel by
+kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.processor import ProcessorSpec
+
+
+@dataclass(frozen=True, slots=True)
+class KernelPoint:
+    """A kernel characterised by its arithmetic intensity."""
+
+    name: str
+    flops: float
+    traffic_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.flops <= 0 or self.traffic_bytes <= 0:
+            raise ConfigurationError("kernel needs positive flops and traffic")
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity in flop/byte."""
+        return self.flops / self.traffic_bytes
+
+
+def attainable_flops(spec: ProcessorSpec, intensity: float) -> float:
+    """The roofline: ``min(peak, AI x memory bandwidth)`` (sustained)."""
+    if intensity <= 0:
+        raise ConfigurationError("intensity must be > 0")
+    return min(
+        spec.sustained_flops,
+        intensity * spec.memory.bandwidth_bytes_per_s,
+    )
+
+
+def balance_point(spec: ProcessorSpec) -> float:
+    """Machine balance: the AI where the two roofs meet (flop/byte)."""
+    return spec.sustained_flops / spec.memory.bandwidth_bytes_per_s
+
+
+def kernel_time(spec: ProcessorSpec, kernel: KernelPoint) -> float:
+    """Roofline execution time of the kernel on the whole chip."""
+    return kernel.flops / attainable_flops(spec, kernel.intensity)
+
+
+def compare(
+    a: ProcessorSpec, b: ProcessorSpec, kernel: KernelPoint
+) -> float:
+    """Speedup of *a* over *b* on the kernel (>1 = a faster)."""
+    return kernel_time(b, kernel) / kernel_time(a, kernel)
+
+
+#: Characteristic kernels of the DEEP application classes.
+REFERENCE_KERNELS: list[KernelPoint] = [
+    KernelPoint("spmv (27-pt)", flops=2 * 27.0, traffic_bytes=27 * 12.0 + 8),
+    KernelPoint("stencil sweep", flops=8.0, traffic_bytes=16.0),
+    KernelPoint("fft butterfly", flops=10.0, traffic_bytes=16.0),
+    KernelPoint("dgemm tile 256", flops=2 * 256.0 ** 3, traffic_bytes=3 * 8 * 256.0 ** 2),
+    KernelPoint("cholesky potrf 256", flops=256.0 ** 3 / 3, traffic_bytes=8 * 256.0 ** 2),
+]

@@ -1,0 +1,140 @@
+"""Technology-scaling models (slides 2-5, experiments E1/E2).
+
+Slide 4 states the two laws the whole argument rests on:
+
+* **Moore's law** — transistors/area double every 1.5 years, i.e.
+  ``2^(10/1.5) ~ 100x`` per decade;
+* **Meuer's law** — supercomputer performance grows ``1000x`` per
+  decade ("each scale takes ~10 years", slide 3).
+
+The 10x gap between them must come from somewhere besides transistor
+count: historically frequency + architecture, and — after frequency
+stagnated around 2005 — *more and simpler cores*.  Slide 5 then argues
+concretely: commodity CPU speed grows only ~4-8x per 4 years while the
+top-system trend requires ~16x, so clusters must adopt many-core
+accelerators.  :class:`TechnologyModel` reproduces those numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Moore doubling period in years (slide 4).
+MOORE_DOUBLING_YEARS = 1.5
+#: Meuer's law factor per decade (slide 4).
+MEUER_FACTOR_PER_DECADE = 1000.0
+
+
+def moores_law(years: float, doubling_years: float = MOORE_DOUBLING_YEARS) -> float:
+    """Transistor-count growth factor over *years*."""
+    if doubling_years <= 0:
+        raise ConfigurationError("doubling period must be > 0")
+    return 2.0 ** (years / doubling_years)
+
+
+def meuers_law(years: float, factor_per_decade: float = MEUER_FACTOR_PER_DECADE) -> float:
+    """Top-system performance growth factor over *years*."""
+    if factor_per_decade <= 1:
+        raise ConfigurationError("factor per decade must be > 1")
+    return factor_per_decade ** (years / 10.0)
+
+
+@dataclass(frozen=True, slots=True)
+class TechnologyModel:
+    """Frequency/core scaling of commodity CPUs vs many-core chips.
+
+    Pre-``frequency_wall_year`` single-thread speed grows with
+    frequency+architecture at ``pre_wall_st_growth`` per year; after
+    the wall it creeps at ``post_wall_st_growth``.  Transistor budget
+    keeps following Moore; chips spend it on cores.  Many-core parts
+    (``manycore_core_ratio`` more cores at ``manycore_core_speed`` of
+    the speed) trade single-thread speed for throughput.
+    """
+
+    frequency_wall_year: float = 2005.0
+    pre_wall_st_growth: float = 1.5
+    post_wall_st_growth: float = 1.05
+    manycore_core_ratio: float = 7.5   # 60 KNC cores vs 8 Xeon cores
+    manycore_core_speed: float = 0.30  # thin in-order core, wide vectors
+
+    def single_thread_factor(self, year_from: float, year_to: float) -> float:
+        """Single-thread speed growth between two years."""
+        if year_to < year_from:
+            raise ConfigurationError("year_to must be >= year_from")
+        f = 1.0
+        y = year_from
+        while y < year_to:
+            step = min(1.0, year_to - y)
+            rate = (
+                self.pre_wall_st_growth
+                if y < self.frequency_wall_year
+                else self.post_wall_st_growth
+            )
+            f *= rate ** step
+            y += step
+        return f
+
+    def multicore_chip_factor(self, year_from: float, year_to: float) -> float:
+        """Chip throughput growth: cores x single-thread speed.
+
+        Transistors follow Moore; cores scale with transistors only
+        after the wall (before it the budget went into the core).
+        """
+        st = self.single_thread_factor(year_from, year_to)
+        wall = max(min(self.frequency_wall_year, year_to), year_from)
+        cores = moores_law(year_to - wall)
+        return st * cores
+
+    def commodity_cpu_factor_4y(self) -> float:
+        """Slide 5's "factor of 4 to at most 8 in 4 years" check."""
+        return self.multicore_chip_factor(2011.0, 2015.0)
+
+    def required_factor_4y(self) -> float:
+        """What Meuer's law demands of a system in 4 years (~16x)."""
+        return meuers_law(4.0)
+
+    def manycore_advantage(self) -> float:
+        """Throughput ratio of a many-core chip vs its multicore peer."""
+        return self.manycore_core_ratio * self.manycore_core_speed * (
+            2.0  # wider vector units per thin core (512-bit vs 256-bit)
+        )
+
+
+def performance_projection(
+    base_year: int = 1993,
+    base_flops: float = 59.7e9,  # #1 of the first Top500 list (CM-5)
+    years: int = 30,
+) -> list[tuple[int, float, float]]:
+    """Yearly (year, meuer_projection, moore_only_projection) triples.
+
+    ``moore_only`` shows what transistor scaling alone would deliver —
+    the x10/decade gap to Meuer is the architecture/parallelism share
+    (slide 2's three arrows: x10, x100, x1000 per decade).
+    """
+    rows = []
+    for dy in range(years + 1):
+        rows.append(
+            (
+                base_year + dy,
+                base_flops * meuers_law(float(dy)),
+                base_flops * moores_law(float(dy)),
+            )
+        )
+    return rows
+
+
+def exaflop_year(
+    base_year: float = 2008.0, base_flops: float = 1.026e15
+) -> float:
+    """When Meuer's law reaches 1 EFlop/s from the first PFlop system.
+
+    Slide 3: "each scale (factor 1000) takes ~10 years" — from the
+    2008 petaflop this lands around 2018.
+    """
+    years = 10.0 * math.log10(1e18 / base_flops) / math.log10(
+        MEUER_FACTOR_PER_DECADE
+    )
+    return base_year + years

@@ -1,0 +1,45 @@
+"""Representative applications and workload generators.
+
+The DEEP proposal optimises "a set of representative grand-challenge
+codes" (slide 12).  Without those proprietary codes, this package
+provides kernels with the same communication skeletons:
+
+* :mod:`~repro.apps.cholesky` — the tiled Cholesky factorisation of
+  slide 23, the canonical OmpSs dependency-graph example;
+* :mod:`~repro.apps.stencil` — regular halo-exchange stencils, the
+  "sparse matrix-vector / highly regular" class of slide 9 that scales
+  to O(100k) cores;
+* :mod:`~repro.apps.spmv` — sparse matrix-vector products with
+  row-block partitioning;
+* :mod:`~repro.apps.irregular` — an irregular-communication code
+  (graph/particle flavoured) representing the "most applications are
+  more complex" class of slide 9;
+* :mod:`~repro.apps.coupled` — a full cluster-booster application:
+  non-scalable main part + offloadable HSCP, the slide-20/21 picture;
+* :mod:`~repro.apps.workloads` — random job-mix generators for the
+  scheduler experiments.
+"""
+
+from repro.apps.cholesky import cholesky_flops, cholesky_graph, cholesky_task_counts
+from repro.apps.fft import fft_flops, fft_graph
+from repro.apps.stencil import stencil_graph, stencil_sweep_flops
+from repro.apps.spmv import spmv_graph, spmv_flops
+from repro.apps.irregular import irregular_graph
+from repro.apps.coupled import coupled_application
+from repro.apps.workloads import JobMix, random_job_mix
+
+__all__ = [
+    "JobMix",
+    "cholesky_flops",
+    "cholesky_graph",
+    "cholesky_task_counts",
+    "coupled_application",
+    "fft_flops",
+    "fft_graph",
+    "irregular_graph",
+    "random_job_mix",
+    "spmv_flops",
+    "spmv_graph",
+    "stencil_graph",
+    "stencil_sweep_flops",
+]

@@ -1,0 +1,116 @@
+"""Tiled Cholesky factorisation — slide 23's running example.
+
+The slide shows the OmpSs version::
+
+    for (k=0; k<NT; k++) {
+       spotrf (A[k][k]);
+       for (i=k+1; i<NT; i++)  strsm (A[k][k], A[k][i]);
+       for (i=k+1; i<NT; i++) {
+          for (j=k+1; j<i; j++) sgemm (A[k][i], A[k][j], A[j][i]);
+          ssyrk (A[k][i], A[i][i]);
+       }
+    }
+
+with ``inout``/``input`` pragmas on the tile arguments.  This module
+reproduces that graph exactly: the dependency structure emerges from
+the region annotations, not from hand-coded edges.
+
+Flop counts per tile kernel (tile size ``ts``, double precision):
+``potrf = ts^3/3``, ``trsm = ts^3``, ``gemm = 2 ts^3``, ``syrk = ts^3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.ompss.graph import TaskGraph
+from repro.ompss.regions import Region
+
+
+def _tile(nt: int, tile_bytes: int, i: int, j: int) -> Region:
+    """Region of tile (i, j) of the NT x NT tiled matrix A."""
+    return Region.tile("A", i, j, tile_bytes, nt)
+
+
+def cholesky_graph(
+    nt: int,
+    tile_size: int = 256,
+    dtype_bytes: int = 8,
+    n_cores_per_task: int = 1,
+) -> TaskGraph:
+    """Build the tiled-Cholesky task graph for an NT x NT tile matrix.
+
+    Only the lower triangle is factorised (tiles (i, j) with j <= i).
+    Returns a graph of ``nt*(nt+1)(nt+2)/6``-ish tasks whose edges come
+    purely from the declared tile accesses.
+    """
+    if nt < 1:
+        raise ConfigurationError(f"need nt >= 1 tiles, got {nt}")
+    if tile_size < 1:
+        raise ConfigurationError(f"need tile_size >= 1, got {tile_size}")
+    ts3 = float(tile_size) ** 3
+    tile_bytes = tile_size * tile_size * dtype_bytes
+    g = TaskGraph(name=f"cholesky-nt{nt}")
+
+    for k in range(nt):
+        g.add_task(
+            f"potrf({k},{k})",
+            flops=ts3 / 3.0,
+            traffic_bytes=tile_bytes,
+            n_cores=n_cores_per_task,
+            inout=[_tile(nt, tile_bytes, k, k)],
+        )
+        for i in range(k + 1, nt):
+            g.add_task(
+                f"trsm({k},{i})",
+                flops=ts3,
+                traffic_bytes=2 * tile_bytes,
+                n_cores=n_cores_per_task,
+                in_=[_tile(nt, tile_bytes, k, k)],
+                inout=[_tile(nt, tile_bytes, i, k)],
+            )
+        for i in range(k + 1, nt):
+            for j in range(k + 1, i):
+                g.add_task(
+                    f"gemm({k},{i},{j})",
+                    flops=2.0 * ts3,
+                    traffic_bytes=3 * tile_bytes,
+                    n_cores=n_cores_per_task,
+                    in_=[
+                        _tile(nt, tile_bytes, i, k),
+                        _tile(nt, tile_bytes, j, k),
+                    ],
+                    inout=[_tile(nt, tile_bytes, i, j)],
+                )
+            g.add_task(
+                f"syrk({k},{i})",
+                flops=ts3,
+                traffic_bytes=2 * tile_bytes,
+                n_cores=n_cores_per_task,
+                in_=[_tile(nt, tile_bytes, i, k)],
+                inout=[_tile(nt, tile_bytes, i, i)],
+            )
+    return g
+
+
+def cholesky_task_counts(nt: int) -> dict[str, int]:
+    """Expected kernel counts for an NT-tile factorisation."""
+    potrf = nt
+    trsm = nt * (nt - 1) // 2
+    syrk = nt * (nt - 1) // 2
+    gemm = sum(
+        max(i - k - 1, 0) for k in range(nt) for i in range(k + 1, nt)
+    )
+    return {
+        "potrf": potrf,
+        "trsm": trsm,
+        "syrk": syrk,
+        "gemm": gemm,
+        "total": potrf + trsm + syrk + gemm,
+    }
+
+
+def cholesky_flops(n: int) -> float:
+    """Total flops of an n x n Cholesky factorisation (n^3/3)."""
+    return float(n) ** 3 / 3.0

@@ -1,0 +1,71 @@
+"""A complete cluster-booster application (the slide 20/21 picture).
+
+``main()`` runs on the Cluster: setup, an irregular low-scalability
+section, and coordination.  The highly scalable code part (HSCP) is a
+stencil/SpMV-like kernel offloaded to Booster nodes.  The returned
+:class:`~repro.deep.application.Application` runs unchanged on all
+three architecture modes, which is exactly the E6 comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.apps.spmv import spmv_graph
+from repro.apps.stencil import stencil_graph
+from repro.deep.application import (
+    Application,
+    ExchangePhase,
+    KernelPhase,
+    SerialPhase,
+)
+from repro.errors import ConfigurationError
+from repro.ompss.graph import TaskGraph
+from repro.units import gflops, mib
+
+
+def coupled_application(
+    iterations: int = 3,
+    hscp: str = "stencil",
+    hscp_sweeps: int = 4,
+    hscp_slabs: int = 16,
+    hscp_slab_bytes: int = 8 << 20,
+    hscp_intensity: float = 2.0,
+    serial_gflops: float = 2.0,
+    exchange_mib: float = 2.0,
+    strategy: str = "locality",
+) -> Application:
+    """Build the canonical coupled application.
+
+    Per iteration: serial main-part work on the CNs, a cluster-side
+    halo exchange, the HSCP kernel (offloadable), and a small
+    allreduce (convergence check).
+
+    The HSCP's problem size is **fixed** (``hscp_slabs`` slabs of
+    ``hscp_slab_bytes``) regardless of how many workers execute it —
+    the architectures are compared on identical work (strong scaling).
+    """
+    if hscp == "stencil":
+        builder: Callable[[int], TaskGraph] = lambda n: stencil_graph(
+            hscp_slabs,
+            sweeps=hscp_sweeps,
+            slab_bytes=hscp_slab_bytes,
+            flops_per_byte=hscp_intensity,
+        )
+    elif hscp == "spmv":
+        builder = lambda n: spmv_graph(hscp_slabs, iterations=hscp_sweeps)
+    else:
+        raise ConfigurationError(f"unknown hscp kind {hscp!r}")
+
+    return Application(
+        name=f"coupled-{hscp}",
+        phases=[
+            SerialPhase("main-part", flops_per_rank=gflops(serial_gflops)),
+            ExchangePhase("cluster-halo", bytes_per_rank=mib(exchange_mib)),
+            KernelPhase("hscp", graph_builder=builder, strategy=strategy),
+            ExchangePhase(
+                "convergence", bytes_per_rank=8, pattern="allreduce"
+            ),
+        ],
+        iterations=iterations,
+    )

@@ -1,0 +1,85 @@
+"""Pencil-decomposed 3D-FFT-like kernel — the transpose-bound class.
+
+Slide 9 splits applications into regular-scalable and complex; spectral
+codes sit in between: their compute is perfectly regular, but each
+multidimensional FFT needs a **global transpose** (all-to-all), whose
+per-node volume does not shrink with node count.  The resulting graph
+is compute stages separated by complete bipartite dependency layers —
+the pattern that saturates first on any fabric and rewards high
+bisection bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.ompss.graph import TaskGraph
+from repro.ompss.regions import Region
+
+
+def fft_flops(points: int) -> float:
+    """5 N log2 N, the usual complex-FFT operation count."""
+    if points < 2:
+        raise ConfigurationError("need >= 2 points")
+    return 5.0 * points * math.log2(points)
+
+
+def fft_graph(
+    n_workers: int,
+    iterations: int = 1,
+    pencil_bytes: int = 8 << 20,
+    dtype_bytes: int = 16,
+    n_cores_per_task: int = 0,
+) -> TaskGraph:
+    """Task graph of ``iterations`` FFT(+transpose) rounds.
+
+    Per round and worker: one local-FFT task over the worker's pencil,
+    then one repack task that reads a 1/n slice of *every* worker's
+    output (the transpose).  Cross-rank traffic per round is therefore
+    ``pencil_bytes * (n-1)/n`` per worker regardless of n — the
+    signature of all-to-all.
+    """
+    if n_workers < 1 or iterations < 1:
+        raise ConfigurationError("need >= 1 worker and >= 1 iteration")
+    points = max(pencil_bytes // dtype_bytes, 2)
+    flops = fft_flops(points)
+    slice_bytes = max(pencil_bytes // n_workers, 1)
+    g = TaskGraph(name=f"fft-w{n_workers}-it{iterations}")
+
+    for it in range(iterations):
+        src = f"pencils{it}"
+        mid = f"spectrum{it}"
+        dst = f"pencils{it + 1}"
+        # Stage 1: local FFT along the owned pencil.
+        for w in range(n_workers):
+            base = w * pencil_bytes
+            reads = [Region(src, base, base + pencil_bytes)] if it > 0 else []
+            g.add_task(
+                f"fft{it}_w{w}",
+                flops=flops,
+                traffic_bytes=pencil_bytes,
+                n_cores=n_cores_per_task,
+                in_=reads,
+                out=[Region(mid, base, base + pencil_bytes)],
+            )
+        # Stage 2: transpose repack — reads one slice of every pencil.
+        for w in range(n_workers):
+            reads = [
+                Region(
+                    mid,
+                    src_w * pencil_bytes + w * slice_bytes,
+                    src_w * pencil_bytes + min((w + 1) * slice_bytes, pencil_bytes),
+                )
+                for src_w in range(n_workers)
+            ]
+            base = w * pencil_bytes
+            g.add_task(
+                f"transpose{it}_w{w}",
+                flops=pencil_bytes * 0.25,  # repack is memory-bound
+                traffic_bytes=2 * pencil_bytes,
+                n_cores=n_cores_per_task,
+                in_=reads,
+                out=[Region(dst, base, base + pencil_bytes)],
+            )
+    return g

@@ -1,0 +1,89 @@
+"""Irregular-communication workload — slide 9's "most applications".
+
+A synthetic adaptive/graph-flavoured code: per superstep, every worker
+updates its partition, but partitions exchange with a *random* subset
+of peers (communication graph changes every step), loads are skewed
+(power-law task costs), and a fraction of the work is sequential
+reduction on a master partition.  This is the class the paper keeps on
+the Cluster: latency-sensitive, load-imbalanced, unfriendly to thin
+many-core nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ompss.graph import TaskGraph
+from repro.ompss.regions import Region
+
+
+def irregular_graph(
+    n_workers: int,
+    supersteps: int = 4,
+    mean_flops: float = 1e9,
+    skew: float = 1.8,
+    partition_bytes: int = 1 << 20,
+    neighbors_per_step: int = 3,
+    master_fraction: float = 0.15,
+    seed: int = 0,
+    n_cores_per_task: int = 0,
+) -> TaskGraph:
+    """Build the irregular superstep graph.
+
+    ``skew`` is the Pareto shape of per-task cost (lower = more skew);
+    ``master_fraction`` of each superstep's total work runs as a
+    single sequential task on partition 0 (the Amdahl term).
+    """
+    if n_workers < 1 or supersteps < 1:
+        raise ConfigurationError("need >= 1 worker and >= 1 superstep")
+    if skew <= 1.0:
+        raise ConfigurationError("skew must be > 1 (finite-mean Pareto)")
+    rng = np.random.default_rng(seed)
+    g = TaskGraph(name=f"irregular-w{n_workers}-s{supersteps}")
+
+    for s in range(supersteps):
+        src, dst = f"part{s}", f"part{s + 1}"
+        # Skewed per-worker costs this superstep.
+        costs = rng.pareto(skew, size=n_workers) + 1.0
+        costs = costs / costs.mean() * mean_flops
+        for w in range(n_workers):
+            base = w * partition_bytes
+            reads = []
+            if s > 0:
+                # Random peers: reads touch scattered partitions.
+                k = min(neighbors_per_step, n_workers - 1) if n_workers > 1 else 0
+                peers = (
+                    rng.choice(
+                        [p for p in range(n_workers) if p != w],
+                        size=k,
+                        replace=False,
+                    )
+                    if k
+                    else []
+                )
+                reads = [Region(src, base, base + partition_bytes)] + [
+                    Region(
+                        src,
+                        int(p) * partition_bytes,
+                        int(p) * partition_bytes + partition_bytes // 4,
+                    )
+                    for p in peers
+                ]
+            g.add_task(
+                f"update{s}_{w}",
+                flops=float(costs[w]),
+                traffic_bytes=partition_bytes,
+                n_cores=n_cores_per_task,
+                in_=reads,
+                out=[Region(dst, base, base + partition_bytes)],
+            )
+        # Sequential master reduction over everything written this step.
+        g.add_task(
+            f"master{s}",
+            flops=master_fraction * float(costs.sum()),
+            traffic_bytes=partition_bytes,
+            n_cores=1,
+            inout=[Region(dst, 0, n_workers * partition_bytes)],
+        )
+    return g

@@ -1,0 +1,63 @@
+"""Sparse matrix-vector products — slide 9's named scalable kernel.
+
+Row-block decomposition of ``y = A x`` for a banded sparse matrix:
+each worker owns a block of rows; per iteration it needs the x-entries
+of neighbouring blocks that its band overlaps.  CG-style iterations
+chain SpMVs through the vector spaces, giving a regular, bandwidth-
+bound graph (memory-roofline limited — ideal for the KNC's GDDR).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.ompss.graph import TaskGraph
+from repro.ompss.regions import Region
+
+
+def spmv_flops(n_rows: int, nnz_per_row: float) -> float:
+    """2 flops per stored nonzero."""
+    return 2.0 * n_rows * nnz_per_row
+
+
+def spmv_graph(
+    n_workers: int,
+    iterations: int = 4,
+    rows_per_worker: int = 250_000,
+    nnz_per_row: float = 27.0,
+    bandwidth_blocks: int = 1,
+    dtype_bytes: int = 8,
+    n_cores_per_task: int = 0,
+) -> TaskGraph:
+    """Task graph of ``iterations`` chained banded SpMVs.
+
+    ``bandwidth_blocks`` is how many neighbouring row blocks the band
+    reaches into on each side (1 = tridiagonal-block structure, the
+    27-point-stencil matrix of a 3D PDE).
+    """
+    if n_workers < 1 or iterations < 1:
+        raise ConfigurationError("need >= 1 worker and >= 1 iteration")
+    if bandwidth_blocks < 0:
+        raise ConfigurationError("bandwidth_blocks must be >= 0")
+    block_bytes = rows_per_worker * dtype_bytes
+    # Matrix traffic dominates: values + indices per nonzero (~12 B).
+    matrix_traffic = rows_per_worker * nnz_per_row * 12.0
+    flops = spmv_flops(rows_per_worker, nnz_per_row)
+    g = TaskGraph(name=f"spmv-w{n_workers}-it{iterations}")
+    for it in range(iterations):
+        src, dst = f"x{it}", f"x{it + 1}"
+        for w in range(n_workers):
+            base = w * block_bytes
+            reads = []
+            if it > 0:
+                lo = max(w - bandwidth_blocks, 0) * block_bytes
+                hi = min(w + bandwidth_blocks + 1, n_workers) * block_bytes
+                reads = [Region(src, lo, hi)]
+            g.add_task(
+                f"spmv{it}_blk{w}",
+                flops=flops,
+                traffic_bytes=matrix_traffic + block_bytes,
+                n_cores=n_cores_per_task,
+                in_=reads,
+                out=[Region(dst, base, base + block_bytes)],
+            )
+    return g

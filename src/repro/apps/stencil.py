@@ -1,0 +1,64 @@
+"""Regular stencil sweeps — the "highly scalable" class of slide 9.
+
+A 1D-decomposed iterative stencil: each worker owns a slab of the
+grid; every sweep reads its slab plus one-halo neighbours from the
+previous sweep and writes its slab for the next.  The resulting graph
+is wide (all slabs per sweep are parallel) with nearest-neighbour
+edges only — exactly the "regular communication pattern, well suited
+for BG/P" shape the paper assigns to the Booster.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.ompss.graph import TaskGraph
+from repro.ompss.regions import Region
+
+
+def stencil_graph(
+    n_workers: int,
+    sweeps: int = 4,
+    slab_bytes: int = 4 << 20,
+    flops_per_byte: float = 0.5,
+    n_cores_per_task: int = 0,
+    halo_fraction: float = 0.05,
+) -> TaskGraph:
+    """Task graph of an iterative 1D-decomposed stencil.
+
+    ``flops_per_byte`` is the kernel's arithmetic intensity;
+    ``halo_fraction`` the slab fraction adjacent tasks actually share
+    (controls cross-worker edge bytes).  ``n_cores_per_task=0`` makes
+    each slab update a whole-node kernel.
+    """
+    if n_workers < 1 or sweeps < 1:
+        raise ConfigurationError("need >= 1 worker and >= 1 sweep")
+    if not 0 < halo_fraction <= 1:
+        raise ConfigurationError("halo_fraction must be in (0, 1]")
+    halo = max(int(slab_bytes * halo_fraction), 1)
+    flops = slab_bytes * flops_per_byte
+    g = TaskGraph(name=f"stencil-w{n_workers}-s{sweeps}")
+    for s in range(sweeps):
+        src, dst = f"grid{s}", f"grid{s + 1}"
+        for w in range(n_workers):
+            base = w * slab_bytes
+            reads = []
+            if s > 0:
+                lo = base - halo if w > 0 else base
+                hi = base + slab_bytes + (halo if w < n_workers - 1 else 0)
+                reads = [Region(src, lo, hi)]
+            g.add_task(
+                f"sweep{s}_slab{w}",
+                flops=flops,
+                traffic_bytes=slab_bytes,
+                n_cores=n_cores_per_task,
+                in_=reads,
+                out=[Region(dst, base, base + slab_bytes)],
+            )
+    return g
+
+
+def stencil_sweep_flops(
+    n_workers: int, sweeps: int, slab_bytes: int, flops_per_byte: float = 0.5
+) -> float:
+    """Total arithmetic of the whole stencil run."""
+    return n_workers * sweeps * slab_bytes * flops_per_byte

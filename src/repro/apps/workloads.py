@@ -1,0 +1,94 @@
+"""Random job mixes for the resource-management experiments.
+
+E3/E12 need a realistic *mixed* workload: some jobs use accelerators
+heavily, some not at all — that mix is what makes static accelerator
+assignment wasteful (slide 6) and pooled dynamic assignment efficient
+(slide 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.parastation.job import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parastation.job import Job
+
+
+@dataclass(frozen=True, slots=True)
+class JobMix:
+    """Parameters of a random batch workload.
+
+    ``accel_fraction`` of jobs offload; an offloading job spends
+    ``offload_duty`` of its runtime actually holding booster nodes
+    (the rest is cluster-side work — the window static assignment
+    wastes).
+    """
+
+    n_jobs: int = 40
+    accel_fraction: float = 0.5
+    offload_duty: float = 0.35
+    mean_runtime_s: float = 120.0
+    mean_interarrival_s: float = 20.0
+    max_cluster_nodes: int = 4
+    max_booster_nodes: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.accel_fraction <= 1:
+            raise ConfigurationError("accel_fraction must be in [0, 1]")
+        if not 0 < self.offload_duty <= 1:
+            raise ConfigurationError("offload_duty must be in (0, 1]")
+        if self.n_jobs < 1:
+            raise ConfigurationError("need at least one job")
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratedJob:
+    """One job drawn from a :class:`JobMix`."""
+
+    name: str
+    arrival_s: float
+    runtime_s: float
+    n_cluster: int
+    n_booster: int
+    offload_duty: float
+
+    def spec(self, body=None) -> JobSpec:
+        return JobSpec(
+            name=self.name,
+            n_cluster=self.n_cluster,
+            n_booster=self.n_booster,
+            walltime_estimate_s=self.runtime_s * 1.3,
+            body=body,
+        )
+
+
+def random_job_mix(mix: JobMix) -> list[GeneratedJob]:
+    """Draw the workload: Poisson arrivals, exponential runtimes."""
+    rng = np.random.default_rng(mix.seed)
+    arrivals = np.cumsum(rng.exponential(mix.mean_interarrival_s, size=mix.n_jobs))
+    jobs: list[GeneratedJob] = []
+    for i in range(mix.n_jobs):
+        runtime = float(rng.exponential(mix.mean_runtime_s)) + 1.0
+        uses_accel = rng.random() < mix.accel_fraction
+        n_cluster = int(rng.integers(1, mix.max_cluster_nodes + 1))
+        n_booster = (
+            int(rng.integers(1, mix.max_booster_nodes + 1)) if uses_accel else 0
+        )
+        jobs.append(
+            GeneratedJob(
+                name=f"job{i:03d}{'b' if uses_accel else 'c'}",
+                arrival_s=float(arrivals[i]),
+                runtime_s=runtime,
+                n_cluster=n_cluster,
+                n_booster=n_booster,
+                offload_duty=mix.offload_duty,
+            )
+        )
+    return jobs

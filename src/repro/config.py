@@ -1,0 +1,55 @@
+"""Preset machine configurations.
+
+Presets approximate real installations the paper mentions, scaled to
+simulation-friendly sizes (per-node specs are faithful; node counts
+are parameters).
+"""
+
+from __future__ import annotations
+
+from repro.deep.machine import MachineConfig
+from repro.hardware import catalog
+from repro.network.extoll import EXTOLL_GALIBIER, EXTOLL_TOURMALET
+from repro.network.infiniband import IB_FDR, IB_QDR
+
+
+def deep_prototype(
+    n_cluster: int = 8, n_booster: int = 32, n_gateways: int = 2
+) -> MachineConfig:
+    """The DEEP prototype shape: Xeon/IB cluster + KNC/EXTOLL booster.
+
+    The real machine had 128 CNs and 384 BNs; scale ``n_*`` up for
+    fidelity, down for speed.
+    """
+    return MachineConfig(
+        n_cluster=n_cluster,
+        n_booster=n_booster,
+        n_gateways=n_gateways,
+        ib=IB_QDR,
+        extoll=EXTOLL_TOURMALET,
+    )
+
+
+def deep_prototype_2013(
+    n_cluster: int = 8, n_booster: int = 16, n_gateways: int = 1
+) -> MachineConfig:
+    """The 2013 bring-up configuration with FPGA EXTOLL (Galibier)."""
+    return MachineConfig(
+        n_cluster=n_cluster,
+        n_booster=n_booster,
+        n_gateways=n_gateways,
+        ib=IB_QDR,
+        extoll=EXTOLL_GALIBIER,
+    )
+
+
+def commodity_cluster(n_cluster: int = 16) -> MachineConfig:
+    """A plain Xeon/IB-FDR cluster (one token booster node because the
+    machine type requires a booster partition; give it zero work)."""
+    return MachineConfig(
+        n_cluster=n_cluster,
+        n_booster=1,
+        n_gateways=1,
+        ib=IB_FDR,
+        extoll=EXTOLL_TOURMALET,
+    )

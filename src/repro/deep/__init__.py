@@ -1,0 +1,69 @@
+"""The DEEP Cluster-Booster system (the paper's contribution).
+
+This package assembles the substrates into the machine of slide 14 and
+the software architecture of slides 19-31:
+
+* :class:`~repro.deep.machine.Machine` — Cluster Nodes on InfiniBand,
+  Booster Nodes on the EXTOLL torus, Booster Interface nodes bridging
+  the two;
+* :class:`~repro.deep.system.DeepSystem` — machine + ParaStation
+  resource management + Global MPI, the object applications run on;
+* :mod:`~repro.deep.offload` — the distributed OmpSs offload executor
+  (task graphs shipped to the Booster over ``MPI_Comm_spawn``);
+* :mod:`~repro.deep.application` — a phase-structured application
+  model runnable on three architectures (cluster-only, accelerated
+  cluster, cluster-booster) for like-for-like comparison;
+* :mod:`~repro.deep.division` — the code-division advisor mapping
+  application phases to the hardware that suits them (slide 9).
+"""
+
+from repro.deep.machine import Machine, MachineConfig
+from repro.deep.system import DeepSystem
+from repro.deep.offload import (
+    OffloadResult,
+    offload_graph,
+    offload_worker,
+    persistent_offload_worker,
+    OFFLOAD_WORKER_COMMAND,
+    SHUTDOWN,
+)
+from repro.deep.application import (
+    Application,
+    ExchangePhase,
+    KernelPhase,
+    PhaseReport,
+    RunReport,
+    SerialPhase,
+)
+from repro.deep.division import DivisionAdvisor, DivisionReport, PhaseProfile
+from repro.deep.globalmpi import (
+    global_latency,
+    global_latency_responder,
+    shutdown_booster_world,
+    spawn_booster_world,
+)
+
+__all__ = [
+    "Application",
+    "DeepSystem",
+    "DivisionAdvisor",
+    "DivisionReport",
+    "ExchangePhase",
+    "KernelPhase",
+    "Machine",
+    "MachineConfig",
+    "OFFLOAD_WORKER_COMMAND",
+    "OffloadResult",
+    "PhaseProfile",
+    "PhaseReport",
+    "RunReport",
+    "SHUTDOWN",
+    "SerialPhase",
+    "offload_graph",
+    "offload_worker",
+    "persistent_offload_worker",
+    "global_latency",
+    "global_latency_responder",
+    "shutdown_booster_world",
+    "spawn_booster_world",
+]

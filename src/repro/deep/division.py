@@ -1,0 +1,258 @@
+"""Code-division advisor: mapping phases to the suitable hardware.
+
+Slide 9: "How to map different requirements to most suited hardware —
+heterogeneity might be a benefit."  Given per-phase scalability
+profiles, the advisor predicts each phase's runtime on the Cluster and
+on the Booster (including the offload data-movement toll through the
+bridge) and recommends a division of the application.
+
+The phase runtime model is the standard three-term strong-scaling law
+
+    t(p) = t_serial + work / (p * rate) + comm_coeff * log2(p) + beta(p)
+
+where ``beta`` is the per-phase communication volume over the fabric's
+bandwidth.  It is deliberately analytic — this module is the *advisor*;
+the simulator is the referee (E6 compares its predictions with
+simulated outcomes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.processor import ProcessorSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.deep.machine import MachineConfig
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseProfile:
+    """Scalability profile of one application phase.
+
+    Attributes
+    ----------
+    name:
+        Phase label.
+    total_flops:
+        Parallelisable work.
+    serial_fraction:
+        Fraction of the phase's single-core time that cannot be
+        parallelised (Amdahl term).
+    comm_bytes_per_rank:
+        Data exchanged per rank per execution (halo-style).
+    comm_latency_events:
+        Number of latency-bound message events per execution (e.g.
+        collectives), each costing ``latency * log2(p)``.
+    transfer_bytes:
+        Input+output volume that must cross to the Booster if the
+        phase is offloaded.
+    regular:
+        Whether the communication pattern is regular (slide 9's
+        criterion for Booster suitability); irregular phases get a
+        surcharge on the many-core side where latencies are higher.
+    max_parallelism:
+        Node-granular parallelism bound (work/span of the task graph):
+        adding units beyond it does not shorten the phase.  ``None``
+        means unbounded.
+    """
+
+    name: str
+    total_flops: float
+    serial_fraction: float = 0.0
+    comm_bytes_per_rank: float = 0.0
+    comm_latency_events: int = 0
+    transfer_bytes: float = 0.0
+    regular: bool = True
+    max_parallelism: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.serial_fraction <= 1:
+            raise ConfigurationError("serial_fraction must be in [0, 1]")
+        if self.total_flops < 0:
+            raise ConfigurationError("total_flops must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class PlacementEstimate:
+    """Predicted phase runtime (and energy) on one side."""
+
+    side: str
+    n_units: int
+    compute_s: float
+    comm_s: float
+    transfer_s: float
+    #: Active power of the executing nodes (W); 0 if not modelled.
+    power_watts: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.comm_s + self.transfer_s
+
+    @property
+    def energy_j(self) -> float:
+        """Energy of the executing nodes over the phase."""
+        return self.power_watts * self.total_s
+
+
+@dataclass(slots=True)
+class DivisionReport:
+    """The advisor's verdict for a whole application."""
+
+    placements: dict[str, str]
+    estimates: dict[str, tuple[PlacementEstimate, PlacementEstimate]]
+    objective: str = "time"
+
+    def offloaded_phases(self) -> list[str]:
+        return [n for n, side in self.placements.items() if side == "booster"]
+
+    def _chosen(self, name: str) -> PlacementEstimate:
+        cn, bn = self.estimates[name]
+        return bn if self.placements[name] == "booster" else cn
+
+    def predicted_time(self) -> float:
+        """Sum of the chosen sides' phase times."""
+        return sum(self._chosen(n).total_s for n in self.placements)
+
+    def predicted_energy(self) -> float:
+        """Sum of the chosen sides' phase energies (active nodes only)."""
+        return sum(self._chosen(n).energy_j for n in self.placements)
+
+
+class DivisionAdvisor:
+    """Predicts per-phase runtimes on Cluster vs Booster and divides."""
+
+    #: Latency surcharge factor for irregular patterns on the many-core
+    #: side (thin cores handle irregular control flow poorly).
+    IRREGULAR_BOOSTER_PENALTY = 2.5
+
+    def __init__(
+        self,
+        cluster_proc: ProcessorSpec,
+        booster_proc: ProcessorSpec,
+        n_cluster: int,
+        n_booster: int,
+        cluster_net_latency_s: float = 1.3e-6,
+        cluster_net_bandwidth: float = 4e9,
+        booster_net_latency_s: float = 1.0e-6,
+        booster_net_bandwidth: float = 5.4e9,
+        bridge_bandwidth: float = 4e9,
+        bridge_latency_s: float = 3e-6,
+    ) -> None:
+        if n_cluster < 1 or n_booster < 1:
+            raise ConfigurationError("need at least one node on each side")
+        self.cluster_proc = cluster_proc
+        self.booster_proc = booster_proc
+        self.n_cluster = n_cluster
+        self.n_booster = n_booster
+        self.cluster_net = (cluster_net_latency_s, cluster_net_bandwidth)
+        self.booster_net = (booster_net_latency_s, booster_net_bandwidth)
+        self.bridge = (bridge_latency_s, bridge_bandwidth)
+
+    # -- per-side estimates ----------------------------------------------
+    def _estimate(
+        self,
+        profile: PhaseProfile,
+        side: str,
+        proc: ProcessorSpec,
+        n_units: int,
+        net: tuple[float, float],
+        with_transfer: bool,
+    ) -> PlacementEstimate:
+        rate = proc.sustained_flops
+        n_eff = n_units
+        if profile.max_parallelism is not None:
+            n_eff = min(n_units, max(profile.max_parallelism, 1.0))
+        serial = profile.serial_fraction * profile.total_flops / proc.core.sustained_flops
+        parallel = (1 - profile.serial_fraction) * profile.total_flops / (
+            rate * n_eff
+        )
+        compute = serial + parallel
+
+        latency, bandwidth = net
+        lat_cost = profile.comm_latency_events * latency * max(
+            math.log2(max(n_units, 2)), 1.0
+        )
+        if side == "booster" and not profile.regular:
+            lat_cost *= self.IRREGULAR_BOOSTER_PENALTY
+        bw_cost = profile.comm_bytes_per_rank / bandwidth
+        comm = lat_cost + bw_cost
+
+        transfer = 0.0
+        if with_transfer:
+            blat, bbw = self.bridge
+            transfer = blat + profile.transfer_bytes / bbw
+        power = proc.tdp_watts * n_units
+        return PlacementEstimate(side, n_units, compute, comm, transfer, power)
+
+    def estimate_cluster(self, profile: PhaseProfile) -> PlacementEstimate:
+        """Predicted runtime if the phase stays on the Cluster."""
+        return self._estimate(
+            profile, "cluster", self.cluster_proc, self.n_cluster,
+            self.cluster_net, with_transfer=False,
+        )
+
+    def estimate_booster(self, profile: PhaseProfile) -> PlacementEstimate:
+        """Predicted runtime if the phase is offloaded to the Booster."""
+        return self._estimate(
+            profile, "booster", self.booster_proc, self.n_booster,
+            self.booster_net, with_transfer=True,
+        )
+
+    # -- division ------------------------------------------------------------
+    def divide(
+        self, profiles: list[PhaseProfile], objective: str = "time"
+    ) -> DivisionReport:
+        """Pick the better side per phase.
+
+        *objective*: ``"time"`` (default), ``"energy"`` (active-node
+        energy of the phase) or ``"edp"`` (energy-delay product) —
+        slide 3's power question turned into a placement criterion.
+        """
+        if objective not in ("time", "energy", "edp"):
+            raise ConfigurationError(f"unknown objective {objective!r}")
+
+        def score(est: PlacementEstimate) -> float:
+            if objective == "time":
+                return est.total_s
+            if objective == "energy":
+                return est.energy_j
+            return est.energy_j * est.total_s
+
+        placements: dict[str, str] = {}
+        estimates: dict[str, tuple[PlacementEstimate, PlacementEstimate]] = {}
+        for p in profiles:
+            cn = self.estimate_cluster(p)
+            bn = self.estimate_booster(p)
+            estimates[p.name] = (cn, bn)
+            placements[p.name] = "booster" if score(bn) < score(cn) else "cluster"
+        return DivisionReport(placements, estimates, objective)
+
+    def breakeven_flops(self, profile: PhaseProfile) -> float:
+        """Work above which offloading this phase's shape pays off.
+
+        Solves ``t_booster(total_flops) == t_cluster(total_flops)`` for
+        the flop count, holding the communication/transfer terms fixed.
+        Returns ``inf`` when the Booster can never win (its per-flop
+        rate is not better for this shape).
+        """
+        # t_side = serial/core + (1-s)*F/(rate*n) + const_side
+        cn = self.estimate_cluster(profile)
+        bn = self.estimate_booster(profile)
+        const_c = cn.comm_s
+        const_b = bn.comm_s + bn.transfer_s
+        s = profile.serial_fraction
+
+        def per_flop(proc: ProcessorSpec, n: int) -> float:
+            return s / proc.core.sustained_flops + (1 - s) / (
+                proc.sustained_flops * n
+            )
+
+        a_c = per_flop(self.cluster_proc, self.n_cluster)
+        a_b = per_flop(self.booster_proc, self.n_booster)
+        if a_b >= a_c:
+            return float("inf")
+        return (const_b - const_c) / (a_c - a_b)

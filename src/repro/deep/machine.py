@@ -1,0 +1,155 @@
+"""Machine assembly: nodes + fabrics + bridge (slide 14).
+
+A :class:`Machine` instantiates the full DEEP hardware: ``n_cluster``
+Cluster Nodes and ``n_gateways`` Booster Interface nodes on an
+InfiniBand fat tree, ``n_booster`` Booster Nodes and the same BI nodes
+on an EXTOLL torus, and the SMFU bridge across the BI nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import (
+    booster_interface_spec,
+    booster_node_spec,
+    cluster_node_spec,
+)
+from repro.hardware.node import (
+    BoosterInterfaceNode,
+    BoosterNode,
+    ClusterNode,
+    NodeSpec,
+)
+from repro.network.extoll import EXTOLL_TOURMALET, ExtollFabric, ExtollSpec
+from repro.network.infiniband import IB_QDR, InfinibandFabric, InfinibandSpec
+from repro.network.smfu import ClusterBoosterBridge, SMFUGateway, SMFUSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.simulator import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class MachineConfig:
+    """Shape and parts list of a DEEP machine.
+
+    The defaults approximate the 128-CN / 384-BN DEEP prototype scaled
+    down to simulation-friendly sizes; every piece is swappable.
+    """
+
+    n_cluster: int = 8
+    n_booster: int = 16
+    n_gateways: int = 2
+    cluster_spec: NodeSpec = field(default_factory=cluster_node_spec)
+    booster_spec: NodeSpec = field(default_factory=booster_node_spec)
+    gateway_spec: NodeSpec = field(default_factory=booster_interface_spec)
+    ib: InfinibandSpec = IB_QDR
+    extoll: ExtollSpec = EXTOLL_TOURMALET
+    smfu: SMFUSpec = field(default_factory=SMFUSpec)
+    torus_dims: Optional[tuple[int, ...]] = None
+    leaf_radix: int = 18
+    contention: bool = True
+    gateway_selection: str = "static"
+    #: Segment sizes for pipelined (cut-through) transfer modelling;
+    #: None keeps the cheap virtual-circuit model (DESIGN §5.2, X17).
+    ib_mtu: Optional[int] = None
+    extoll_mtu: Optional[int] = None
+    #: EXTOLL adaptive (load-aware minimal) routing instead of
+    #: deterministic dimension order (X21 ablates it).
+    extoll_adaptive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_cluster < 1:
+            raise ConfigurationError("need at least one cluster node")
+        if self.n_booster < 1:
+            raise ConfigurationError("need at least one booster node")
+        if not 1 <= self.n_gateways:
+            raise ConfigurationError("need at least one gateway")
+
+
+class Machine:
+    """The instantiated DEEP hardware on a simulator."""
+
+    def __init__(self, sim: "Simulator", config: MachineConfig) -> None:
+        self.sim = sim
+        self.config = config
+
+        # Nodes -------------------------------------------------------
+        self.cluster_nodes = [
+            ClusterNode(sim, config.cluster_spec, i) for i in range(config.n_cluster)
+        ]
+        self.booster_nodes = [
+            BoosterNode(sim, config.booster_spec, i) for i in range(config.n_booster)
+        ]
+        self.gateway_nodes = [
+            BoosterInterfaceNode(sim, config.gateway_spec, i)
+            for i in range(config.n_gateways)
+        ]
+
+        # Fabrics -----------------------------------------------------
+        ib_endpoints = [n.name for n in self.cluster_nodes + self.gateway_nodes]
+        self.ib_fabric = InfinibandFabric(
+            sim,
+            ib_endpoints,
+            spec=config.ib,
+            leaf_radix=config.leaf_radix,
+            contention=config.contention,
+        )
+        self.ib_fabric.mtu_bytes = config.ib_mtu
+        for node in self.cluster_nodes + self.gateway_nodes:
+            self.ib_fabric.attach(node)
+
+        # The torus carries the booster nodes AND the gateways (the BI
+        # cards sit on the torus surface, slide 14).
+        extoll_endpoints = [n.name for n in self.booster_nodes] + [
+            n.name for n in self.gateway_nodes
+        ]
+        dims = config.torus_dims
+        self.extoll_fabric = ExtollFabric(
+            sim,
+            extoll_endpoints,
+            spec=config.extoll,
+            dims=dims,
+            contention=config.contention,
+            adaptive=config.extoll_adaptive,
+        )
+        self.extoll_fabric.mtu_bytes = config.extoll_mtu
+        for node in self.booster_nodes + self.gateway_nodes:
+            # gateway already has an IB interface; attach_interface
+            # registers under the fabric name, so both coexist.
+            self.extoll_fabric.attach(node)
+
+        # Bridge ------------------------------------------------------
+        self.gateways = [
+            SMFUGateway(
+                sim, n.name, self.ib_fabric, self.extoll_fabric, spec=config.smfu
+            )
+            for n in self.gateway_nodes
+        ]
+        self.bridge = ClusterBoosterBridge(
+            self.gateways, selection=config.gateway_selection
+        )
+
+    # -- convenience -----------------------------------------------------
+    @property
+    def fabrics(self) -> list:
+        return [self.ib_fabric, self.extoll_fabric]
+
+    def total_peak_flops(self) -> float:
+        """Peak flop/s of the whole machine."""
+        return sum(
+            n.spec.peak_flops
+            for n in self.cluster_nodes + self.booster_nodes
+        )
+
+    def total_power_estimate(self) -> float:
+        """Nameplate power at full load, all nodes."""
+        nodes = self.cluster_nodes + self.booster_nodes + self.gateway_nodes
+        return sum(n.spec.power.power(1.0) for n in nodes)
+
+    def energy_joules(self) -> float:
+        """Total energy consumed so far (all node meters)."""
+        nodes = self.cluster_nodes + self.booster_nodes + self.gateway_nodes
+        return sum(n.energy.energy_joules() for n in nodes)

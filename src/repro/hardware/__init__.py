@@ -1,0 +1,42 @@
+"""Hardware models: processors, memories, nodes, and power.
+
+The models are deliberately at the "spec sheet" level of fidelity: a
+processor is (cores x clock x flops/cycle) with a sustained-efficiency
+factor and a memory-bandwidth roofline; a node bundles a processor,
+memory, a power envelope and network ports.  That is the level at which
+the DEEP paper argues (slide 5: "standard processor speed will increase
+by about a factor of 4 ... clusters need to utilize accelerators"), so
+it is the level the reproduction needs.
+"""
+
+from repro.hardware.cores import CoreSpec
+from repro.hardware.processor import Processor, ProcessorSpec
+from repro.hardware.memory import MemorySpec, roofline_time
+from repro.hardware.node import (
+    BoosterInterfaceNode,
+    BoosterNode,
+    ClusterNode,
+    Node,
+    NodeSpec,
+)
+from repro.hardware.pcie import PCIeGeneration, PCIeSpec
+from repro.hardware.power import EnergyMeter, PowerModel
+from repro.hardware import catalog
+
+__all__ = [
+    "BoosterInterfaceNode",
+    "BoosterNode",
+    "ClusterNode",
+    "CoreSpec",
+    "EnergyMeter",
+    "MemorySpec",
+    "Node",
+    "NodeSpec",
+    "PCIeGeneration",
+    "PCIeSpec",
+    "PowerModel",
+    "Processor",
+    "ProcessorSpec",
+    "catalog",
+    "roofline_time",
+]

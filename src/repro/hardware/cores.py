@@ -1,0 +1,50 @@
+"""Core-level compute specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class CoreSpec:
+    """One core of a processor.
+
+    Attributes
+    ----------
+    clock_hz:
+        Core clock frequency.
+    flops_per_cycle:
+        Peak double-precision flops per cycle (FMA x vector width).
+    sustained_efficiency:
+        Fraction of peak a well-tuned dense kernel sustains (0..1].
+        Many-core parts typically sustain a lower fraction than fat
+        cores, which matters for the accelerated-vs-booster trade-off.
+    """
+
+    clock_hz: float
+    flops_per_cycle: float
+    sustained_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigurationError(f"clock_hz must be > 0, got {self.clock_hz}")
+        if self.flops_per_cycle <= 0:
+            raise ConfigurationError(
+                f"flops_per_cycle must be > 0, got {self.flops_per_cycle}"
+            )
+        if not 0 < self.sustained_efficiency <= 1:
+            raise ConfigurationError(
+                f"sustained_efficiency must be in (0, 1], got {self.sustained_efficiency}"
+            )
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak flop/s of one core."""
+        return self.clock_hz * self.flops_per_cycle
+
+    @property
+    def sustained_flops(self) -> float:
+        """Sustained flop/s of one core."""
+        return self.peak_flops * self.sustained_efficiency

@@ -1,0 +1,50 @@
+"""Memory specification and the roofline execution-time model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class MemorySpec:
+    """Node/processor memory system.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Installed DRAM (GDDR for KNC).
+    bandwidth_bytes_per_s:
+        Sustained STREAM-like bandwidth, shared by all cores.
+    """
+
+    capacity_bytes: int
+    bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("memory capacity must be > 0")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("memory bandwidth must be > 0")
+
+
+def roofline_time(
+    flops: float,
+    traffic_bytes: float,
+    compute_flops_per_s: float,
+    bandwidth_bytes_per_s: float,
+) -> float:
+    """Execution time of a kernel under the roofline model.
+
+    The kernel needs *flops* arithmetic and moves *traffic_bytes*
+    to/from memory; it runs at whichever of the compute roof and the
+    bandwidth roof binds:  ``t = max(flops/F, bytes/B)``.
+    """
+    if flops < 0 or traffic_bytes < 0:
+        raise ConfigurationError("flops and traffic must be non-negative")
+    t_compute = flops / compute_flops_per_s if compute_flops_per_s > 0 else 0.0
+    t_memory = (
+        traffic_bytes / bandwidth_bytes_per_s if bandwidth_bytes_per_s > 0 else 0.0
+    )
+    return max(t_compute, t_memory)

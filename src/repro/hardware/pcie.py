@@ -1,0 +1,59 @@
+"""PCI-Express host-to-accelerator bus specification.
+
+Slide 7's central criticism of accelerated clusters is that "the PCIe
+bus turns out to be a bottleneck": every CPU<->accelerator transfer is
+staged over it and all accelerators of a host share it.  The spec here
+feeds the :mod:`repro.network` link model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import gbyte_per_s, microseconds
+
+
+class PCIeGeneration(enum.Enum):
+    """PCIe generations relevant to the 2013 timeframe."""
+
+    GEN2 = 2
+    GEN3 = 3
+
+
+#: Effective per-direction bandwidth of an x16 slot, after 8b/10b
+#: (gen2) / 128b/130b (gen3) encoding and protocol overhead.
+_X16_BANDWIDTH = {
+    PCIeGeneration.GEN2: gbyte_per_s(6.0),
+    PCIeGeneration.GEN3: gbyte_per_s(12.0),
+}
+
+#: One-way latency including driver + DMA setup, as seen by an offload
+#: runtime (much larger than raw TLP latency).
+_LATENCY = {
+    PCIeGeneration.GEN2: microseconds(0.9),
+    PCIeGeneration.GEN3: microseconds(0.7),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class PCIeSpec:
+    """A PCIe connection between a host CPU and its accelerator(s)."""
+
+    generation: PCIeGeneration = PCIeGeneration.GEN2
+    lanes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.lanes not in (1, 2, 4, 8, 16):
+            raise ConfigurationError(f"invalid PCIe lane count {self.lanes}")
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Per-direction effective bandwidth of this slot."""
+        return _X16_BANDWIDTH[self.generation] * (self.lanes / 16.0)
+
+    @property
+    def latency_s(self) -> float:
+        """One-way transfer-initiation latency."""
+        return _LATENCY[self.generation]

@@ -1,0 +1,19 @@
+"""Parallel-filesystem substrate for checkpoint I/O.
+
+Slide 3 pairs *resiliency* with *scale*: checkpointing protects
+against failures, but its cost is an I/O problem — every node's state
+must cross a storage system whose aggregate bandwidth does not grow
+with the compute partition.  (The follow-up DEEP-ER project existed
+largely because of this.)  This package provides a Lustre-flavoured
+model: striped writes over object storage targets (OSTs) with
+per-client and aggregate limits, and the glue to feed measured
+checkpoint costs into the Daly analysis of :mod:`repro.resilience`.
+"""
+
+from repro.io.filesystem import FileSystemSpec, ParallelFileSystem, checkpoint_write_time
+
+__all__ = [
+    "FileSystemSpec",
+    "ParallelFileSystem",
+    "checkpoint_write_time",
+]

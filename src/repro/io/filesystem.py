@@ -1,0 +1,138 @@
+"""A striped parallel filesystem (Lustre-flavoured).
+
+Fidelity target: the two limits every checkpoint planner cares about —
+
+* a **per-client** injection cap (the node's connection to storage);
+* an **aggregate** cap: ``n_targets`` OSTs of ``ost_bandwidth`` each;
+  concurrent writers queue on the OSTs they stripe over.
+
+A file write of ``B`` bytes with stripe count ``k`` sends ``B/k`` to
+each of ``k`` round-robin-chosen OSTs; the write completes when the
+slowest stripe drains.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.simkernel.resources import Resource
+from repro.units import gbyte_per_s, milliseconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.simulator import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class FileSystemSpec:
+    """Parallel-filesystem parameters.
+
+    Defaults approximate a mid-size 2013 Lustre: 8 OSTs x 1 GB/s with
+    a 1.5 GB/s per-client cap and a few ms of open/metadata latency.
+    """
+
+    n_targets: int = 8
+    ost_bandwidth: float = gbyte_per_s(1.0)
+    per_client_bandwidth: float = gbyte_per_s(1.5)
+    metadata_latency_s: float = milliseconds(2.0)
+    default_stripe_count: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_targets < 1:
+            raise ConfigurationError("need at least one OST")
+        if self.ost_bandwidth <= 0 or self.per_client_bandwidth <= 0:
+            raise ConfigurationError("bandwidths must be > 0")
+        if not 1 <= self.default_stripe_count <= self.n_targets:
+            raise ConfigurationError("stripe count must be in [1, n_targets]")
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        return self.n_targets * self.ost_bandwidth
+
+
+class ParallelFileSystem:
+    """The filesystem instantiated on a simulator."""
+
+    def __init__(self, sim: "Simulator", spec: FileSystemSpec = FileSystemSpec()) -> None:
+        self.sim = sim
+        self.spec = spec
+        #: One single-occupancy serialization resource per OST.
+        self.osts = [
+            Resource(sim, capacity=1, name=f"ost{i}") for i in range(spec.n_targets)
+        ]
+        self._rr = itertools.count()
+        self.bytes_written = 0
+        self.writes = 0
+
+    def _pick_osts(self, stripe_count: int) -> list[Resource]:
+        start = next(self._rr) % self.spec.n_targets
+        return [
+            self.osts[(start + i) % self.spec.n_targets]
+            for i in range(stripe_count)
+        ]
+
+    def write(self, size_bytes: int, stripe_count: Optional[int] = None):
+        """Generator: write *size_bytes*; completes when all stripes drain.
+
+        The client-side cap is honoured by never letting the sum of
+        stripe rates exceed ``per_client_bandwidth``: each stripe's
+        serialization time is computed at
+        ``min(ost_bandwidth, per_client_bandwidth / k)``.
+        """
+        if size_bytes < 0:
+            raise ConfigurationError("size must be >= 0")
+        k = stripe_count if stripe_count is not None else self.spec.default_stripe_count
+        if not 1 <= k <= self.spec.n_targets:
+            raise ConfigurationError(
+                f"stripe count {k} out of [1, {self.spec.n_targets}]"
+            )
+        yield self.sim.timeout(self.spec.metadata_latency_s)
+        chunk = size_bytes / k
+        rate = min(self.spec.ost_bandwidth, self.spec.per_client_bandwidth / k)
+        duration = chunk / rate if rate > 0 else 0.0
+
+        def stripe(ost: Resource):
+            req = ost.request()
+            yield req
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                ost.release(req)
+
+        drivers = [
+            self.sim.process(stripe(ost), name="stripe")
+            for ost in self._pick_osts(k)
+        ]
+        yield self.sim.all_of(drivers)
+        self.bytes_written += size_bytes
+        self.writes += 1
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean OST busy fraction."""
+        return sum(o.utilization(since) for o in self.osts) / len(self.osts)
+
+
+def checkpoint_write_time(
+    sim_factory,
+    fs_spec: FileSystemSpec,
+    n_writers: int,
+    bytes_per_writer: int,
+    stripe_count: Optional[int] = None,
+) -> float:
+    """Simulated wall time for *n_writers* concurrent checkpoint writes.
+
+    Builds a fresh simulator via *sim_factory* (e.g. ``Simulator``),
+    runs all writers concurrently and returns the completion time —
+    the measured ``C`` to feed into Daly's formula.
+    """
+    sim = sim_factory()
+    fs = ParallelFileSystem(sim, fs_spec)
+
+    def writer(sim):
+        yield from fs.write(bytes_per_writer, stripe_count)
+
+    for _ in range(n_writers):
+        sim.process(writer(sim))
+    return sim.run()

@@ -1,0 +1,43 @@
+"""Simulated MPI datatypes.
+
+Only the size matters to the simulation: ``count * datatype.size``
+bytes travel the fabric.  Values themselves ride along unserialised in
+the message payload (they are Python objects in one address space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class Datatype:
+    """An MPI datatype with a name and a size in bytes."""
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigurationError(f"datatype size must be >= 1, got {self.size}")
+
+    def extent(self, count: int) -> int:
+        """Bytes occupied by *count* elements."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        return count * self.size
+
+    def contiguous(self, count: int) -> "Datatype":
+        """A derived contiguous datatype of *count* elements."""
+        return Datatype(name=f"{self.name}[{count}]", size=self.extent(count))
+
+
+BYTE = Datatype("MPI_BYTE", 1)
+CHAR = Datatype("MPI_CHAR", 1)
+INT = Datatype("MPI_INT", 4)
+LONG = Datatype("MPI_LONG", 8)
+FLOAT = Datatype("MPI_FLOAT", 4)
+DOUBLE = Datatype("MPI_DOUBLE", 8)
+DOUBLE_COMPLEX = Datatype("MPI_DOUBLE_COMPLEX", 16)

@@ -1,0 +1,90 @@
+"""Process groups: ordered sets of global process ids."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import CommunicatorError, RankError
+
+
+class Group:
+    """An ordered, duplicate-free list of global process ids (gpids).
+
+    The position of a gpid in the list is its *rank* in the group.
+    """
+
+    __slots__ = ("_gpids", "_rank_of")
+
+    def __init__(self, gpids: Sequence[int]) -> None:
+        self._gpids = tuple(int(g) for g in gpids)
+        if len(set(self._gpids)) != len(self._gpids):
+            raise CommunicatorError(f"group has duplicate process ids: {gpids}")
+        self._rank_of = {g: i for i, g in enumerate(self._gpids)}
+
+    # -- basics ----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._gpids)
+
+    @property
+    def gpids(self) -> tuple[int, ...]:
+        return self._gpids
+
+    def rank_of(self, gpid: int) -> int:
+        """Rank of *gpid* in this group (CommunicatorError if absent)."""
+        try:
+            return self._rank_of[gpid]
+        except KeyError:
+            raise CommunicatorError(f"process {gpid} not in group") from None
+
+    def gpid_of(self, rank: int) -> int:
+        """Global process id at *rank*."""
+        if not 0 <= rank < self.size:
+            raise RankError(rank, self.size)
+        return self._gpids[rank]
+
+    def __contains__(self, gpid: int) -> bool:
+        return gpid in self._rank_of
+
+    def __iter__(self):
+        return iter(self._gpids)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self._gpids == other._gpids
+
+    def __hash__(self) -> int:
+        return hash(self._gpids)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Group({list(self._gpids)!r})"
+
+    # -- set operations (all preserve this group's ordering) ---------------
+    def incl(self, ranks: Iterable[int]) -> "Group":
+        """Subgroup of the given ranks, in the given order."""
+        return Group([self.gpid_of(r) for r in ranks])
+
+    def excl(self, ranks: Iterable[int]) -> "Group":
+        """Subgroup without the given ranks."""
+        drop = {self.gpid_of(r) for r in ranks}
+        return Group([g for g in self._gpids if g not in drop])
+
+    def union(self, other: "Group") -> "Group":
+        """This group followed by *other*'s members not already present."""
+        extra = [g for g in other._gpids if g not in self._rank_of]
+        return Group(list(self._gpids) + extra)
+
+    def intersection(self, other: "Group") -> "Group":
+        """Members of this group that are also in *other*."""
+        return Group([g for g in self._gpids if g in other])
+
+    def difference(self, other: "Group") -> "Group":
+        """Members of this group that are not in *other*."""
+        return Group([g for g in self._gpids if g not in other])
+
+    def translate_rank(self, rank: int, other: "Group") -> int:
+        """Rank in *other* of the process at *rank* here (-1 if absent).
+
+        Mirrors ``MPI_Group_translate_ranks``.
+        """
+        gpid = self.gpid_of(rank)
+        return other._rank_of.get(gpid, -1)

@@ -1,0 +1,52 @@
+"""Reduction operations for reduce/allreduce/scan.
+
+Operations work on Python scalars, tuples (elementwise via zip is NOT
+done — tuples are treated as (value, index) pairs only by MAXLOC /
+MINLOC, per MPI), lists (elementwise), and numpy arrays (vectorised).
+All provided ops are associative and commutative, which the tree-based
+algorithms in :mod:`repro.mpi.collectives` rely on.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+
+def _elementwise(f: Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    """Lift a scalar op over lists (numpy arrays already broadcast)."""
+
+    def apply(a: Any, b: Any) -> Any:
+        if isinstance(a, list) and isinstance(b, list):
+            if len(a) != len(b):
+                raise ValueError(f"reduce of lists with lengths {len(a)} != {len(b)}")
+            return [apply(x, y) for x, y in zip(a, b)]
+        return f(a, b)
+
+    return apply
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """A named, associative, commutative reduction operation."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+
+SUM = Op("MPI_SUM", _elementwise(operator.add))
+PROD = Op("MPI_PROD", _elementwise(operator.mul))
+MAX = Op("MPI_MAX", _elementwise(lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)))
+MIN = Op("MPI_MIN", _elementwise(lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)))
+LAND = Op("MPI_LAND", _elementwise(lambda a, b: bool(a) and bool(b)))
+LOR = Op("MPI_LOR", _elementwise(lambda a, b: bool(a) or bool(b)))
+BAND = Op("MPI_BAND", _elementwise(operator.and_))
+BOR = Op("MPI_BOR", _elementwise(operator.or_))
+MAXLOC = Op("MPI_MAXLOC", lambda a, b: a if (a[0], -a[1]) >= (b[0], -b[1]) else b)
+MINLOC = Op("MPI_MINLOC", lambda a, b: a if (a[0], a[1]) <= (b[0], b[1]) else b)

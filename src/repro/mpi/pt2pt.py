@@ -1,0 +1,89 @@
+"""Point-to-point protocol: headers, matching, eager/rendezvous.
+
+Like every production MPI (ParaStation MPI included), small messages
+travel **eager** — data goes immediately and is buffered at the
+receiver — while large messages use **rendezvous**: a small
+request-to-send (RTS) control message, a clear-to-send (CTS) reply once
+the receive is posted, then the bulk data.  The threshold trades copy
+cost against synchronisation latency and is a
+:class:`~repro.mpi.world.MPIWorld` parameter (ablated in E12).
+
+Matching follows MPI rules: (context id, source rank, tag), with
+wildcards, non-overtaking per (source, context, tag).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.mpi.status import ANY_SOURCE, ANY_TAG
+
+#: Size of protocol control messages (RTS/CTS) and of the envelope
+#: prepended to eager data, in bytes.
+HEADER_BYTES = 64
+
+
+@dataclass(slots=True)
+class PacketHeader:
+    """Envelope of every simulated MPI packet.
+
+    ``kind`` is one of ``"eager"``, ``"rts"``, ``"cts"``, ``"data"``.
+    ``src_rank`` is the sender's rank *within the sending communicator*
+    so matching does not need reverse lookups.  ``value`` carries the
+    actual Python payload (eager and data packets only).
+    """
+
+    kind: str
+    context_id: int
+    src_gpid: int
+    dst_gpid: int
+    src_rank: int
+    tag: int
+    seq: int
+    size_bytes: int
+    value: Any = None
+
+
+def make_match(
+    my_gpid: int,
+    context_id: int,
+    src_gpid: Optional[int],
+    tag: int,
+):
+    """Predicate matching an incoming *envelope* (eager or RTS) message.
+
+    ``src_gpid=None`` means ``MPI_ANY_SOURCE``; ``tag=ANY_TAG`` matches
+    any tag.  CTS/data packets never match an envelope receive.
+    """
+
+    def match(msg) -> bool:
+        h: PacketHeader = msg.payload
+        if not isinstance(h, PacketHeader) or h.kind not in ("eager", "rts"):
+            return False
+        if h.dst_gpid != my_gpid or h.context_id != context_id:
+            return False
+        if src_gpid is not None and h.src_gpid != src_gpid:
+            return False
+        if tag != ANY_TAG and h.tag != tag:
+            return False
+        return True
+
+    return match
+
+
+def make_seq_match(my_gpid: int, kind: str, src_gpid: int, seq: int):
+    """Predicate matching a protocol packet (CTS or data) by sequence."""
+
+    def match(msg) -> bool:
+        h: PacketHeader = msg.payload
+        return (
+            isinstance(h, PacketHeader)
+            and h.kind == kind
+            and h.dst_gpid == my_gpid
+            and h.src_gpid == src_gpid
+            and h.seq == seq
+        )
+
+    return match

@@ -1,0 +1,101 @@
+"""Nonblocking-operation requests.
+
+A :class:`Request` wraps the simulation :class:`~repro.simkernel.event.Event`
+(usually a :class:`~repro.simkernel.process.Process`) driving the
+operation.  Processes complete requests by yielding from :meth:`wait`
+(or :func:`wait_all` / :func:`wait_any`), mirroring ``MPI_Wait[all|any]``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from repro.errors import MPIError
+from repro.simkernel.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.simulator import Simulator
+
+
+class Request:
+    """Handle to an in-flight nonblocking operation."""
+
+    __slots__ = ("sim", "event", "kind")
+
+    def __init__(self, sim: "Simulator", event: Event, kind: str = "op") -> None:
+        self.sim = sim
+        self.event = event
+        self.kind = kind
+
+    @property
+    def complete(self) -> bool:
+        """True once the operation finished (test-like, nonblocking)."""
+        return self.event.triggered
+
+    def result(self) -> Any:
+        """The operation's result; raises if not complete yet."""
+        if not self.event.triggered:
+            raise MPIError(f"{self.kind} request not complete; yield from wait() first")
+        return self.event.value
+
+    def wait(self):
+        """Generator: block until the operation completes, return result."""
+        value = yield self.event
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "complete" if self.complete else "pending"
+        return f"<Request {self.kind} {state}>"
+
+
+class PersistentRequest:
+    """A reusable communication template (``MPI_Send_init`` family).
+
+    ``start()`` launches one instance and returns the live
+    :class:`Request`; the template can be started again once the
+    previous instance completed — the classic idiom for fixed halo
+    patterns, saving per-iteration argument setup.
+    """
+
+    __slots__ = ("sim", "_factory", "kind", "_active")
+
+    def __init__(self, sim: "Simulator", factory, kind: str = "persistent") -> None:
+        self.sim = sim
+        self._factory = factory
+        self.kind = kind
+        self._active: Optional[Request] = None
+
+    def start(self) -> Request:
+        """Launch one instance of the operation."""
+        if self._active is not None and not self._active.complete:
+            raise MPIError(
+                f"persistent {self.kind} started while previous instance active"
+            )
+        self._active = Request(self.sim, self._factory(), kind=self.kind)
+        return self._active
+
+    @property
+    def active(self) -> Optional[Request]:
+        """The most recently started instance, if any."""
+        return self._active
+
+
+def wait_all(sim: "Simulator", requests: Sequence[Request]):
+    """Generator: wait for every request; returns their results in order."""
+    yield sim.all_of([r.event for r in requests])
+    return [r.event.value for r in requests]
+
+
+def wait_any(sim: "Simulator", requests: Sequence[Request]):
+    """Generator: wait until at least one request completes.
+
+    Returns ``(index, result)`` of the first completed request (lowest
+    index if several complete at the same instant).
+    """
+    if not requests:
+        raise MPIError("wait_any() on an empty request list")
+    yield sim.any_of([r.event for r in requests])
+    for i, r in enumerate(requests):
+        if r.complete:
+            return i, r.event.value
+    raise MPIError("any_of fired but no request is complete")  # pragma: no cover

@@ -1,0 +1,431 @@
+"""MPI world: process handles, transports, and the universe.
+
+An :class:`MPIWorld` owns one simulated MPI *universe*: the mapping
+from global process ids (gpids) to fabric endpoints, the transport
+selection (same-fabric direct, cross-fabric via the SMFU bridge), the
+context-id agreement used by communicator-creating collectives, and the
+command registry + spawn backend used by ``MPI_Comm_spawn``.
+
+Each simulated MPI rank is driven by one simulation process executing
+``main(proc)`` where ``proc`` is its :class:`MPIProcess` handle.  Every
+communication method on the handle is a generator to ``yield from``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+
+from repro.errors import (
+    CommunicatorError,
+    MPIError,
+    RankError,
+    RoutingError,
+    SpawnError,
+)
+from repro.mpi.group import Group
+from repro.mpi.pt2pt import (
+    HEADER_BYTES,
+    PacketHeader,
+    make_match,
+    make_seq_match,
+)
+from repro.mpi.request import Request
+from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
+from repro.network.fabric import Fabric
+from repro.network.message import Message
+from repro.network.smfu import ClusterBoosterBridge
+from repro.simkernel.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import Node
+    from repro.mpi.communicator import Communicator, Intercommunicator
+    from repro.simkernel.simulator import Simulator
+
+
+class Transport:
+    """Chooses how a message travels between two endpoints.
+
+    Direct if source and destination share a fabric; across the
+    Cluster-Booster bridge otherwise.
+    """
+
+    def __init__(
+        self, fabrics: Sequence[Fabric], bridge: Optional[ClusterBoosterBridge] = None
+    ) -> None:
+        if not fabrics:
+            raise CommunicatorError("transport needs at least one fabric")
+        self.fabrics = list(fabrics)
+        self.bridge = bridge
+
+    def _fabric_of(self, endpoint: str) -> Optional[Fabric]:
+        for fabric in self.fabrics:
+            try:
+                fabric.interface(endpoint)
+                return fabric
+            except RoutingError:
+                continue
+        return None
+
+    def send_message(self, msg: Message):
+        """Generator: deliver *msg* to its destination endpoint's inbox."""
+        src_fabric = self._fabric_of(msg.src)
+        if src_fabric is None:
+            raise RoutingError(f"endpoint {msg.src!r} not attached to any fabric")
+        dst_fabric = self._fabric_of(msg.dst)
+        if dst_fabric is src_fabric:
+            record = yield from src_fabric.interface(msg.src).send(msg)
+            return record
+        if self.bridge is None:
+            raise RoutingError(
+                f"{msg.src!r} and {msg.dst!r} are on different fabrics "
+                f"and no Cluster-Booster bridge is configured"
+            )
+        record = yield from self.bridge.send_message(msg)
+        return record
+
+    def inbox_of(self, endpoint: str):
+        fabric = self._fabric_of(endpoint)
+        if fabric is None:
+            raise RoutingError(f"endpoint {endpoint!r} not attached to any fabric")
+        return fabric.interface(endpoint).inbox
+
+    def recv_overhead(self, endpoint: str) -> float:
+        fabric = self._fabric_of(endpoint)
+        return fabric.interface(endpoint).recv_overhead_s if fabric else 0.0
+
+
+class MPIProcess:
+    """Per-rank MPI handle (think: this rank's libmpi state)."""
+
+    def __init__(
+        self,
+        world: "MPIWorld",
+        gpid: int,
+        endpoint: str,
+        node: Optional["Node"] = None,
+    ) -> None:
+        self.world = world
+        self.sim = world.sim
+        self.gpid = gpid
+        self.endpoint = endpoint
+        self.node = node
+        self._seq = itertools.count()
+        self._inbox = world.transport.inbox_of(endpoint)
+        #: Set by the world before the entry function runs.
+        self.comm_world: Optional["Communicator"] = None
+        #: Intercommunicator to the spawning parents, if this process
+        #: was created by ``MPI_Comm_spawn``.
+        self.parent_comm: Optional["Intercommunicator"] = None
+
+    # -- compute -----------------------------------------------------------
+    def compute(self, flops: float, traffic_bytes: float = 0.0, n_cores: int = 1):
+        """Generator: run a kernel on this process's node."""
+        if self.node is None:
+            raise MPIError(f"process {self.gpid} has no node to compute on")
+        yield from self.node.processor.execute(flops, traffic_bytes, n_cores)
+
+    def elapse(self, seconds: float):
+        """Generator: let simulated time pass (pure delay, no cores held)."""
+        yield self.sim.timeout(seconds)
+
+    # -- point-to-point ------------------------------------------------------
+    def send(
+        self,
+        comm: "Communicator",
+        dest: int,
+        size_bytes: int,
+        value: Any = None,
+        tag: int = 0,
+    ):
+        """Generator: blocking standard-mode send.
+
+        Eager below the world's threshold (completes on network
+        acceptance), rendezvous above it (completes once the receiver
+        has posted a matching receive and the data has drained).
+        """
+        if size_bytes < 0:
+            raise MPIError(f"negative message size {size_bytes}")
+        dst_gpid = comm.remote_gpid(dest)
+        dst_ep = self.world.endpoint_of(dst_gpid)
+        my_rank = comm.rank
+        seq = next(self._seq)
+        self.sim.trace.record(
+            "mpi.send", src_rank=my_rank, dest=dest, size=size_bytes,
+            tag=tag, context=comm.context_id,
+        )
+        if size_bytes <= self.world.eager_threshold:
+            header = PacketHeader(
+                "eager", comm.context_id, self.gpid, dst_gpid, my_rank,
+                tag, seq, size_bytes, value,
+            )
+            msg = Message(
+                src=self.endpoint, dst=dst_ep,
+                size_bytes=size_bytes + HEADER_BYTES, payload=header,
+            )
+            yield from self.world.transport.send_message(msg)
+            return
+        # Rendezvous: RTS -> (wait CTS) -> DATA.
+        rts = PacketHeader(
+            "rts", comm.context_id, self.gpid, dst_gpid, my_rank,
+            tag, seq, size_bytes,
+        )
+        yield from self.world.transport.send_message(
+            Message(src=self.endpoint, dst=dst_ep, size_bytes=HEADER_BYTES, payload=rts)
+        )
+        yield self._inbox.get(make_seq_match(self.gpid, "cts", dst_gpid, seq))
+        data = PacketHeader(
+            "data", comm.context_id, self.gpid, dst_gpid, my_rank,
+            tag, seq, size_bytes, value,
+        )
+        yield from self.world.transport.send_message(
+            Message(
+                src=self.endpoint, dst=dst_ep,
+                size_bytes=size_bytes + HEADER_BYTES, payload=data,
+            )
+        )
+
+    def recv(
+        self,
+        comm: "Communicator",
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+    ):
+        """Generator: blocking receive.  Returns ``(value, Status)``."""
+        src_gpid = None if source == ANY_SOURCE else comm.remote_gpid(source)
+        msg = yield self._inbox.get(
+            make_match(self.gpid, comm.context_id, src_gpid, tag)
+        )
+        header: PacketHeader = msg.payload
+        overhead = self.world.transport.recv_overhead(self.endpoint)
+        if overhead > 0:
+            yield self.sim.timeout(overhead)
+        if header.kind == "eager":
+            return header.value, Status(header.src_rank, header.tag, header.size_bytes)
+        # Rendezvous: grant the sender and wait for the bulk data.
+        cts = PacketHeader(
+            "cts", header.context_id, self.gpid, header.src_gpid,
+            -1, header.tag, header.seq, HEADER_BYTES,
+        )
+        src_ep = self.world.endpoint_of(header.src_gpid)
+        yield from self.world.transport.send_message(
+            Message(src=self.endpoint, dst=src_ep, size_bytes=HEADER_BYTES, payload=cts)
+        )
+        data_msg = yield self._inbox.get(
+            make_seq_match(self.gpid, "data", header.src_gpid, header.seq)
+        )
+        data_header: PacketHeader = data_msg.payload
+        return data_header.value, Status(
+            header.src_rank, header.tag, data_header.size_bytes
+        )
+
+    def isend(
+        self,
+        comm: "Communicator",
+        dest: int,
+        size_bytes: int,
+        value: Any = None,
+        tag: int = 0,
+    ) -> Request:
+        """Nonblocking send; returns a :class:`Request`."""
+        proc = self.sim.process(
+            self.send(comm, dest, size_bytes, value, tag),
+            name=f"isend:{self.gpid}->{dest}",
+        )
+        return Request(self.sim, proc, kind="isend")
+
+    def irecv(
+        self,
+        comm: "Communicator",
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+    ) -> Request:
+        """Nonblocking receive; the request's result is ``(value, Status)``."""
+        proc = self.sim.process(
+            self.recv(comm, source, tag), name=f"irecv:{self.gpid}<-{source}"
+        )
+        return Request(self.sim, proc, kind="irecv")
+
+    def sendrecv(
+        self,
+        comm: "Communicator",
+        dest: int,
+        send_size: int,
+        send_value: Any = None,
+        source: int = ANY_SOURCE,
+        send_tag: int = 0,
+        recv_tag: int = ANY_TAG,
+    ):
+        """Generator: simultaneous send and receive (deadlock-free)."""
+        sreq = self.isend(comm, dest, send_size, send_value, send_tag)
+        rreq = self.irecv(comm, source, recv_tag)
+        result = yield from rreq.wait()
+        yield from sreq.wait()
+        return result
+
+    def probe(self, comm: "Communicator", source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Nonblocking probe of the unexpected queue.
+
+        Returns a :class:`Status` if a matching envelope is buffered,
+        else ``None``.  (Not a generator — costs no simulated time.)
+        """
+        src_gpid = None if source == ANY_SOURCE else comm.remote_gpid(source)
+        msg = self._inbox.peek_match(
+            make_match(self.gpid, comm.context_id, src_gpid, tag)
+        )
+        if msg is None:
+            return None
+        h: PacketHeader = msg.payload
+        return Status(h.src_rank, h.tag, h.size_bytes)
+
+    # -- spawn ----------------------------------------------------------------
+    def spawn(
+        self,
+        comm: "Communicator",
+        command: str,
+        maxprocs: int,
+        root: int = 0,
+        info: Optional[dict] = None,
+    ):
+        """Generator: collective ``MPI_Comm_spawn`` (slide 27).
+
+        Returns the inter-communicator to the children.  Implemented in
+        :mod:`repro.mpi.spawn`; see there for the cost model.
+        """
+        from repro.mpi.spawn import comm_spawn
+
+        intercomm = yield from comm_spawn(self, comm, command, maxprocs, root, info)
+        return intercomm
+
+
+class MPIWorld:
+    """One MPI universe over a set of fabrics.
+
+    Parameters
+    ----------
+    sim:
+        Simulator.
+    fabrics:
+        Fabrics processes live on (endpoints must be pre-attached).
+    bridge:
+        Optional Cluster-Booster bridge for cross-fabric worlds.
+    eager_threshold:
+        Largest eager message in bytes (default 32 KiB, a typical
+        ParaStation/pscom setting).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        fabrics: Sequence[Fabric],
+        bridge: Optional[ClusterBoosterBridge] = None,
+        eager_threshold: int = 32 * 1024,
+    ) -> None:
+        self.sim = sim
+        self.transport = Transport(fabrics, bridge)
+        self.eager_threshold = int(eager_threshold)
+        self._gpid_counter = itertools.count()
+        self._context_counter = itertools.count(1)
+        self._context_agreements: dict[Any, int] = {}
+        self._endpoints: dict[int, str] = {}
+        self._nodes: dict[int, Optional["Node"]] = {}
+        self._processes: dict[int, MPIProcess] = {}
+        #: command name -> entry generator-function fn(proc)
+        self.commands: dict[str, Callable[[MPIProcess], Any]] = {}
+        #: default backend supplying nodes/endpoints for Comm_spawn
+        self.spawn_backend = None
+        #: named backends, selected via spawn info={"partition": name}
+        #: (e.g. reverse offload: a Booster world spawning Cluster
+        #: helpers draws from the "cluster" backend).
+        self.spawn_backends: dict[str, Any] = {}
+        #: every Process driving a rank, for run()/join bookkeeping
+        self.rank_drivers: list[Process] = []
+        #: endpoint -> rank-driver processes placed there (failure
+        #: injection kills these; see repro.resilience).
+        self.drivers_by_endpoint: dict[str, list[Process]] = {}
+
+    # -- registration ---------------------------------------------------------
+    def register_command(
+        self, name: str, fn: Callable[[MPIProcess], Any]
+    ) -> None:
+        """Register an executable *name* for ``MPI_Comm_spawn``."""
+        self.commands[name] = fn
+
+    def new_gpid(self, endpoint: str, node: Optional["Node"] = None) -> int:
+        """Allocate a global process id living at *endpoint*."""
+        gpid = next(self._gpid_counter)
+        self._endpoints[gpid] = endpoint
+        self._nodes[gpid] = node
+        return gpid
+
+    def endpoint_of(self, gpid: int) -> str:
+        try:
+            return self._endpoints[gpid]
+        except KeyError:
+            raise MPIError(f"unknown gpid {gpid}") from None
+
+    def process_of(self, gpid: int) -> MPIProcess:
+        try:
+            return self._processes[gpid]
+        except KeyError:
+            raise MPIError(f"no MPIProcess created for gpid {gpid}") from None
+
+    # -- context agreement ------------------------------------------------------
+    def next_context_id(self) -> int:
+        return next(self._context_counter)
+
+    def agree_context(self, key: Any) -> int:
+        """All ranks calling with the same *key* get the same fresh id.
+
+        Used by communicator-creating collectives: the first arrival
+        allocates, the rest look up.  Keys embed the parent context id
+        and that communicator's collective sequence number, which MPI
+        semantics guarantee are identical across ranks.
+        """
+        ctx = self._context_agreements.get(key)
+        if ctx is None:
+            ctx = self.next_context_id()
+            self._context_agreements[key] = ctx
+        return ctx
+
+    # -- world construction -------------------------------------------------------
+    def create_world(
+        self,
+        placements: Sequence[tuple[str, Optional["Node"]]],
+        main: Callable[[MPIProcess], Any],
+        name: str = "world",
+    ) -> list[MPIProcess]:
+        """Create an ``MPI_COMM_WORLD`` of len(placements) ranks and start them.
+
+        *placements* lists (endpoint, node) per rank.  Every rank runs
+        the generator function ``main(proc)``.  Returns the process
+        handles (index = world rank).
+        """
+        from repro.mpi.communicator import Communicator
+
+        gpids = [self.new_gpid(ep, node) for ep, node in placements]
+        group = Group(gpids)
+        context_id = self.next_context_id()
+        procs: list[MPIProcess] = []
+        for rank, (gpid, (ep, node)) in enumerate(zip(gpids, placements)):
+            proc = MPIProcess(self, gpid, ep, node)
+            proc.comm_world = Communicator(self, proc, group, context_id)
+            self._processes[gpid] = proc
+            procs.append(proc)
+        for rank, proc in enumerate(procs):
+            driver = self.sim.process(
+                _run_main(main, proc), name=f"{name}:rank{rank}"
+            )
+            self.rank_drivers.append(driver)
+            self.drivers_by_endpoint.setdefault(proc.endpoint, []).append(driver)
+        return procs
+
+
+def _run_main(main: Callable[[MPIProcess], Any], proc: MPIProcess):
+    """Adapter allowing plain functions or generator mains."""
+    result = main(proc)
+    if hasattr(result, "send") and hasattr(result, "throw"):
+        value = yield from result
+        return value
+    return result
+    yield  # pragma: no cover - makes this a generator function

@@ -1,0 +1,62 @@
+"""Interconnect models: links, topologies, routing, and fabrics.
+
+Three fabrics matter to DEEP (slide 14):
+
+* **InfiniBand** (:mod:`repro.network.infiniband`) — switched fat-tree
+  connecting Cluster Nodes and Booster Interface nodes.
+* **EXTOLL** (:mod:`repro.network.extoll`) — 3D torus of Booster Nodes
+  with the VELO (small message) and RMA (bulk transfer) engines and
+  link-level retransmission (slide 16).
+* **PCIe** (:class:`repro.network.link.Link` with
+  :class:`repro.hardware.pcie.PCIeSpec` parameters) — the shared
+  host-accelerator bus of the accelerated-cluster baseline.
+
+The **SMFU bridge** (:mod:`repro.network.smfu`) forwards messages
+between InfiniBand and EXTOLL: it is the transport of the
+Cluster-Booster protocol (slide 29).
+"""
+
+from repro.network.message import Message, TransferRecord
+from repro.network.link import Link, LinkSpec
+from repro.network.topology import (
+    Topology,
+    all_to_all_topology,
+    fat_tree_topology,
+    star_topology,
+    torus_topology,
+)
+from repro.network.routing import RoutingTable, dimension_order_route
+from repro.network.fabric import Fabric, NetworkInterface
+from repro.network.infiniband import InfinibandFabric, InfinibandSpec, IB_QDR, IB_FDR
+from repro.network.extoll import ExtollFabric, ExtollSpec, EXTOLL_TOURMALET
+from repro.network.smfu import ClusterBoosterBridge, SMFUGateway
+from repro.network.loggp import LogGPModel, crossover_size, fit_loggp, probe_fabric
+
+__all__ = [
+    "ClusterBoosterBridge",
+    "EXTOLL_TOURMALET",
+    "ExtollFabric",
+    "ExtollSpec",
+    "Fabric",
+    "IB_FDR",
+    "IB_QDR",
+    "InfinibandFabric",
+    "InfinibandSpec",
+    "Link",
+    "LinkSpec",
+    "LogGPModel",
+    "Message",
+    "NetworkInterface",
+    "RoutingTable",
+    "SMFUGateway",
+    "Topology",
+    "TransferRecord",
+    "all_to_all_topology",
+    "crossover_size",
+    "dimension_order_route",
+    "fat_tree_topology",
+    "fit_loggp",
+    "probe_fabric",
+    "star_topology",
+    "torus_topology",
+]

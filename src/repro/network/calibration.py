@@ -1,0 +1,102 @@
+"""Calibrating the network models against real measurements.
+
+To adapt the simulation to a concrete machine, feed it ping-pong
+measurements (message size -> one-way time) from the real fabric:
+:func:`linkspec_from_measurements` fits a LogGP model and converts it
+into the :class:`~repro.network.link.LinkSpec` + overhead parameters
+the simulated fabrics consume.  :func:`validate_against` then replays
+the sizes through a simulated two-node fabric and reports the relative
+error per point — the honesty check every calibrated model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.network.fabric import Fabric
+from repro.network.link import LinkSpec
+from repro.network.loggp import LogGPModel, fit_loggp
+from repro.network.topology import star_topology
+from repro.simkernel import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class CalibratedFabricParams:
+    """Fit result, ready to build fabrics from."""
+
+    link: LinkSpec
+    send_overhead_s: float
+    recv_overhead_s: float
+    model: LogGPModel
+
+    def build_two_node_fabric(self, sim: Simulator) -> Fabric:
+        """A cn0--sw--cn1 fabric with the calibrated parameters."""
+        fabric = Fabric(
+            sim,
+            star_topology(["cn0", "cn1"]),
+            self.link,
+            name="calibrated",
+            send_overhead_s=self.send_overhead_s,
+            recv_overhead_s=self.recv_overhead_s,
+        )
+        fabric.attach_endpoint("cn0")
+        fabric.attach_endpoint("cn1")
+        return fabric
+
+
+def linkspec_from_measurements(
+    sizes: Sequence[int],
+    oneway_times: Sequence[float],
+    hops: int = 2,
+    name: str = "calibrated",
+) -> CalibratedFabricParams:
+    """Fit fabric parameters to measured one-way times.
+
+    *hops* is the number of links on the measured path (2 for two
+    endpoints under one switch).  The LogGP intercept is split evenly
+    between per-hop latency and the two host overheads, the slope maps
+    to per-link bandwidth.
+    """
+    if hops < 1:
+        raise ConfigurationError("hops must be >= 1")
+    model = fit_loggp(list(sizes), list(oneway_times), name=name)
+    intercept = model.L + 2 * model.o
+    if model.G <= 0:
+        raise ConfigurationError(
+            "measurements show no bandwidth term; sample larger sizes"
+        )
+    # Half the intercept to the wire (split across hops), half to the
+    # two host overheads (split between send and receive).
+    hop_latency = intercept / 2 / hops
+    overhead = intercept / 4
+    link = LinkSpec(
+        latency_s=hop_latency,
+        bandwidth_bytes_per_s=1.0 / model.G,
+    )
+    return CalibratedFabricParams(
+        link=link,
+        send_overhead_s=overhead,
+        recv_overhead_s=overhead,
+        model=model,
+    )
+
+
+def validate_against(
+    params: CalibratedFabricParams,
+    sizes: Sequence[int],
+    oneway_times: Sequence[float],
+) -> list[float]:
+    """Relative error of the calibrated fabric per measured point."""
+    errors = []
+    for size, measured in zip(sizes, oneway_times):
+        sim = Simulator()
+        fabric = params.build_two_node_fabric(sim)
+        predicted = (
+            params.send_overhead_s
+            + fabric.ideal_transfer_time("cn0", "cn1", size)
+            + params.recv_overhead_s
+        )
+        errors.append(abs(predicted - measured) / measured)
+    return errors

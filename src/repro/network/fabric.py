@@ -1,0 +1,354 @@
+"""Fabric: links + routing + per-node interfaces, with two fidelity modes.
+
+The default **contention mode** claims every link along the route for
+the message's serialization time at the path's bottleneck bandwidth
+(a virtual-circuit / wormhole approximation), so hot links queue
+transfers and congestion emerges.  **Analytic mode** skips resource
+claims and just waits the ideal time — orders of magnitude faster for
+large parameter sweeps; E4/E7 quantify the difference (DESIGN.md §5.2).
+
+End-to-end time of an uncontended transfer of ``n`` bytes over ``h``
+hops: ``o_send + h * L + n / min(B_i) (+ error penalties) + o_recv``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.network.link import Link, LinkSpec
+from repro.network.message import Message, TransferRecord
+from repro.network.routing import RoutingTable
+from repro.network.topology import Topology
+from repro.simkernel.resources import Channel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import Node
+    from repro.simkernel.simulator import Simulator
+
+
+class NetworkInterface:
+    """A node's port on one fabric.
+
+    Holds the node's inbox (a matched :class:`Channel` the transport
+    layer receives from) and the host-side injection overheads.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        fabric: "Fabric",
+        endpoint: str,
+        send_overhead_s: float,
+        recv_overhead_s: float,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.endpoint = endpoint
+        self.send_overhead_s = send_overhead_s
+        self.recv_overhead_s = recv_overhead_s
+        #: Delivered messages waiting to be consumed (matched gets).
+        self.inbox = Channel(sim, name=f"inbox:{fabric.name}:{endpoint}")
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, msg: Message):
+        """Generator: inject *msg* and complete when it is delivered.
+
+        The sender-side overhead is paid first (models the CPU cost of
+        posting the descriptor), then the fabric transfer runs, then
+        the message lands in the destination inbox.
+        """
+        msg.src = self.endpoint
+        msg.sent_at = self.sim.now
+        if self.send_overhead_s > 0:
+            yield self.sim.timeout(self.send_overhead_s)
+        record = yield from self.fabric.transfer(
+            self.endpoint, msg.dst, msg.size_bytes, kind=msg.kind
+        )
+        msg.received_at = self.sim.now
+        self.bytes_sent += msg.size_bytes
+        dst_iface = self.fabric.interface(msg.dst)
+        dst_iface.bytes_received += msg.size_bytes
+        dst_iface.inbox.put(msg)
+        return record
+
+
+class Fabric:
+    """A named interconnect instantiated on a simulator.
+
+    Parameters
+    ----------
+    sim, topo:
+        Simulator and topology (endpoints + switches).
+    link_spec:
+        Parameters applied to every link direction.
+    name:
+        Fabric name; nodes register interfaces under it.
+    routing:
+        ``"shortest"`` or ``"dimension-order"``.
+    send_overhead_s / recv_overhead_s:
+        Host CPU overheads charged by interfaces.
+    contention:
+        Virtual-circuit link claiming (True) or analytic times (False).
+    loopback_latency_s:
+        Cost of a self-send (shared-memory copy).
+    mtu_bytes:
+        When set, contention-mode transfers are segmented into MTU
+        chunks that store-and-forward hop by hop, so a long message
+        *pipelines* across a multi-hop path (cut-through behaviour)
+        instead of holding the whole path for its serialization time.
+        Costs ~hops x chunks simulation events per transfer; None
+        (default) keeps the cheap virtual-circuit model.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        topo: Topology,
+        link_spec: LinkSpec,
+        name: str,
+        routing: str = "shortest",
+        send_overhead_s: float = 0.0,
+        recv_overhead_s: float = 0.0,
+        contention: bool = True,
+        loopback_latency_s: float = 3e-7,
+        mtu_bytes: Optional[int] = None,
+        adaptive: bool = False,
+    ) -> None:
+        topo.validate_connected()
+        self.sim = sim
+        self.topo = topo
+        self.link_spec = link_spec
+        self.name = name
+        self.routing = RoutingTable(topo, scheme=routing)
+        self.send_overhead_s = send_overhead_s
+        self.recv_overhead_s = recv_overhead_s
+        self.contention = contention
+        self.loopback_latency_s = loopback_latency_s
+        if mtu_bytes is not None and mtu_bytes < 1:
+            raise ConfigurationError(f"mtu_bytes must be >= 1, got {mtu_bytes}")
+        self.mtu_bytes = mtu_bytes
+        #: Adaptive (load-aware) minimal routing: pick, per transfer,
+        #: the least-loaded of the minimal route alternatives (the
+        #: EXTOLL NIC's adaptive mode) instead of the static table.
+        self.adaptive = adaptive
+        #: directed (u, v) -> Link
+        self.links: dict[tuple[str, str], Link] = {}
+        for u, v in topo.graph.edges:
+            self.links[(u, v)] = Link(sim, link_spec, name=f"{name}:{u}->{v}")
+            self.links[(v, u)] = Link(sim, link_spec, name=f"{name}:{v}->{u}")
+        self._interfaces: dict[str, NetworkInterface] = {}
+        self.records: list[TransferRecord] = []
+        self.record_transfers = False
+
+    # -- attachment ------------------------------------------------------
+    def attach(self, node: "Node") -> NetworkInterface:
+        """Create this node's interface and register it on the node."""
+        endpoint = node.name
+        if endpoint not in self.topo.graph:
+            raise ConfigurationError(
+                f"{endpoint!r} is not an endpoint of fabric {self.name!r}"
+            )
+        iface = self._make_interface(endpoint)
+        node.attach_interface(self.name, iface)
+        return iface
+
+    def attach_endpoint(self, endpoint: str) -> NetworkInterface:
+        """Create an interface for a bare endpoint name (tests, bridges)."""
+        return self._make_interface(endpoint)
+
+    def _make_interface(self, endpoint: str) -> NetworkInterface:
+        if endpoint in self._interfaces:
+            raise ConfigurationError(
+                f"endpoint {endpoint!r} already attached to fabric {self.name!r}"
+            )
+        if endpoint not in self.topo.graph:
+            raise ConfigurationError(
+                f"{endpoint!r} is not in the topology of fabric {self.name!r}"
+            )
+        if not self.topo.is_endpoint(endpoint):
+            raise ConfigurationError(f"{endpoint!r} is a switch, cannot attach")
+        iface = NetworkInterface(
+            self.sim, self, endpoint, self.send_overhead_s, self.recv_overhead_s
+        )
+        self._interfaces[endpoint] = iface
+        return iface
+
+    def interface(self, endpoint: str) -> NetworkInterface:
+        """The interface previously attached at *endpoint*."""
+        try:
+            return self._interfaces[endpoint]
+        except KeyError:
+            raise RoutingError(
+                f"no interface attached at {endpoint!r} on fabric {self.name!r}"
+            ) from None
+
+    # -- analytic helpers --------------------------------------------------
+    def path_links(self, src: str, dst: str) -> list[Link]:
+        """Directed links along the static route."""
+        path = self.routing.route(src, dst)
+        return self._links_of(path)
+
+    def _links_of(self, path: list[str]) -> list[Link]:
+        return [self.links[(path[i], path[i + 1])] for i in range(len(path) - 1)]
+
+    def _pick_links(self, src: str, dst: str) -> list[Link]:
+        """Route selection: static table, or least-loaded alternative.
+
+        Routes over failed links are never chosen; when the static
+        route is down, the minimal alternatives serve as the fallback
+        (link-level rerouting, the slide-16 RAS behaviour).
+        """
+        static = self.path_links(src, dst)
+        if not self.adaptive and all(l.up for l in static):
+            return static
+        candidates = [
+            self._links_of(path)
+            for path in self.routing.candidate_routes(src, dst)
+        ]
+        alive = [c for c in candidates if all(l.up for l in c)]
+        if not alive:
+            raise RoutingError(
+                f"no surviving minimal route {src!r} -> {dst!r} "
+                f"(failed links on every alternative)"
+            )
+        if not self.adaptive:
+            return alive[0]
+
+        def load(links: list[Link]) -> int:
+            return sum(link.pending_flows for link in links)
+
+        return min(alive, key=load)
+
+    # -- link failures (RAS) ---------------------------------------------
+    def fail_link(self, u: str, v: str, both_directions: bool = True) -> None:
+        """Take the cable *u--v* out of service."""
+        try:
+            self.links[(u, v)].up = False
+            if both_directions:
+                self.links[(v, u)].up = False
+        except KeyError:
+            raise RoutingError(f"no link {u!r} -> {v!r} on fabric {self.name!r}") from None
+
+    def restore_link(self, u: str, v: str, both_directions: bool = True) -> None:
+        """Return the cable *u--v* to service."""
+        try:
+            self.links[(u, v)].up = True
+            if both_directions:
+                self.links[(v, u)].up = True
+        except KeyError:
+            raise RoutingError(f"no link {u!r} -> {v!r} on fabric {self.name!r}") from None
+
+    def ideal_transfer_time(self, src: str, dst: str, size_bytes: int) -> float:
+        """Uncontended end-to-end time excluding host overheads."""
+        if src == dst:
+            return self.loopback_latency_s
+        links = self.path_links(src, dst)
+        latency = sum(l.spec.latency_s for l in links)
+        bottleneck = min(l.spec.bandwidth_bytes_per_s for l in links)
+        return latency + size_bytes / bottleneck
+
+    # -- transfer ----------------------------------------------------------
+    def transfer(self, src: str, dst: str, size_bytes: int, kind: str = "data"):
+        """Generator: move *size_bytes* from *src* to *dst*.
+
+        Returns a :class:`TransferRecord`.  In contention mode the
+        route's links are claimed in canonical order (preventing
+        circular wait) for the bottleneck serialization time; latency
+        is paid afterwards without occupying the links, so back-to-back
+        transfers pipeline.
+        """
+        start = self.sim.now
+        if src == dst:
+            yield self.sim.timeout(self.loopback_latency_s)
+            return self._record(src, dst, size_bytes, start, hops=0, kind=kind)
+
+        links = (
+            self._pick_links(src, dst) if self.contention
+            else self.path_links(src, dst)
+        )
+        latency = sum(l.spec.latency_s for l in links)
+        bottleneck = min(l.spec.bandwidth_bytes_per_s for l in links)
+        serialization = size_bytes / bottleneck
+
+        if not self.contention:
+            yield self.sim.timeout(latency + serialization)
+            return self._record(src, dst, size_bytes, start, len(links), kind)
+
+        # Reserve the chosen path so concurrent adaptive picks see it.
+        for link in links:
+            link.pending_flows += 1
+        try:
+            if self.mtu_bytes is not None and size_bytes > self.mtu_bytes:
+                yield from self._transfer_segmented(links, size_bytes)
+                return self._record(src, dst, size_bytes, start, len(links), kind)
+
+            ordered = sorted(links, key=lambda l: l.name)
+            requests = [l.channel.request() for l in ordered]
+            try:
+                for req in requests:
+                    yield req
+                duration = serialization
+                for link in links:
+                    duration += link._retransmission_penalty(size_bytes)
+                    link.bytes_carried += size_bytes
+                    link.transfers += 1
+                yield self.sim.timeout(duration)
+            finally:
+                for link, req in zip(ordered, requests):
+                    if req.triggered:
+                        link.channel.release(req)
+                    else:
+                        link.channel.cancel(req)
+            yield self.sim.timeout(latency)
+            return self._record(src, dst, size_bytes, start, len(links), kind)
+        finally:
+            for link in links:
+                link.pending_flows -= 1
+
+    def _transfer_segmented(self, links: list[Link], size_bytes: int):
+        """Store-and-forward MTU segments pipelining across the path.
+
+        One simulation process per segment walks the links in order;
+        FIFO link queues keep segments ordered per hop while different
+        hops work on different segments concurrently — end-to-end time
+        approaches ``sum(latencies) + size/bottleneck + fill``.
+        """
+        mtu = self.mtu_bytes
+        n_full, rem = divmod(size_bytes, mtu)
+        sizes = [mtu] * n_full + ([rem] if rem else [])
+
+        def segment(nbytes: int):
+            for link in links:
+                yield from link.occupy(nbytes)
+                yield self.sim.timeout(link.spec.latency_s)
+
+        drivers = [
+            self.sim.process(segment(nbytes), name="seg") for nbytes in sizes
+        ]
+        yield self.sim.all_of(drivers)
+
+    def _record(
+        self, src: str, dst: str, size: int, start: float, hops: int, kind: str
+    ) -> TransferRecord:
+        rec = TransferRecord(src, dst, size, start, self.sim.now, hops, kind)
+        if self.record_transfers:
+            self.records.append(rec)
+        self.sim.trace.record(
+            "net.transfer", fabric=self.name, src=src, dst=dst,
+            size=size, start=start, hops=hops, kind=kind,
+        )
+        return rec
+
+    # -- statistics ----------------------------------------------------------
+    def total_bytes(self) -> int:
+        """Bytes carried summed over all link directions."""
+        return sum(l.bytes_carried for l in self.links.values())
+
+    def hottest_links(self, n: int = 5) -> list[tuple[str, int]]:
+        """The *n* busiest link directions by bytes carried."""
+        ranked = sorted(
+            self.links.values(), key=lambda l: l.bytes_carried, reverse=True
+        )
+        return [(l.name, l.bytes_carried) for l in ranked[:n]]

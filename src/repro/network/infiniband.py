@@ -1,0 +1,113 @@
+"""InfiniBand fabric model (the DEEP Cluster interconnect).
+
+Slide 8's premise: "IB can be assumed as fast as PCIe besides latency".
+QDR x4 delivers ~4 GB/s per direction (on par with PCIe gen2 x16's
+~6 GB/s) but its end-to-end MPI latency is ~1.3 us versus PCIe's
+sub-microsecond — the crossover this difference creates is experiment
+E4.  The fabric is a two-level fat tree, the standard IB cluster build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.network.fabric import Fabric
+from repro.network.link import LinkSpec
+from repro.network.topology import Topology, fat_tree_topology, star_topology
+from repro.units import gbyte_per_s, microseconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.simulator import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class InfinibandSpec:
+    """Per-generation IB parameters.
+
+    ``hop_latency_s`` is the per-link propagation + switch traversal;
+    the familiar end-to-end MPI latency is
+    ``send_overhead + hops * hop_latency + recv_overhead``.
+    """
+
+    name: str
+    bandwidth_bytes_per_s: float
+    hop_latency_s: float
+    send_overhead_s: float
+    recv_overhead_s: float
+
+
+#: IB QDR 4x: 32 Gbit/s line rate, ~4 GB/s effective.
+IB_QDR = InfinibandSpec(
+    name="IB-QDR",
+    bandwidth_bytes_per_s=gbyte_per_s(4.0),
+    hop_latency_s=microseconds(0.35),
+    send_overhead_s=microseconds(0.30),
+    recv_overhead_s=microseconds(0.30),
+)
+
+#: IB FDR 4x: 56 Gbit/s line rate, ~6.8 GB/s effective.
+IB_FDR = InfinibandSpec(
+    name="IB-FDR",
+    bandwidth_bytes_per_s=gbyte_per_s(6.8),
+    hop_latency_s=microseconds(0.30),
+    send_overhead_s=microseconds(0.25),
+    recv_overhead_s=microseconds(0.25),
+)
+
+
+class InfinibandFabric(Fabric):
+    """A switched fat-tree IB fabric over named endpoints.
+
+    Parameters
+    ----------
+    sim:
+        Simulator.
+    endpoints:
+        Endpoint (node) names to place on the fabric.
+    spec:
+        Generation parameters (default QDR, the DEEP cluster's fabric).
+    leaf_radix:
+        Endpoints per leaf switch; systems that fit one switch degrade
+        to a star.
+    contention:
+        See :class:`~repro.network.fabric.Fabric`.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        endpoints: Sequence[str],
+        spec: InfinibandSpec = IB_QDR,
+        leaf_radix: int = 18,
+        contention: bool = True,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        self.spec = spec
+        if topology is None:
+            if len(endpoints) <= leaf_radix:
+                topology = star_topology(endpoints)
+            else:
+                topology = fat_tree_topology(endpoints, leaf_radix=leaf_radix)
+        link = LinkSpec(
+            latency_s=spec.hop_latency_s,
+            bandwidth_bytes_per_s=spec.bandwidth_bytes_per_s,
+        )
+        super().__init__(
+            sim,
+            topology,
+            link,
+            name="infiniband",
+            routing="shortest",
+            send_overhead_s=spec.send_overhead_s,
+            recv_overhead_s=spec.recv_overhead_s,
+            contention=contention,
+        )
+
+    def mpi_latency(self, src: str, dst: str) -> float:
+        """Zero-byte end-to-end latency between two endpoints."""
+        return (
+            self.spec.send_overhead_s
+            + self.ideal_transfer_time(src, dst, 0)
+            + self.spec.recv_overhead_s
+        )

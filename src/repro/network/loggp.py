@@ -1,0 +1,109 @@
+"""LogGP analytic communication model, and fitting it to a fabric.
+
+LogGP (Alexandrov et al.) describes a message of ``n`` bytes as
+``T(n) = L + 2o + (n - 1) * G`` with ``g`` bounding message injection
+rate.  It is the standard language for comparing interconnects, so E4
+expresses the PCIe-vs-InfiniBand crossover in it: two technologies
+with similar ``G`` but different ``L`` swap ranking at a message size
+``n* = (L1 - L2) / (G2 - G1)`` (when the signs cooperate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.fabric import Fabric
+
+
+@dataclass(frozen=True, slots=True)
+class LogGPModel:
+    """LogGP parameters, all in seconds (G per byte)."""
+
+    L: float
+    o: float
+    g: float
+    G: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if min(self.L, self.o, self.g, self.G) < 0:
+            raise ConfigurationError("LogGP parameters must be non-negative")
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """End-to-end time of one n-byte message."""
+        if n_bytes < 0:
+            raise ConfigurationError("message size must be >= 0")
+        return self.L + 2 * self.o + max(n_bytes - 1, 0) * self.G
+
+    def bandwidth(self, n_bytes: float) -> float:
+        """Achieved bandwidth for one n-byte message."""
+        t = self.transfer_time(n_bytes)
+        return n_bytes / t if t > 0 else 0.0
+
+    def half_bandwidth_size(self) -> float:
+        """n_1/2: message size reaching half the asymptotic bandwidth."""
+        if self.G == 0:
+            return 0.0
+        return (self.L + 2 * self.o) / self.G
+
+    def message_rate(self) -> float:
+        """Small-message injection rate limit (1/g), inf if g == 0."""
+        return float("inf") if self.g == 0 else 1.0 / self.g
+
+
+def crossover_size(a: LogGPModel, b: LogGPModel) -> float:
+    """Message size where models *a* and *b* take equal time.
+
+    Returns ``inf`` when one model dominates at every size (no
+    crossover), which itself is a meaningful experimental outcome.
+    """
+    da = a.L + 2 * a.o
+    db = b.L + 2 * b.o
+    if a.G == b.G:
+        return float("inf")
+    n = 1 + (db - da) / (a.G - b.G)
+    return n if n >= 0 else float("inf")
+
+
+def fit_loggp(
+    sizes: Sequence[float], times: Sequence[float], name: str = "fit"
+) -> LogGPModel:
+    """Least-squares fit of (L + 2o) and G from (size, time) samples.
+
+    The intercept cannot separate L from o, so it is split evenly
+    (o = intercept/4, L = intercept/2) — the convention used when
+    fitting LogGP to ping measurements without CPU instrumentation.
+    ``g`` is set to the fitted small-message time (gap >= time of a
+    1-byte message for a single-port NIC).
+    """
+    s = np.asarray(sizes, dtype=float)
+    t = np.asarray(times, dtype=float)
+    if s.shape != t.shape or s.size < 2:
+        raise ConfigurationError("need >= 2 equal-length size/time samples")
+    if np.any(s < 0) or np.any(t < 0):
+        raise ConfigurationError("sizes and times must be non-negative")
+    coeffs = np.polyfit(s - 1, t, 1)
+    G = max(float(coeffs[0]), 0.0)
+    intercept = max(float(coeffs[1]), 0.0)
+    return LogGPModel(L=intercept / 2, o=intercept / 4, g=intercept, G=G, name=name)
+
+
+def probe_fabric(
+    fabric: Fabric, src: str, dst: str, sizes: Sequence[int]
+) -> LogGPModel:
+    """Fit a LogGP model to a fabric's ideal (uncontended) times.
+
+    Uses the analytic path times plus interface overheads, which is
+    exactly what a ping-pong microbenchmark measures on an idle fabric.
+    """
+    times = [
+        fabric.send_overhead_s
+        + fabric.ideal_transfer_time(src, dst, n)
+        + fabric.recv_overhead_s
+        for n in sizes
+    ]
+    return fit_loggp(list(sizes), times, name=f"{fabric.name}:{src}->{dst}")

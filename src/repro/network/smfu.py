@@ -1,0 +1,234 @@
+"""SMFU bridging: the Cluster-Booster protocol transport (slides 16/29).
+
+The EXTOLL NIC's **SMFU engine** ("Shared Memory Functional Unit")
+bridges to InfiniBand: a Booster Interface (BI) node holds one port on
+each fabric and forwards messages between them, store-and-forward,
+through a finite-rate engine.  A machine deploys several gateways; a
+(src, dst) pair maps to a gateway either statically (deterministic
+hash, zero coordination) or dynamically (least queued bytes).
+
+This is the piece experiment E11 sweeps: per-message bridging overhead
+and aggregate throughput versus the number of BI nodes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.network.fabric import Fabric
+from repro.network.message import Message, TransferRecord
+from repro.simkernel.resources import Resource
+from repro.units import gbyte_per_s, microseconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.simulator import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class SMFUSpec:
+    """SMFU engine parameters on one BI node."""
+
+    #: Store-and-forward processing rate of the engine.
+    bandwidth_bytes_per_s: float = gbyte_per_s(5.0)
+    #: Per-message protocol handling (header rewrite, address
+    #: translation between the two fabrics' namespaces).
+    per_message_overhead_s: float = microseconds(0.5)
+    #: Parallel forwarding contexts in the engine.
+    engines: int = 2
+    #: When set, bridged transfers are cut into segments of this size
+    #: so the IB leg, the SMFU engine and the EXTOLL leg overlap
+    #: (pipelined store-and-forward) instead of running sequentially
+    #: per message.  None = whole-message store-and-forward.
+    segment_bytes: Optional[int] = None
+
+
+class SMFUGateway:
+    """One BI node's bridging engine, attached to both fabrics."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        cluster_fabric: Fabric,
+        booster_fabric: Fabric,
+        spec: SMFUSpec = SMFUSpec(),
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.cluster_fabric = cluster_fabric
+        self.booster_fabric = booster_fabric
+        self.spec = spec
+        self.engine = Resource(sim, capacity=spec.engines, name=f"smfu:{name}")
+        self.queued_bytes = 0
+        self.forwarded_messages = 0
+        self.forwarded_bytes = 0
+
+    def forward(self, size_bytes: int, overhead: bool = True):
+        """Generator: store-and-forward *size_bytes* through the engine.
+
+        Load accounting (``queued_bytes``) is handled by the bridge at
+        gateway-selection time so that simultaneous senders see each
+        other's in-flight assignments.  *overhead* charges the
+        per-message protocol handling (suppressed for the trailing
+        segments of a segmented message).
+        """
+        req = self.engine.request()
+        try:
+            yield req
+            duration = size_bytes / self.spec.bandwidth_bytes_per_s
+            if overhead:
+                duration += self.spec.per_message_overhead_s
+            yield self.sim.timeout(duration)
+        finally:
+            if req.triggered:
+                self.engine.release(req)
+            else:
+                self.engine.cancel(req)
+        self.forwarded_messages += 1 if overhead else 0
+        self.forwarded_bytes += size_bytes
+
+    def utilization(self, since: float = 0.0) -> float:
+        return self.engine.utilization(since)
+
+
+class ClusterBoosterBridge:
+    """Routes messages between the Cluster and Booster fabrics.
+
+    Parameters
+    ----------
+    gateways:
+        The machine's :class:`SMFUGateway` objects.  Each gateway name
+        must be an attached endpoint of **both** fabrics.
+    selection:
+        ``"static"`` (hash of the endpoint pair — what a firmware
+        table does) or ``"dynamic"`` (least queued bytes at send time).
+    """
+
+    def __init__(
+        self, gateways: Sequence[SMFUGateway], selection: str = "static"
+    ) -> None:
+        if not gateways:
+            raise ConfigurationError("bridge needs at least one gateway")
+        if selection not in ("static", "dynamic"):
+            raise ConfigurationError(f"unknown gateway selection {selection!r}")
+        self.gateways = list(gateways)
+        self.selection = selection
+        cf = {g.cluster_fabric for g in gateways}
+        bf = {g.booster_fabric for g in gateways}
+        if len(cf) != 1 or len(bf) != 1:
+            raise ConfigurationError("gateways must share the same two fabrics")
+        self.cluster_fabric = next(iter(cf))
+        self.booster_fabric = next(iter(bf))
+
+    # -- gateway selection -------------------------------------------------
+    def pick_gateway(self, src: str, dst: str) -> SMFUGateway:
+        """Choose the forwarding gateway for a (src, dst) pair."""
+        if self.selection == "dynamic":
+            return min(self.gateways, key=lambda g: g.queued_bytes)
+        idx = zlib.crc32(f"{src}|{dst}".encode()) % len(self.gateways)
+        return self.gateways[idx]
+
+    def _fabric_of(self, endpoint: str) -> Fabric:
+        for fabric in (self.cluster_fabric, self.booster_fabric):
+            try:
+                fabric.interface(endpoint)
+                return fabric
+            except RoutingError:
+                continue
+        raise RoutingError(f"endpoint {endpoint!r} is on neither fabric")
+
+    # -- transfers -----------------------------------------------------------
+    def transfer(self, src: str, dst: str, size_bytes: int, kind: str = "data"):
+        """Generator: move bytes across the bridge (either direction).
+
+        Leg 1 on the source fabric to the gateway, SMFU forwarding,
+        leg 2 on the destination fabric.  Returns a
+        :class:`TransferRecord` spanning the whole path.
+        """
+        src_fabric = self._fabric_of(src)
+        dst_fabric = self._fabric_of(dst)
+        if src_fabric is dst_fabric:
+            raise RoutingError(
+                f"{src!r} and {dst!r} are on the same fabric; no bridging needed"
+            )
+        gw = self.pick_gateway(src, dst)
+        sim = gw.sim
+        start = sim.now
+        seg = gw.spec.segment_bytes
+        # Register the load immediately so concurrent dynamic picks
+        # spread across gateways instead of all seeing an empty queue.
+        gw.queued_bytes += size_bytes
+        try:
+            if seg is not None and size_bytes > seg:
+                hops = yield from self._transfer_segmented(
+                    src_fabric, dst_fabric, gw, src, dst, size_bytes, kind
+                )
+                return TransferRecord(
+                    src, dst, size_bytes, start, sim.now, hops, kind
+                )
+            rec1 = yield from src_fabric.transfer(src, gw.name, size_bytes, kind=kind)
+            yield from gw.forward(size_bytes)
+        finally:
+            gw.queued_bytes -= size_bytes
+        rec2 = yield from dst_fabric.transfer(gw.name, dst, size_bytes, kind=kind)
+        return TransferRecord(
+            src, dst, size_bytes, start, sim.now, rec1.hops + rec2.hops + 1, kind
+        )
+
+    def _transfer_segmented(
+        self, src_fabric, dst_fabric, gw: SMFUGateway,
+        src: str, dst: str, size_bytes: int, kind: str,
+    ):
+        """Pipelined bridging: each segment runs leg1 -> SMFU -> leg2
+        as its own process, so the three stages overlap across
+        segments (the fill cost is one segment per stage)."""
+        sim = gw.sim
+        seg = gw.spec.segment_bytes
+        n_full, rem = divmod(size_bytes, seg)
+        sizes = [seg] * n_full + ([rem] if rem else [])
+        hops_holder = {}
+
+        def one(nbytes: int, first: bool):
+            r1 = yield from src_fabric.transfer(src, gw.name, nbytes, kind=kind)
+            yield from gw.forward(nbytes, overhead=first)
+            r2 = yield from dst_fabric.transfer(gw.name, dst, nbytes, kind=kind)
+            hops_holder.setdefault("hops", r1.hops + r2.hops + 1)
+
+        drivers = [
+            sim.process(one(nbytes, i == 0), name="bridge-seg")
+            for i, nbytes in enumerate(sizes)
+        ]
+        yield sim.all_of(drivers)
+        return hops_holder.get("hops", 1)
+
+    def send_message(self, msg: Message):
+        """Generator: deliver *msg* across the bridge into the remote inbox."""
+        src_fabric = self._fabric_of(msg.src)
+        dst_fabric = self._fabric_of(msg.dst)
+        sim = self.gateways[0].sim
+        msg.sent_at = sim.now
+        src_iface = src_fabric.interface(msg.src)
+        if src_iface.send_overhead_s > 0:
+            yield sim.timeout(src_iface.send_overhead_s)
+        record = yield from self.transfer(msg.src, msg.dst, msg.size_bytes, msg.kind)
+        msg.received_at = sim.now
+        src_iface.bytes_sent += msg.size_bytes
+        dst_iface = dst_fabric.interface(msg.dst)
+        dst_iface.bytes_received += msg.size_bytes
+        dst_iface.inbox.put(msg)
+        return record
+
+    def ideal_transfer_time(self, src: str, dst: str, size_bytes: int) -> float:
+        """Uncontended bridged end-to-end time."""
+        src_fabric = self._fabric_of(src)
+        dst_fabric = self._fabric_of(dst)
+        gw = self.pick_gateway(src, dst)
+        return (
+            src_fabric.ideal_transfer_time(src, gw.name, size_bytes)
+            + gw.spec.per_message_overhead_s
+            + size_bytes / gw.spec.bandwidth_bytes_per_s
+            + dst_fabric.ideal_transfer_time(gw.name, dst, size_bytes)
+        )

@@ -1,0 +1,42 @@
+"""OmpSs-like task runtime (slides 22/23/30/31).
+
+"Decouple how we write (think sequential) from how it is executed":
+tasks declare ``in_``/``out``/``inout`` data regions; the runtime
+builds the dependency graph from region overlaps (the Nanos++ rule:
+two accesses conflict when their byte intervals intersect and at least
+one writes) and executes ready tasks dataflow-style over the cores of
+a simulated processor — or offloads whole task collections to Booster
+nodes through Global MPI (the slide-31 "OmpSs offload abstraction").
+"""
+
+from repro.ompss.regions import AccessMode, Region, RegionAccess
+from repro.ompss.task import Task
+from repro.ompss.graph import TaskGraph
+from repro.ompss.scheduler import CoreBank, DataflowScheduler, ScheduleResult
+from repro.ompss.runtime import OmpSsRuntime, TaskBuilder
+from repro.ompss.offload import OffloadPlan, partition_tasks
+from repro.ompss.tracing import (
+    TraceInterval,
+    ascii_gantt,
+    concurrency_profile,
+    schedule_trace,
+)
+
+__all__ = [
+    "AccessMode",
+    "CoreBank",
+    "DataflowScheduler",
+    "OffloadPlan",
+    "OmpSsRuntime",
+    "Region",
+    "RegionAccess",
+    "ScheduleResult",
+    "Task",
+    "TaskBuilder",
+    "TaskGraph",
+    "TraceInterval",
+    "ascii_gantt",
+    "concurrency_profile",
+    "partition_tasks",
+    "schedule_trace",
+]

@@ -1,0 +1,120 @@
+"""Offload planning: mapping a task graph onto Booster ranks.
+
+Slide 30/31's "OmpSs offload abstraction" compiles annotated task
+collections into code parts executed on the Booster.  Here the
+abstraction is an :class:`OffloadPlan`: an assignment of every task to
+a Booster rank plus the induced cross-rank communication edges.  The
+distributed executor in :mod:`repro.deep.offload` turns a plan into
+actual simulated MPI traffic.
+
+Partitioners:
+
+* ``block`` — contiguous program-order blocks (preserves locality of
+  iterative task chains);
+* ``cyclic`` — round robin (best load spread for independent tasks);
+* ``locality`` — greedy: place each task where most of its input bytes
+  already live, subject to a load cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import OffloadError
+from repro.ompss.graph import TaskGraph
+from repro.ompss.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.processor import ProcessorSpec
+
+
+@dataclass(slots=True)
+class OffloadPlan:
+    """A task graph mapped onto *n_ranks* Booster ranks."""
+
+    graph: TaskGraph
+    n_ranks: int
+    #: task_id -> rank
+    assignment: dict[int, int]
+    strategy: str = "block"
+
+    def tasks_of(self, rank: int) -> list[Task]:
+        """This rank's tasks, in program (= topological) order."""
+        return [t for t in self.graph.tasks if self.assignment[t.task_id] == rank]
+
+    def cross_edges(self) -> list[tuple[Task, Task, int]]:
+        """(producer, consumer, bytes) for every cross-rank dependency."""
+        edges = []
+        for t in self.graph.tasks:
+            for d in sorted(self.graph.deps[t.task_id]):
+                if self.assignment[d] != self.assignment[t.task_id]:
+                    producer = self.graph.task(d)
+                    edges.append((producer, t, self.graph.edge_bytes(producer, t)))
+        return edges
+
+    def cross_traffic_bytes(self) -> int:
+        """Total bytes crossing rank boundaries."""
+        return sum(b for _, _, b in self.cross_edges())
+
+    def load_by_rank(self, duration_fn) -> list[float]:
+        """Summed task durations per rank."""
+        loads = [0.0] * self.n_ranks
+        for t in self.graph.tasks:
+            loads[self.assignment[t.task_id]] += duration_fn(t)
+        return loads
+
+    def imbalance(self, duration_fn) -> float:
+        """max/mean load ratio (1.0 = perfectly balanced)."""
+        loads = self.load_by_rank(duration_fn)
+        mean = sum(loads) / len(loads) if loads else 0.0
+        return max(loads) / mean if mean > 0 else 0.0
+
+
+def partition_tasks(
+    graph: TaskGraph,
+    n_ranks: int,
+    strategy: str = "block",
+    duration_fn=None,
+) -> OffloadPlan:
+    """Assign every task of *graph* to one of *n_ranks* ranks."""
+    if n_ranks < 1:
+        raise OffloadError(f"need >= 1 rank, got {n_ranks}")
+    if not graph.tasks:
+        raise OffloadError("cannot partition an empty task graph")
+
+    n = len(graph.tasks)
+    assignment: dict[int, int] = {}
+
+    if strategy == "block":
+        per = -(-n // n_ranks)  # ceil
+        for i, t in enumerate(graph.tasks):
+            assignment[t.task_id] = min(i // per, n_ranks - 1)
+    elif strategy == "cyclic":
+        for i, t in enumerate(graph.tasks):
+            assignment[t.task_id] = i % n_ranks
+    elif strategy == "locality":
+        if duration_fn is None:
+            duration_fn = lambda t: max(t.flops, 1.0)
+        cap = graph.total_work(duration_fn) / n_ranks * 1.2
+        loads = [0.0] * n_ranks
+        for t in graph.tasks:
+            # Bytes of input produced on each rank so far.
+            byrank = [0] * n_ranks
+            for d in graph.deps[t.task_id]:
+                r = assignment[d]
+                byrank[r] += graph.edge_bytes(graph.task(d), t)
+            order = sorted(
+                range(n_ranks), key=lambda r: (-byrank[r], loads[r], r)
+            )
+            chosen = next(
+                (r for r in order if loads[r] + duration_fn(t) <= cap), None
+            )
+            if chosen is None:
+                chosen = min(range(n_ranks), key=lambda r: loads[r])
+            assignment[t.task_id] = chosen
+            loads[chosen] += duration_fn(t)
+    else:
+        raise OffloadError(f"unknown partition strategy {strategy!r}")
+
+    return OffloadPlan(graph, n_ranks, assignment, strategy)

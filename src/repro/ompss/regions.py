@@ -1,0 +1,97 @@
+"""Data regions: the dependency currency of the task runtime.
+
+A :class:`Region` is a byte interval ``[start, end)`` in a named
+address space ("matrix A", "halo buffer", ...).  Slide 23's Cholesky
+pragmas — ``#pragma omp task input([TS][TS]A) inout([TS][TS]C)`` —
+translate to accesses on tile-sized regions of the matrix space.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TaskError
+
+
+class AccessMode(enum.Enum):
+    """How a task touches a region (OmpSs pragma clauses).
+
+    ``CONCURRENT`` is OmpSs's reduction-style clause: several
+    concurrent tasks may update the region simultaneously (they do not
+    order among themselves) but they order against ordinary readers
+    and writers.
+    """
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+    CONCURRENT = "concurrent"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.IN, AccessMode.INOUT)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.OUT, AccessMode.INOUT, AccessMode.CONCURRENT)
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """A byte interval in a named address space."""
+
+    space: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise TaskError(f"invalid region [{self.start}, {self.end}) in {self.space!r}")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "Region") -> bool:
+        """True if the two regions share at least one byte."""
+        return (
+            self.space == other.space
+            and self.start < other.end
+            and other.start < self.end
+        )
+
+    def overlap_bytes(self, other: "Region") -> int:
+        """Size of the shared interval (0 when disjoint)."""
+        if self.space != other.space:
+            return 0
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        return max(hi - lo, 0)
+
+    @classmethod
+    def tile(cls, space: str, row: int, col: int, tile_bytes: int, tiles_per_row: int) -> "Region":
+        """The (row, col) tile of a tiled 2D array laid out row-major."""
+        if row < 0 or col < 0 or col >= tiles_per_row:
+            raise TaskError(f"invalid tile ({row}, {col}) with {tiles_per_row} per row")
+        index = row * tiles_per_row + col
+        return cls(space, index * tile_bytes, (index + 1) * tile_bytes)
+
+
+@dataclass(frozen=True, slots=True)
+class RegionAccess:
+    """One task's access to one region."""
+
+    region: Region
+    mode: AccessMode
+
+    def conflicts_with(self, other: "RegionAccess") -> bool:
+        """True when ordering is required between the two accesses."""
+        if not self.region.overlaps(other.region):
+            return False
+        if (
+            self.mode is AccessMode.CONCURRENT
+            and other.mode is AccessMode.CONCURRENT
+        ):
+            return False  # concurrent updates commute
+        return self.mode.writes or other.mode.writes

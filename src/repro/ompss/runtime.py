@@ -1,0 +1,171 @@
+"""The user-facing OmpSs-like runtime.
+
+:class:`OmpSsRuntime` is the per-program runtime object: declare tasks
+with the fluent :class:`TaskBuilder` (the analogue of slide 23's
+``#pragma omp task`` annotations), then execute the accumulated graph
+on a processor — or hand it to the offload layer.
+
+Example (tiled Cholesky's potrf task)::
+
+    rt = OmpSsRuntime()
+    A = rt.space("A")
+    rt.task("spotrf", flops=f).updates(A.tile(k, k)).submit()
+    ...
+    result = yield from rt.execute(sim, processor)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import TaskError
+from repro.ompss.graph import TaskGraph
+from repro.ompss.regions import Region
+from repro.ompss.scheduler import DataflowScheduler, ScheduleResult
+from repro.ompss.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.processor import Processor
+    from repro.simkernel.simulator import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class ArraySpace:
+    """A named address space with tile/slice helpers."""
+
+    name: str
+    tile_bytes: int = 8
+    tiles_per_row: int = 1
+
+    def tile(self, row: int, col: int = 0) -> Region:
+        """The (row, col) tile as a region."""
+        return Region.tile(self.name, row, col, self.tile_bytes, self.tiles_per_row)
+
+    def slice(self, start_byte: int, end_byte: int) -> Region:
+        """An explicit byte interval."""
+        return Region(self.name, start_byte, end_byte)
+
+    def whole(self, total_bytes: Optional[int] = None) -> Region:
+        """The full space (default: tiles_per_row^2 tiles)."""
+        if total_bytes is None:
+            total_bytes = self.tile_bytes * self.tiles_per_row * self.tiles_per_row
+        return Region(self.name, 0, total_bytes)
+
+
+class TaskBuilder:
+    """Fluent task declaration; ``submit()`` adds it to the graph."""
+
+    def __init__(self, runtime: "OmpSsRuntime", task: Task) -> None:
+        self._runtime = runtime
+        self._task = task
+        self._submitted = False
+
+    def reads(self, *regions: Region) -> "TaskBuilder":
+        """``in`` clauses."""
+        for r in regions:
+            self._task.reads(r)
+        return self
+
+    def writes(self, *regions: Region) -> "TaskBuilder":
+        """``out`` clauses."""
+        for r in regions:
+            self._task.writes(r)
+        return self
+
+    def updates(self, *regions: Region) -> "TaskBuilder":
+        """``inout`` clauses."""
+        for r in regions:
+            self._task.updates(r)
+        return self
+
+    def updates_concurrently(self, *regions: Region) -> "TaskBuilder":
+        """``concurrent`` clauses (commuting reduction-style updates)."""
+        for r in regions:
+            self._task.updates_concurrently(r)
+        return self
+
+    def priority(self, p: int) -> "TaskBuilder":
+        """OmpSs ``priority`` clause for the "priority" policy."""
+        self._task.priority = p
+        return self
+
+    def cores(self, n: int) -> "TaskBuilder":
+        """Number of cores the task occupies."""
+        self._task.n_cores = n
+        return self
+
+    def runs(self, fn: Callable) -> "TaskBuilder":
+        """Python callable evaluated at task completion."""
+        self._task.fn = fn
+        return self
+
+    def submit(self) -> Task:
+        """Add the task to the runtime's graph (once)."""
+        if self._submitted:
+            raise TaskError(f"task {self._task.name!r} already submitted")
+        self._submitted = True
+        return self._runtime.graph.submit(self._task)
+
+
+class OmpSsRuntime:
+    """Per-program task runtime: declare, analyse, execute."""
+
+    def __init__(self, name: str = "ompss") -> None:
+        self.name = name
+        self.graph = TaskGraph(name=name)
+
+    def space(
+        self, name: str, tile_bytes: int = 8, tiles_per_row: int = 1
+    ) -> ArraySpace:
+        """Declare a named data space."""
+        return ArraySpace(name, tile_bytes, tiles_per_row)
+
+    def task(
+        self,
+        name: str,
+        flops: float = 0.0,
+        traffic_bytes: float = 0.0,
+        duration_s: Optional[float] = None,
+    ) -> TaskBuilder:
+        """Begin declaring a task (finish with ``.submit()``)."""
+        return TaskBuilder(
+            self,
+            Task(
+                name=name,
+                flops=flops,
+                traffic_bytes=traffic_bytes,
+                duration_s=duration_s,
+            ),
+        )
+
+    def taskwait(self) -> Task:
+        """OmpSs ``#pragma omp taskwait``: everything after waits for
+        everything before."""
+        return self.graph.add_barrier()
+
+    def execute(
+        self,
+        sim: "Simulator",
+        processor: "Processor",
+        policy: str = "critical-path",
+    ):
+        """Generator: run the accumulated graph on *processor*.
+
+        Returns the :class:`~repro.ompss.scheduler.ScheduleResult`.
+        """
+        scheduler = DataflowScheduler(policy=policy)
+        result = yield from scheduler.run(sim, self.graph, processor)
+        return result
+
+    # -- analysis passthroughs ------------------------------------------------
+    def critical_path_on(self, processor: "Processor") -> float:
+        """Span of the graph on the given processor."""
+        span, _ = self.graph.critical_path(lambda t: t.duration_on(processor.spec))
+        return span
+
+    def parallelism_on(self, processor: "Processor") -> float:
+        """Average parallelism (work/span) on the given processor."""
+        return self.graph.average_parallelism(
+            lambda t: t.duration_on(processor.spec)
+        )

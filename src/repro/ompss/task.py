@@ -1,0 +1,100 @@
+"""Tasks: units of work with declared data accesses."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import TaskError
+from repro.ompss.regions import AccessMode, Region, RegionAccess
+
+_task_counter = itertools.count()
+
+
+@dataclass(slots=True)
+class Task:
+    """A task instance in a task graph.
+
+    Cost is declared as (flops, traffic_bytes) evaluated through the
+    executing processor's roofline, or overridden with ``duration_s``
+    (useful for calibrated traces).  ``fn`` is an optional Python
+    callable executed (for value semantics) when the simulated task
+    completes.
+    """
+
+    name: str
+    flops: float = 0.0
+    traffic_bytes: float = 0.0
+    accesses: list[RegionAccess] = field(default_factory=list)
+    #: Cores the task occupies; 0 means "all cores of the executing
+    #: processor" (a whole-node kernel).
+    n_cores: int = 1
+    #: User priority for the "priority" scheduling policy (higher runs
+    #: first among ready tasks; the OmpSs ``priority`` clause).
+    priority: int = 0
+    duration_s: Optional[float] = None
+    fn: Optional[Callable[[], Any]] = None
+    task_id: int = field(default_factory=lambda: next(_task_counter))
+    #: Filled by the scheduler.
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    result: Any = None
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.traffic_bytes < 0:
+            raise TaskError(f"task {self.name!r} has negative cost")
+        if self.n_cores < 0:
+            raise TaskError(f"task {self.name!r} has negative n_cores")
+        if self.duration_s is not None and self.duration_s < 0:
+            raise TaskError(f"task {self.name!r} has negative duration")
+
+    # -- access declaration (chainable, mirrors the pragma clauses) --------
+    def reads(self, region: Region) -> "Task":
+        """Declare an ``in`` access."""
+        self.accesses.append(RegionAccess(region, AccessMode.IN))
+        return self
+
+    def writes(self, region: Region) -> "Task":
+        """Declare an ``out`` access."""
+        self.accesses.append(RegionAccess(region, AccessMode.OUT))
+        return self
+
+    def updates(self, region: Region) -> "Task":
+        """Declare an ``inout`` access."""
+        self.accesses.append(RegionAccess(region, AccessMode.INOUT))
+        return self
+
+    def updates_concurrently(self, region: Region) -> "Task":
+        """Declare a ``concurrent`` access (commuting reduction-style)."""
+        self.accesses.append(RegionAccess(region, AccessMode.CONCURRENT))
+        return self
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def input_regions(self) -> list[Region]:
+        return [a.region for a in self.accesses if a.mode.reads]
+
+    @property
+    def output_regions(self) -> list[Region]:
+        return [a.region for a in self.accesses if a.mode.writes]
+
+    def input_bytes(self) -> int:
+        return sum(r.size_bytes for r in self.input_regions)
+
+    def output_bytes(self) -> int:
+        return sum(r.size_bytes for r in self.output_regions)
+
+    def duration_on(self, processor_spec) -> float:
+        """Execution time on a processor (override or roofline)."""
+        if self.duration_s is not None:
+            return self.duration_s
+        n = (
+            processor_spec.n_cores
+            if self.n_cores == 0
+            else min(self.n_cores, processor_spec.n_cores)
+        )
+        return processor_spec.kernel_time(self.flops, self.traffic_bytes, n)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Task {self.task_id} {self.name!r}>"

@@ -1,0 +1,40 @@
+"""ParaStation-style resource management (slides 21/28).
+
+The slide deck's management claims are: Booster resources can be
+assigned to Cluster jobs **statically or dynamically** (slide 21), and
+the MPI process startup "integrates well with the ParaStation Cluster
+Management Software" (slide 28).  This package provides:
+
+* :class:`~repro.parastation.nodes.Partition` — named node pools with
+  allocation state and utilisation accounting;
+* :class:`~repro.parastation.job.JobSpec` /
+  :class:`~repro.parastation.job.Job` — batch job descriptions;
+* :class:`~repro.parastation.scheduler.Scheduler` — FIFO + backfill
+  batch scheduling with both Booster assignment policies;
+* :class:`~repro.parastation.spawner.ParaStationSpawner` — the
+  :class:`~repro.mpi.spawn.SpawnBackend` that serves
+  ``MPI_Comm_spawn`` from a Booster partition, with tree startup.
+"""
+
+from repro.parastation.nodes import NodeState, Partition
+from repro.parastation.daemon import DaemonMonitor, HeartbeatConfig
+from repro.parastation.job import Job, JobSpec, JobState
+from repro.parastation.scheduler import BoosterPolicy, Scheduler
+from repro.parastation.spawner import ParaStationSpawner, StartupModel
+from repro.parastation.accounting import UsageLedger, UsageRecord
+
+__all__ = [
+    "BoosterPolicy",
+    "DaemonMonitor",
+    "HeartbeatConfig",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "NodeState",
+    "ParaStationSpawner",
+    "Partition",
+    "Scheduler",
+    "StartupModel",
+    "UsageLedger",
+    "UsageRecord",
+]

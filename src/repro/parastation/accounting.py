@@ -1,0 +1,78 @@
+"""Usage accounting: node-seconds, waits, and utilisation reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parastation.job import Job
+
+
+@dataclass(frozen=True, slots=True)
+class UsageRecord:
+    """Accounting entry of one finished job."""
+
+    job_id: int
+    name: str
+    submit_time: float
+    start_time: float
+    end_time: float
+    n_cluster: int
+    n_booster: int
+
+    @property
+    def wait_time(self) -> float:
+        return self.start_time - self.submit_time
+
+    @property
+    def run_time(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def cluster_node_seconds(self) -> float:
+        return self.n_cluster * self.run_time
+
+
+class UsageLedger:
+    """Collects :class:`UsageRecord` entries as jobs finish."""
+
+    def __init__(self) -> None:
+        self.records: list[UsageRecord] = []
+
+    def record_job(self, job: "Job") -> None:
+        """Append an entry for a finished job (no-op if never started)."""
+        if job.start_time is None or job.end_time is None:
+            return
+        self.records.append(
+            UsageRecord(
+                job_id=job.job_id,
+                name=job.spec.name,
+                submit_time=job.submit_time,
+                start_time=job.start_time,
+                end_time=job.end_time,
+                n_cluster=job.spec.n_cluster,
+                n_booster=job.spec.n_booster,
+            )
+        )
+
+    @property
+    def job_count(self) -> int:
+        return len(self.records)
+
+    def mean_wait(self) -> float:
+        """Mean queue wait over recorded jobs (0 if none)."""
+        if not self.records:
+            return 0.0
+        return sum(r.wait_time for r in self.records) / len(self.records)
+
+    def makespan(self) -> float:
+        """Last end minus first submit (0 if no jobs)."""
+        if not self.records:
+            return 0.0
+        return max(r.end_time for r in self.records) - min(
+            r.submit_time for r in self.records
+        )
+
+    def total_cluster_node_seconds(self) -> float:
+        return sum(r.cluster_node_seconds for r in self.records)

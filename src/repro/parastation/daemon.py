@@ -1,0 +1,140 @@
+"""psid-style node daemons: heartbeats and failure detection.
+
+ParaStation's per-node daemon (psid) is what the management layer
+actually *sees* of a node; a node is declared dead when its heartbeats
+stop.  The detection latency — roughly ``timeout_multiplier x
+heartbeat_interval`` — is the gap during which the resource manager
+may still schedule onto a corpse, so it is a first-order parameter of
+any resiliency story (experiment X22 sweeps it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import ConfigurationError, ProcessKilled
+from repro.parastation.nodes import NodeState, Partition
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.simulator import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class HeartbeatConfig:
+    """Daemon heartbeat parameters."""
+
+    interval_s: float = 0.5
+    timeout_multiplier: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ConfigurationError("heartbeat interval must be > 0")
+        if self.timeout_multiplier < 1.0:
+            raise ConfigurationError("timeout multiplier must be >= 1")
+
+    @property
+    def timeout_s(self) -> float:
+        return self.interval_s * self.timeout_multiplier
+
+
+class DaemonMonitor:
+    """Runs one heartbeat daemon per node plus a watchdog sweep.
+
+    ``start()`` launches everything; killing a node's daemon
+    (:meth:`fail_node`, or anything that stops its heartbeats) leads —
+    one detection latency later — to the node being marked DOWN in the
+    partition and ``on_node_down(name, detected_at)`` being invoked.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        partition: Partition,
+        config: HeartbeatConfig = HeartbeatConfig(),
+        on_node_down: Optional[Callable[[str, float], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.partition = partition
+        self.config = config
+        self.on_node_down = on_node_down
+        self._last_beat: dict[str, float] = {}
+        self._daemons: dict[str, object] = {}
+        self._watchdog = None
+        #: node name -> time the watchdog declared it dead.
+        self.detected_down: dict[str, float] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Launch the per-node daemons and the watchdog."""
+        now = self.sim.now
+        for node in self.partition.nodes:
+            self._last_beat[node.name] = now
+            self._daemons[node.name] = self.sim.process(
+                self._daemon(node.name), name=f"psid:{node.name}"
+            )
+        self._watchdog = self.sim.process(self._watch(), name="psid-watchdog")
+
+    def stop(self) -> None:
+        """Kill every daemon and the watchdog."""
+        for proc in self._daemons.values():
+            if proc.is_alive:
+                proc.kill("monitor stopped")
+        if self._watchdog is not None and self._watchdog.is_alive:
+            self._watchdog.kill("monitor stopped")
+
+    def fail_node(self, name: str) -> None:
+        """Silence a node's daemon (the node 'crashes')."""
+        proc = self._daemons.get(name)
+        if proc is None:
+            raise ConfigurationError(f"no daemon for node {name!r}")
+        if proc.is_alive:
+            proc.kill("node failure")
+
+    def revive_node(self, name: str) -> None:
+        """Restart a node's daemon after repair and mark the node up."""
+        if self.partition.state_of(name) is NodeState.DOWN:
+            self.partition.mark_up(name)
+        self.detected_down.pop(name, None)
+        self._last_beat[name] = self.sim.now
+        self._daemons[name] = self.sim.process(
+            self._daemon(name), name=f"psid:{name}"
+        )
+
+    # -- processes --------------------------------------------------------
+    def _daemon(self, name: str):
+        try:
+            while True:
+                yield self.sim.timeout(self.config.interval_s)
+                self._last_beat[name] = self.sim.now
+        except ProcessKilled:
+            return
+
+    def _watch(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.config.interval_s)
+                now = self.sim.now
+                for name, last in self._last_beat.items():
+                    if name in self.detected_down:
+                        continue
+                    if now - last > self.config.timeout_s:
+                        self._declare_down(name, now)
+        except ProcessKilled:
+            return
+
+    def _declare_down(self, name: str, now: float) -> None:
+        self.detected_down[name] = now
+        state = self.partition.state_of(name)
+        if state is NodeState.ALLOCATED:
+            self.partition.release([self.partition.node(name)])
+        if self.partition.state_of(name) is not NodeState.DOWN:
+            self.partition.mark_down(name)
+        if self.on_node_down is not None:
+            self.on_node_down(name, now)
+
+    # -- queries ------------------------------------------------------------
+    def detection_latency(self, name: str, failed_at: float) -> float:
+        """How long after *failed_at* the watchdog noticed (or inf)."""
+        detected = self.detected_down.get(name)
+        return float("inf") if detected is None else detected - failed_at

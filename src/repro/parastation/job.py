@@ -1,0 +1,97 @@
+"""Batch jobs for the scheduler."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import Node
+
+_job_counter = itertools.count(1)
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a batch job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """A job request.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label.
+    n_cluster:
+        Cluster nodes required for the whole job lifetime.
+    n_booster:
+        Booster nodes the job will use.  Under the **static** policy
+        these are co-allocated with the cluster nodes for the whole
+        job; under **dynamic** they are only claimed while the job's
+        offloaded phases actually run (slide 21's distinction).
+    walltime_estimate_s:
+        User estimate, used by backfill.
+    body:
+        ``body(job_handle)`` simulation generator that *is* the job.
+        ``None`` means the scheduler caller drives the job manually.
+    """
+
+    name: str
+    n_cluster: int
+    n_booster: int = 0
+    walltime_estimate_s: float = 3600.0
+    body: Optional[Callable[["Job"], Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_cluster < 1:
+            raise ConfigurationError("a job needs at least one cluster node")
+        if self.n_booster < 0:
+            raise ConfigurationError("n_booster must be >= 0")
+        if self.walltime_estimate_s <= 0:
+            raise ConfigurationError("walltime estimate must be > 0")
+
+
+@dataclass(slots=True)
+class Job:
+    """A submitted job and its runtime state."""
+
+    spec: JobSpec
+    job_id: int = field(default_factory=lambda: next(_job_counter))
+    state: JobState = JobState.PENDING
+    submit_time: float = 0.0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    cluster_nodes: list["Node"] = field(default_factory=list)
+    booster_nodes: list["Node"] = field(default_factory=list)
+    #: Attached by the scheduler: the job's scheduler for dynamic
+    #: booster allocation during the run.
+    scheduler: Any = None
+    #: Jobs that must COMPLETE before this one may start.
+    depends_on: list = field(default_factory=list)
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Queue wait (start - submit), once started."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def run_time(self) -> Optional[float]:
+        """Execution duration, once finished."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Job {self.job_id} {self.spec.name!r} {self.state.value}>"

@@ -1,0 +1,254 @@
+"""Batch scheduler with static vs dynamic Booster assignment.
+
+Slide 6's criticism of accelerated clusters is the **static assignment
+of accelerators to CPUs**: an accelerator bought for node X idles
+whenever X runs a non-accelerated job.  Slide 8/21's alternative is a
+*pooled* Booster whose nodes are claimed only while offloaded kernels
+run.  :class:`Scheduler` implements both policies over the same
+machine, so E3/E12 can measure the utilisation gap directly.
+
+Scheduling is FIFO with EASY backfill: a job that cannot run because
+the head of the queue lacks nodes may be overtaken by later jobs that
+fit *now* and do not delay the head job's estimated start.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.errors import AllocationError, ResourceError
+from repro.parastation.accounting import UsageLedger
+from repro.parastation.job import Job, JobSpec, JobState
+from repro.parastation.nodes import Partition
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import Node
+    from repro.simkernel.simulator import Simulator
+
+
+class BoosterPolicy(enum.Enum):
+    """How Booster nodes are assigned to jobs."""
+
+    #: Booster nodes are co-allocated with the cluster nodes for the
+    #: whole job lifetime (the accelerated-cluster model, slide 6).
+    STATIC = "static"
+    #: Booster nodes are claimed per offload phase from a shared pool
+    #: and returned immediately after (the DEEP model, slides 8/21).
+    DYNAMIC = "dynamic"
+
+
+class Scheduler:
+    """FIFO + EASY-backfill scheduler over cluster/booster partitions."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cluster: Partition,
+        booster: Optional[Partition] = None,
+        policy: BoosterPolicy = BoosterPolicy.DYNAMIC,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.booster = booster
+        self.policy = policy
+        self.queue: list[Job] = []
+        self.running: list[Job] = []
+        self.completed: list[Job] = []
+        self.ledger = UsageLedger()
+        self._wakeup = None  # event used to re-run scheduling
+        self._booster_waiters: list = []  # events of blocked claims
+
+    # -- submission ------------------------------------------------------
+    def submit(self, spec: JobSpec, after: Optional[list[Job]] = None) -> Job:
+        """Enqueue a job and immediately try to schedule it.
+
+        *after* lists jobs that must COMPLETE before this one may
+        start (batch-system dependency chains).
+        """
+        job = Job(spec=spec, submit_time=self.sim.now, scheduler=self)
+        job.depends_on = list(after) if after else []
+        self.queue.append(job)
+        self._schedule_pass()
+        self._kick()
+        return job
+
+    def _kick(self) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    # -- the scheduling loop (a simulation process) --------------------------
+    def run(self):
+        """Generator: the scheduler daemon.  Start with ``sim.process``.
+
+        Terminates when queue and running set are both empty and a
+        final wakeup never arrives — so drive it with
+        ``sim.run(until=...)`` or kill it when the workload is done.
+        """
+        while True:
+            self._schedule_pass()
+            self._wakeup = self.sim.event("sched-wakeup")
+            yield self._wakeup
+
+    def drain(self):
+        """Generator: schedule until queue and running set are empty."""
+        while self.queue or self.running:
+            self._schedule_pass()
+            if not self.queue and not self.running:
+                break
+            self._wakeup = self.sim.event("sched-wakeup")
+            yield self._wakeup
+
+    @staticmethod
+    def _deps_met(job: Job) -> bool:
+        return all(d.state is JobState.COMPLETED for d in job.depends_on)
+
+    def _schedule_pass(self) -> None:
+        """Start every job that can start under FIFO + EASY backfill.
+
+        Jobs with unmet dependencies are invisible to the pass: they
+        neither start nor act as the blocking head.
+        """
+        started = True
+        while started and self.queue:
+            started = False
+            eligible = [j for j in self.queue if self._deps_met(j)]
+            if not eligible:
+                return
+            head = eligible[0]
+            if self._try_start(head):
+                self.queue.remove(head)
+                started = True
+                continue
+            # EASY backfill: later jobs may jump ahead if they fit now
+            # and finish before the head's earliest possible start.
+            shadow = self._earliest_start_estimate(head)
+            for job in eligible[1:]:
+                fits_now = self._fits(job.spec)
+                finishes_in_shadow = (
+                    self.sim.now + job.spec.walltime_estimate_s <= shadow
+                )
+                if fits_now and (finishes_in_shadow or shadow == float("inf")):
+                    if self._try_start(job):
+                        self.queue.remove(job)
+                        started = True
+
+    def _fits(self, spec: JobSpec) -> bool:
+        if spec.n_cluster > self.cluster.free_count:
+            return False
+        if self.policy is BoosterPolicy.STATIC and spec.n_booster > 0:
+            if self.booster is None or spec.n_booster > self.booster.free_count:
+                return False
+        return True
+
+    def _earliest_start_estimate(self, job: Job) -> float:
+        """Shadow time: when the head job could start, by estimates."""
+        if self._fits(job.spec):
+            return self.sim.now
+        # Sort running jobs by estimated completion and free resources
+        # until the head fits.
+        ends = sorted(
+            (
+                (j.start_time + j.spec.walltime_estimate_s, j)
+                for j in self.running
+                if j.start_time is not None
+            ),
+            key=lambda pair: pair[0],
+        )
+        free_c = self.cluster.free_count
+        free_b = self.booster.free_count if self.booster else 0
+        for end, j in ends:
+            free_c += j.spec.n_cluster
+            if self.policy is BoosterPolicy.STATIC:
+                free_b += j.spec.n_booster
+            need_b = job.spec.n_booster if self.policy is BoosterPolicy.STATIC else 0
+            if free_c >= job.spec.n_cluster and free_b >= need_b:
+                return end
+        return float("inf")
+
+    def _try_start(self, job: Job) -> bool:
+        if not self._fits(job.spec):
+            return False
+        job.cluster_nodes = self.cluster.allocate(job.spec.n_cluster)
+        if self.policy is BoosterPolicy.STATIC and job.spec.n_booster > 0:
+            job.booster_nodes = self.booster.allocate(job.spec.n_booster)
+        job.state = JobState.RUNNING
+        job.start_time = self.sim.now
+        self.running.append(job)
+        if job.spec.body is not None:
+            self.sim.process(self._run_job(job), name=f"job{job.job_id}")
+        return True
+
+    def _run_job(self, job: Job):
+        try:
+            result = job.spec.body(job)
+            if hasattr(result, "send"):
+                yield from result
+            job.state = JobState.COMPLETED
+        except Exception:
+            job.state = JobState.FAILED
+            raise
+        finally:
+            self.finish(job)
+
+    # -- job-side API ------------------------------------------------------------
+    def finish(self, job: Job) -> None:
+        """Release a job's resources (idempotent)."""
+        if job not in self.running:
+            return
+        self.running.remove(job)
+        job.end_time = self.sim.now
+        if job.state is JobState.RUNNING:
+            job.state = JobState.COMPLETED
+        self.cluster.release(job.cluster_nodes)
+        if job.booster_nodes:
+            self.booster.release(job.booster_nodes)
+            job.booster_nodes = []
+        self.completed.append(job)
+        self.ledger.record_job(job)
+        self._schedule_pass()
+        self._kick()
+
+    def claim_booster(self, job: Job, n: int) -> list["Node"]:
+        """Dynamically claim *n* booster nodes for an offload phase.
+
+        Only valid under the DYNAMIC policy (static jobs already hold
+        their booster nodes).  Raises AllocationError when the pool is
+        exhausted — callers may retry or shrink the request.
+        """
+        if self.policy is not BoosterPolicy.DYNAMIC:
+            raise ResourceError("claim_booster() requires the DYNAMIC policy")
+        if self.booster is None:
+            raise ResourceError("no booster partition configured")
+        nodes = self.booster.allocate(n)
+        job.booster_nodes.extend(nodes)
+        return nodes
+
+    def claim_booster_wait(self, job: Job, n: int):
+        """Generator: like :meth:`claim_booster` but blocks until free.
+
+        Raises immediately if the request exceeds the whole partition
+        (it could never be satisfied).
+        """
+        if self.booster is None or n > self.booster.size:
+            raise ResourceError(
+                f"request of {n} booster nodes can never be satisfied"
+            )
+        while True:
+            try:
+                return self.claim_booster(job, n)
+            except AllocationError:
+                waiter = self.sim.event("booster-wait")
+                self._booster_waiters.append(waiter)
+                yield waiter
+
+    def release_booster(self, job: Job, nodes: list["Node"]) -> None:
+        """Return dynamically claimed booster nodes to the pool."""
+        for node in nodes:
+            job.booster_nodes.remove(node)
+        self.booster.release(nodes)
+        waiters, self._booster_waiters = self._booster_waiters, []
+        for w in waiters:
+            w.succeed()
+        self._schedule_pass()
+        self._kick()

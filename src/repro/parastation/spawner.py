@@ -1,0 +1,128 @@
+"""The spawn backend: serving ``MPI_Comm_spawn`` from a partition.
+
+ParaStation starts remote processes through its per-node daemons
+(psid) organised as a forwarding tree, so startup time grows
+logarithmically in process count:  ``t = rm_latency + base +
+per_level * ceil(log2 n)`` (:class:`StartupModel`; E9 sweeps n and
+checks the log shape).
+
+:class:`ParaStationSpawner` implements :class:`~repro.mpi.spawn.SpawnBackend`
+against a booster :class:`~repro.parastation.nodes.Partition`, claiming
+nodes per spawn (the DYNAMIC policy of slide 21) or reusing a job's
+statically held nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import SpawnError
+from repro.mpi.spawn import SpawnAllocation, SpawnBackend
+from repro.parastation.nodes import Partition
+from repro.units import milliseconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.node import Node
+    from repro.parastation.job import Job
+    from repro.simkernel.simulator import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class StartupModel:
+    """Tree-startup cost: ``base + per_level * ceil(log2 n)``."""
+
+    rm_latency_s: float = milliseconds(2.0)
+    base_s: float = milliseconds(5.0)
+    per_level_s: float = milliseconds(1.5)
+
+    def startup_time(self, n: int) -> float:
+        if n < 1:
+            raise SpawnError(f"cannot start {n} processes")
+        levels = max(math.ceil(math.log2(n)), 1) if n > 1 else 1
+        return self.base_s + self.per_level_s * levels
+
+
+class ParaStationSpawner(SpawnBackend):
+    """Serves spawns from a booster partition.
+
+    Parameters
+    ----------
+    sim, partition:
+        Simulator and the partition to draw nodes from.
+    startup:
+        Tree-startup cost model.
+    job:
+        When given *and* the job holds statically assigned booster
+        nodes, spawns are served from those nodes without touching the
+        shared pool (the STATIC policy); otherwise nodes are claimed
+        dynamically from the partition and returned on release.
+    procs_per_node:
+        MPI processes started per booster node (1 for the
+        one-rank-per-KNC model; >1 for rank-per-core placement).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        partition: Partition,
+        startup: StartupModel = StartupModel(),
+        job: Optional["Job"] = None,
+        procs_per_node: int = 1,
+    ) -> None:
+        if procs_per_node < 1:
+            raise SpawnError(f"procs_per_node must be >= 1, got {procs_per_node}")
+        self.sim = sim
+        self.partition = partition
+        self.startup = startup
+        self.job = job
+        self.procs_per_node = procs_per_node
+        self._alloc_counter = 0
+        self._dynamic_allocations: dict[int, list["Node"]] = {}
+        self.spawn_count = 0
+
+    def _nodes_for(self, n_procs: int) -> tuple[list["Node"], bool]:
+        """Pick nodes; returns (nodes, dynamically_claimed)."""
+        n_nodes = math.ceil(n_procs / self.procs_per_node)
+        if self.job is not None and self.job.booster_nodes:
+            if n_nodes > len(self.job.booster_nodes):
+                raise SpawnError(
+                    f"spawn needs {n_nodes} booster nodes but the job holds "
+                    f"{len(self.job.booster_nodes)} statically"
+                )
+            return self.job.booster_nodes[:n_nodes], False
+        return self.partition.allocate(n_nodes), True
+
+    def allocate(self, n: int, info: Optional[dict] = None):
+        """Generator: RM round trip, node claim, startup wait."""
+        yield self.sim.timeout(self.startup.rm_latency_s)
+        nodes, dynamic = self._nodes_for(n)
+        self._alloc_counter += 1
+        self.spawn_count += 1
+        if dynamic:
+            self._dynamic_allocations[self._alloc_counter] = nodes
+        placements: list[tuple[str, Optional["Node"]]] = []
+        for i in range(n):
+            node = nodes[i // self.procs_per_node]
+            placements.append((node.name, node))
+        return SpawnAllocation(
+            placements, self.startup.startup_time(n), self._alloc_counter
+        )
+
+    def release(self, allocation: SpawnAllocation) -> None:
+        """Return dynamically claimed nodes to the partition.
+
+        Nodes no longer in ALLOCATED state (e.g. failed and marked
+        DOWN by the fault injector mid-spawn) are skipped.
+        """
+        from repro.parastation.nodes import NodeState
+
+        nodes = self._dynamic_allocations.pop(allocation.allocation_id, None)
+        if nodes:
+            live = [
+                n for n in nodes
+                if self.partition.state_of(n.name) is NodeState.ALLOCATED
+            ]
+            if live:
+                self.partition.release(live)

@@ -1,0 +1,36 @@
+"""Resiliency: failure injection, checkpointing, resilient offload.
+
+Slide 3 lists *resiliency* among the exascale challenges and slide 16
+advertises EXTOLL's RAS features; this package provides the system-
+level counterparts the DEEP software stack needs:
+
+* :class:`~repro.resilience.faults.FaultInjector` — exponential-MTBF
+  node failures: kills the MPI rank drivers on the victim node and
+  takes it out of the partition until repaired;
+* :mod:`~repro.resilience.checkpoint` — checkpoint/restart modelling:
+  Daly's optimal-interval formula plus a discrete-event simulation of
+  a checkpointed run under failures;
+* :func:`~repro.resilience.offload.resilient_offload` — an offload
+  wrapper that watches the spawned world's failure event and respawns
+  on fresh Booster nodes (the dynamic-assignment payoff: a broken node
+  is just not handed out again).
+"""
+
+from repro.resilience.faults import FaultInjector, kill_endpoint
+from repro.resilience.checkpoint import (
+    CheckpointStats,
+    daly_optimal_interval,
+    expected_runtime,
+    simulate_checkpointed_run,
+)
+from repro.resilience.offload import resilient_offload
+
+__all__ = [
+    "CheckpointStats",
+    "FaultInjector",
+    "daly_optimal_interval",
+    "expected_runtime",
+    "kill_endpoint",
+    "resilient_offload",
+    "simulate_checkpointed_run",
+]

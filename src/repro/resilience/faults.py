@@ -1,0 +1,133 @@
+"""Failure injection: node crashes with exponential inter-arrivals.
+
+A crash kills every MPI rank driver currently placed on the node
+(:class:`~repro.errors.ProcessKilled` is thrown into them) and marks
+the node DOWN in its partition so the resource manager stops handing
+it out; after ``repair_time_s`` the node returns to service.
+
+Approximation: compute sub-processes already in flight on the node
+(task bodies inside a distributed offload) are not individually
+hunted down — the node is dead for all observable purposes (its rank
+drivers are gone and it is unallocatable), and any phantom in-flight
+timeouts only consume the dead node's own resources.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.parastation.nodes import NodeState, Partition
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.world import MPIWorld
+    from repro.simkernel.simulator import Simulator
+
+
+def kill_endpoint(world: "MPIWorld", endpoint: str, reason: str = "node failure") -> int:
+    """Kill every live rank driver placed at *endpoint*; returns count."""
+    killed = 0
+    for driver in world.drivers_by_endpoint.get(endpoint, []):
+        if driver.is_alive:
+            driver.kill(reason)
+            killed += 1
+    return killed
+
+
+class FaultInjector:
+    """Injects node failures into a partition.
+
+    Parameters
+    ----------
+    sim, world, partition:
+        Simulator, the MPI world whose drivers get killed, and the
+        partition whose nodes fail.
+    mtbf_s:
+        Mean time between failures for the whole partition.
+    repair_time_s:
+        Downtime before a failed node rejoins the pool (None = never).
+    max_failures:
+        Stop after this many injections (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        world: "MPIWorld",
+        partition: Partition,
+        mtbf_s: float,
+        repair_time_s: Optional[float] = None,
+        max_failures: Optional[int] = None,
+        on_failure: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if mtbf_s <= 0:
+            raise ConfigurationError("mtbf_s must be > 0")
+        self.sim = sim
+        self.world = world
+        self.partition = partition
+        self.mtbf_s = mtbf_s
+        self.repair_time_s = repair_time_s
+        self.max_failures = max_failures
+        self.on_failure = on_failure
+        self.failures: list[tuple[float, str]] = []
+        self._proc = None
+
+    def start(self) -> None:
+        """Begin injecting (spawns the injector process)."""
+        self._proc = self.sim.process(self._run(), name="fault-injector")
+
+    def stop(self) -> None:
+        """Stop injecting."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.kill("injector stopped")
+
+    @property
+    def failure_count(self) -> int:
+        return len(self.failures)
+
+    def _run(self):
+        from repro.errors import ProcessKilled
+
+        rng = self.sim.rng.stream("fault-injector")
+        try:
+            while self.max_failures is None or len(self.failures) < self.max_failures:
+                yield self.sim.timeout(float(rng.exponential(self.mtbf_s)))
+                victim = self._pick_victim(rng)
+                if victim is None:
+                    continue
+                self._fail(victim)
+        except ProcessKilled:
+            return
+
+    def _pick_victim(self, rng) -> Optional[str]:
+        candidates = [
+            n.name
+            for n in self.partition.nodes
+            if self.partition.state_of(n.name) is not NodeState.DOWN
+        ]
+        if not candidates:
+            return None
+        return candidates[int(rng.integers(len(candidates)))]
+
+    def _fail(self, node_name: str) -> None:
+        state = self.partition.state_of(node_name)
+        if state is NodeState.ALLOCATED:
+            # Forcibly reclaim: the node is dead regardless of booking.
+            self.partition.release([self.partition.node(node_name)])
+        self.partition.mark_down(node_name)
+        kill_endpoint(self.world, node_name)
+        self.failures.append((self.sim.now, node_name))
+        if self.on_failure is not None:
+            self.on_failure(node_name)
+        if self.repair_time_s is not None:
+            self.sim.process(
+                self._repair(node_name), name=f"repair:{node_name}"
+            )
+
+    def _repair(self, node_name: str):
+        yield self.sim.timeout(self.repair_time_s)
+        if self.partition.state_of(node_name) is NodeState.DOWN:
+            self.partition.mark_up(node_name)
+            # Fresh drivers will be registered on respawn; drop the
+            # dead ones so a future failure does not re-kill corpses.
+            self.world.drivers_by_endpoint.pop(node_name, None)

@@ -1,0 +1,94 @@
+"""Resilient offload: respawn-and-retry on Booster node failure.
+
+The payoff of slide 21's *dynamic* Booster assignment: when a node
+dies mid-offload, the resource manager simply never hands it out
+again — the application respawns its worker world on healthy nodes
+and re-executes the phase.  (A statically wired accelerator, slide 6,
+leaves its host crippled instead.)
+
+The mechanism: ``MPI_Comm_spawn`` attaches a ``failure_event`` to the
+inter-communicator; :func:`resilient_offload` races the offload
+against it and retries on loss.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.deep.offload import OFFLOAD_WORKER_COMMAND, offload_graph
+from repro.errors import OffloadError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.communicator import Communicator
+    from repro.mpi.world import MPIProcess
+    from repro.ompss.graph import TaskGraph
+
+
+def resilient_offload(
+    proc: "MPIProcess",
+    comm: "Communicator",
+    graph: "TaskGraph",
+    n_workers: int,
+    strategy: str = "block",
+    command: str = OFFLOAD_WORKER_COMMAND,
+    max_attempts: int = 3,
+):
+    """Generator (collective over *comm*): offload with retry.
+
+    Each attempt spawns a fresh one-shot worker world; if any worker
+    dies before the offload completes, the attempt is abandoned and a
+    new world is spawned on the nodes the resource manager still
+    trusts.  Returns ``(OffloadResult, attempts_used)`` at the root
+    (others get ``(None, attempts_used)``).  Raises
+    :class:`~repro.errors.OffloadError` after *max_attempts* losses.
+    """
+    if max_attempts < 1:
+        raise OffloadError("max_attempts must be >= 1")
+    sim = proc.sim
+
+    from repro.errors import SpawnError
+
+    for attempt in range(1, max_attempts + 1):
+        try:
+            inter = yield from proc.spawn(comm, command, n_workers)
+        except SpawnError as exc:
+            # Not enough healthy booster nodes remain: collective stop.
+            raise OffloadError(
+                f"offload attempt {attempt}: cannot spawn {n_workers} "
+                f"workers ({exc})"
+            ) from exc
+        failure = inter.failure_event
+        if comm.rank == 0:
+            runner = sim.process(
+                offload_graph(proc, inter, graph, strategy=strategy),
+                name=f"offload-attempt{attempt}",
+            )
+            watched = [runner] + ([failure] if failure is not None else [])
+            yield sim.any_of(watched)
+            if runner.triggered and runner.ok:
+                ok = True
+                result = runner.value
+            else:
+                ok = False
+                result = None
+                if runner.is_alive:
+                    runner.kill(f"offload attempt {attempt} lost a worker")
+                # Tear down the surviving workers of the lost world so
+                # they do not block forever on a plan that never comes.
+                from repro.resilience.faults import kill_endpoint
+
+                for r in range(inter.remote_size):
+                    ep = proc.world.endpoint_of(inter.remote_gpid(r))
+                    kill_endpoint(
+                        proc.world, ep, f"offload attempt {attempt} aborted"
+                    )
+        else:
+            ok = None
+            result = None
+        # Agree on the outcome so all ranks retry (or stop) together.
+        ok = yield from comm.bcast(ok, root=0, size_bytes=8)
+        if ok:
+            return result, attempt
+    raise OffloadError(
+        f"offload failed after {max_attempts} attempts (worker losses)"
+    )

@@ -1,0 +1,143 @@
+"""Processes: generator-based simulated actors.
+
+A process wraps a Python generator.  Each value the generator yields
+must be an :class:`~repro.simkernel.event.Event`; the process sleeps
+until that event fires and is then resumed with the event's value (or
+has the event's exception thrown into it, which the generator may catch
+to model fault handling).
+
+A :class:`Process` is itself an event: it fires with the generator's
+return value when the generator finishes, so processes can wait for
+each other simply by yielding them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import ProcessKilled, SimulationError
+from repro.simkernel.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.simulator import Simulator
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulated process.
+
+    Do not instantiate directly — use :meth:`Simulator.process`.
+    """
+
+    __slots__ = ("generator", "_target", "_start")
+
+    def __init__(
+        self, sim: "Simulator", generator: ProcessGenerator, name: str = ""
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process() requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", ""))
+        self.generator = generator
+        #: Event this process is currently waiting on (None when runnable).
+        self._target: Optional[Event] = None
+        # Kick the process off via an immediately-successful event.
+        self._start = Event(sim, name=f"start:{self.name}")
+        self._start.callbacks.append(self._resume)
+        self._start.succeed()
+        sim._live_processes += 1
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def waiting_on(self) -> Optional[Event]:
+        """The event this process is blocked on, if any."""
+        return self._target
+
+    def kill(self, reason: str = "killed") -> None:
+        """Throw :class:`ProcessKilled` into the process.
+
+        If the generator does not catch it, the process fails with the
+        same exception (propagated to any process waiting on it) — but
+        a kill is deliberate, so an unobserved failure does not crash
+        the simulation the way other unhandled failures do.
+        """
+        if not self.is_alive:
+            return
+        self._defused = True
+        self._resume_with_throw(ProcessKilled(reason))
+
+    # -- internal ------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with *event*'s outcome."""
+        if self.triggered:
+            # Already finished (e.g. killed before its start event
+            # fired): ignore stray resumptions.
+            return
+        self._target = None
+        if event._ok:
+            self._step(lambda: self.generator.send(event._value))
+        else:
+            exc = event._value
+            self._step(lambda: self.generator.throw(exc))
+
+    def _resume_with_throw(self, exc: BaseException) -> None:
+        # Detach from the current target so its firing is ignored.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            # Let owners (e.g. Channel matched-getters) withdraw the
+            # registration: a dead process must not consume items.
+            if target._abandon is not None and not target.triggered:
+                target._abandon()
+        self._target = None
+        self._step(lambda: self.generator.throw(exc))
+
+    def _step(self, advance) -> None:
+        sim = self.sim
+        prev = sim._active_process
+        sim._active_process = self
+        try:
+            target = advance()
+        except StopIteration as stop:
+            sim._active_process = prev
+            sim._live_processes -= 1
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._active_process = prev
+            sim._live_processes -= 1
+            self.fail(exc)
+            return
+        sim._active_process = prev
+
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}, which is not an Event"
+            )
+            self._step(lambda: self.generator.throw(exc))
+            return
+        if target.sim is not sim:
+            exc = SimulationError(
+                f"process {self.name!r} yielded an event of a different simulator"
+            )
+            self._step(lambda: self.generator.throw(exc))
+            return
+        self._target = target
+        if target.callbacks is None:
+            # Already processed: resume immediately (still via scheduler to
+            # keep resumption ordering deterministic).
+            relay = Event(sim, name="relay")
+            relay.callbacks.append(self._resume)
+            relay._set(target._ok, target._value)
+            sim._schedule(relay)
+        else:
+            target.callbacks.append(self._resume)

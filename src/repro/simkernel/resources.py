@@ -1,0 +1,271 @@
+"""Shared-resource primitives built on the event kernel.
+
+* :class:`Resource` — *n* interchangeable slots (cores of a CPU, DMA
+  engines of a NIC); FIFO queueing.
+* :class:`PriorityResource` — like :class:`Resource` but the wait queue
+  is ordered by a numeric priority (lower first).
+* :class:`Store` — an unbounded-or-bounded FIFO buffer of items with
+  blocking ``put``/``get`` (message queues, mailboxes).
+* :class:`Channel` — a :class:`Store` specialised for message passing
+  with optional matching predicates on ``get`` (used by the MPI layer's
+  unexpected-message queue).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.simkernel.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.simulator import Simulator
+
+
+class PreemptionError(SimulationError):
+    """Raised inside a process whose resource slot was preempted."""
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Fires (with itself as value) when the slot is granted.  Pass it to
+    :meth:`Resource.release` when done.
+    """
+
+    __slots__ = ("resource", "priority", "_order")
+
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
+        super().__init__(resource.sim, name=f"req:{resource.name}")
+        self.resource = resource
+        self.priority = priority
+        self._order = 0
+
+    def __lt__(self, other: "Request") -> bool:
+        return (self.priority, self._order) < (other.priority, other._order)
+
+
+class Resource:
+    """*capacity* interchangeable slots with FIFO waiters."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+        # Utilisation accounting: integral of busy slots over time.
+        self._busy_integral = 0.0
+        self._last_change = sim.now
+
+    # -- accounting ------------------------------------------------------
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_integral += len(self.users) * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of slots busy over [since, now]."""
+        self._account()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_integral / (elapsed * self.capacity)
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    # -- protocol --------------------------------------------------------
+    def request(self, priority: float = 0.0) -> Request:
+        """Claim a slot; yield the returned request to wait for it."""
+        req = Request(self, priority)
+        self._account()
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed(req)
+        else:
+            self._enqueue(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a granted slot; wakes the next waiter if any."""
+        self._account()
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise SimulationError(
+                f"release() of a request that does not hold {self.name or 'resource'}"
+            ) from None
+        nxt = self._dequeue()
+        if nxt is not None:
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a queued (not yet granted) request."""
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            raise SimulationError("cancel() of a request not in queue") from None
+
+    # -- queue policy (overridden by PriorityResource) --------------------
+    def _enqueue(self, req: Request) -> None:
+        self.queue.append(req)
+
+    def _dequeue(self) -> Optional[Request]:
+        return self.queue.popleft() if self.queue else None
+
+
+class PriorityResource(Resource):
+    """A resource whose waiters are served lowest-priority-value first."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
+        super().__init__(sim, capacity, name)
+        self._heap: list[Request] = []
+        self._counter = 0
+
+    def _enqueue(self, req: Request) -> None:
+        self._counter += 1
+        req._order = self._counter
+        heapq.heappush(self._heap, req)
+
+    def _dequeue(self) -> Optional[Request]:
+        return heapq.heappop(self._heap) if self._heap else None
+
+    def cancel(self, request: Request) -> None:
+        try:
+            self._heap.remove(request)
+            heapq.heapify(self._heap)
+        except ValueError:
+            raise SimulationError("cancel() of a request not in queue") from None
+
+
+class Store:
+    """A FIFO buffer of items with blocking put/get.
+
+    ``capacity=None`` means unbounded (puts never block).
+    """
+
+    def __init__(
+        self, sim: "Simulator", capacity: Optional[int] = None, name: str = ""
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Insert *item*; the returned event fires when accepted."""
+        ev = Event(self.sim, name=f"put:{self.name}")
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed()
+        elif self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; the returned event fires with it."""
+        ev = Event(self.sim, name=f"get:{self.name}")
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+            ev._abandon = lambda: self._discard_getter(ev)
+        return ev
+
+    def _discard_getter(self, ev: Event) -> None:
+        try:
+            self._getters.remove(ev)
+        except ValueError:  # pragma: no cover - already served
+            pass
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self.items) < self.capacity
+        ):
+            pev, item = self._putters.popleft()
+            self.items.append(item)
+            pev.succeed()
+
+
+class Channel(Store):
+    """A :class:`Store` with predicate-matched gets.
+
+    ``get(match=...)`` returns the oldest item satisfying the predicate,
+    searching the buffered items first and otherwise parking the getter
+    until a matching item is put.  This is exactly the semantics an MPI
+    receive needs against the unexpected-message queue.
+    """
+
+    def __init__(
+        self, sim: "Simulator", capacity: Optional[int] = None, name: str = ""
+    ) -> None:
+        super().__init__(sim, capacity, name)
+        self._matched_getters: deque[tuple[Event, Callable[[Any], bool]]] = deque()
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.sim, name=f"put:{self.name}")
+        # Matched getters have priority over FIFO getters so that a
+        # selective receive posted earlier is not starved.
+        for i, (gev, pred) in enumerate(self._matched_getters):
+            if pred(item):
+                del self._matched_getters[i]
+                gev.succeed(item)
+                ev.succeed()
+                return ev
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            ev.succeed()
+        elif self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self, match: Optional[Callable[[Any], bool]] = None) -> Event:
+        if match is None:
+            return super().get()
+        ev = Event(self.sim, name=f"get:{self.name}")
+        for i, item in enumerate(self.items):
+            if match(item):
+                del self.items[i]
+                ev.succeed(item)
+                self._admit_putter()
+                return ev
+        entry = (ev, match)
+        self._matched_getters.append(entry)
+        ev._abandon = lambda: self._discard_matched(entry)
+        return ev
+
+    def _discard_matched(self, entry) -> None:
+        try:
+            self._matched_getters.remove(entry)
+        except ValueError:  # pragma: no cover - already served
+            pass
+
+    def peek_match(self, match: Callable[[Any], bool]) -> Optional[Any]:
+        """Return (without removing) the oldest buffered matching item."""
+        for item in self.items:
+            if match(item):
+                return item
+        return None

@@ -1,0 +1,55 @@
+"""Lightweight structured tracing for simulations.
+
+Model code calls ``sim.trace.record(category, **fields)``; analysis code
+filters the recorded :class:`TraceEvent` list.  Tracing is off by
+default and costs one attribute check per call when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One recorded occurrence."""
+
+    time: float
+    category: str
+    fields: dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects when enabled."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+        self._clock: Optional[Callable[[], float]] = None
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the time source (done by the simulator)."""
+        self._clock = clock
+
+    def record(self, category: str, *, time: Optional[float] = None, **fields: Any) -> None:
+        """Record an event in *category* with arbitrary *fields*."""
+        if not self.enabled:
+            return
+        if time is None:
+            time = self._clock() if self._clock is not None else 0.0
+        self.events.append(TraceEvent(time, category, fields))
+
+    def select(self, category: str) -> Iterator[TraceEvent]:
+        """All recorded events of one category, in time order."""
+        return (ev for ev in self.events if ev.category == category)
+
+    def clear(self) -> None:
+        """Forget all recorded events."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

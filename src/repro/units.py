@@ -1,0 +1,139 @@
+"""Unit helpers and physical constants.
+
+All simulated time is in **seconds** (float), data sizes in **bytes**
+(int), computation in **flops** (float), power in **watts**, and energy
+in **joules**.  These helpers exist so that configuration code reads as
+``latency=microseconds(1.3)`` instead of ``latency=1.3e-6``.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# time
+# ---------------------------------------------------------------------------
+
+SECOND = 1.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+
+
+def seconds(x: float) -> float:
+    """Return *x* seconds, as seconds."""
+    return float(x)
+
+
+def milliseconds(x: float) -> float:
+    """Return *x* milliseconds, as seconds."""
+    return float(x) * MILLISECOND
+
+
+def microseconds(x: float) -> float:
+    """Return *x* microseconds, as seconds."""
+    return float(x) * MICROSECOND
+
+
+def nanoseconds(x: float) -> float:
+    """Return *x* nanoseconds, as seconds."""
+    return float(x) * NANOSECOND
+
+
+# ---------------------------------------------------------------------------
+# data sizes (powers of ten for link rates, powers of two for memories)
+# ---------------------------------------------------------------------------
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+
+
+def kib(x: float) -> int:
+    """Return *x* KiB as bytes."""
+    return int(x * KiB)
+
+
+def mib(x: float) -> int:
+    """Return *x* MiB as bytes."""
+    return int(x * MiB)
+
+
+def gib(x: float) -> int:
+    """Return *x* GiB as bytes."""
+    return int(x * GiB)
+
+
+# ---------------------------------------------------------------------------
+# rates
+# ---------------------------------------------------------------------------
+
+
+def gbit_per_s(x: float) -> float:
+    """Convert a Gbit/s line rate into bytes/second."""
+    return x * 1e9 / 8.0
+
+
+def gbyte_per_s(x: float) -> float:
+    """Convert GB/s into bytes/second."""
+    return x * 1e9
+
+
+def mbyte_per_s(x: float) -> float:
+    """Convert MB/s into bytes/second."""
+    return x * 1e6
+
+
+# ---------------------------------------------------------------------------
+# compute
+# ---------------------------------------------------------------------------
+
+
+def gflops(x: float) -> float:
+    """Convert GFlop into flop."""
+    return x * 1e9
+
+
+def tflops(x: float) -> float:
+    """Convert TFlop into flop."""
+    return x * 1e12
+
+
+def gflops_rate(x: float) -> float:
+    """Convert a GFlop/s rate into flop/s."""
+    return x * 1e9
+
+
+def format_time(t: float) -> str:
+    """Render a duration with a sensible SI prefix (for reports)."""
+    if t == 0:
+        return "0 s"
+    a = abs(t)
+    if a >= 1.0:
+        return f"{t:.3f} s"
+    if a >= 1e-3:
+        return f"{t * 1e3:.3f} ms"
+    if a >= 1e-6:
+        return f"{t * 1e6:.3f} us"
+    return f"{t * 1e9:.1f} ns"
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a sensible prefix (for reports)."""
+    n = float(n)
+    for unit, scale in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.2f} {unit}"
+    return f"{int(n)} B"
+
+
+def format_rate(bps: float) -> str:
+    """Render a bytes/second rate (for reports)."""
+    if bps >= 1e9:
+        return f"{bps / 1e9:.2f} GB/s"
+    if bps >= 1e6:
+        return f"{bps / 1e6:.2f} MB/s"
+    if bps >= 1e3:
+        return f"{bps / 1e3:.2f} kB/s"
+    return f"{bps:.1f} B/s"

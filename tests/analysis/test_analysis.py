@@ -1,0 +1,206 @@
+"""Scaling laws, positioning, metrics, and report rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    MEUER_FACTOR_PER_DECADE,
+    Table,
+    TechnologyModel,
+    amdahl_speedup,
+    energy_to_solution,
+    format_series,
+    gustafson_speedup,
+    karp_flatt,
+    meuers_law,
+    moores_law,
+    parallel_efficiency,
+    performance_projection,
+    positioning_map,
+    speedup,
+)
+from repro.analysis.positioning import (
+    REFERENCE_SYSTEMS,
+    SystemBalance,
+    position,
+    scalability_score,
+)
+from repro.analysis.scaling import exaflop_year
+from repro.errors import ConfigurationError
+
+
+# ---------------------------------------------------------------------------
+# scaling laws (slides 2-5)
+# ---------------------------------------------------------------------------
+
+
+def test_moores_law_x100_per_decade():
+    """Slide 4: doubling every 1.5 years -> ~100x in 10 years."""
+    assert moores_law(10) == pytest.approx(101.6, rel=0.01)
+
+
+def test_meuers_law_x1000_per_decade():
+    assert meuers_law(10) == pytest.approx(1000.0)
+    assert meuers_law(20) == pytest.approx(1e6)
+
+
+def test_law_validation():
+    with pytest.raises(ConfigurationError):
+        moores_law(10, doubling_years=0)
+    with pytest.raises(ConfigurationError):
+        meuers_law(10, factor_per_decade=1.0)
+
+
+def test_slide5_cpu_factor_4_to_8_in_4_years():
+    tm = TechnologyModel()
+    f = tm.commodity_cpu_factor_4y()
+    assert 4.0 <= f <= 8.0
+    assert tm.required_factor_4y() == pytest.approx(1000 ** 0.4, rel=0.01)
+    # The gap: commodity CPUs cannot track Meuer's law alone.
+    assert tm.required_factor_4y() > f
+
+
+def test_single_thread_wall():
+    tm = TechnologyModel()
+    before = tm.single_thread_factor(2000, 2004)
+    after = tm.single_thread_factor(2007, 2011)
+    assert before > 4.0
+    assert after < 1.5
+
+
+def test_manycore_advantage_positive():
+    assert TechnologyModel().manycore_advantage() > 2.0
+
+
+def test_performance_projection_rows():
+    rows = performance_projection(years=20)
+    assert len(rows) == 21
+    years, meuer, moore = zip(*rows)
+    assert meuer[10] / meuer[0] == pytest.approx(1000.0)
+    assert moore[10] / moore[0] == pytest.approx(101.6, rel=0.01)
+    # The x10/decade gap is architecture/parallelism (slide 2).
+    assert meuer[10] / moore[10] == pytest.approx(9.84, rel=0.02)
+
+
+def test_exaflop_year_around_2018():
+    assert 2017.0 < exaflop_year() < 2019.0
+
+
+# ---------------------------------------------------------------------------
+# positioning (slide 18)
+# ---------------------------------------------------------------------------
+
+
+def test_positioning_shape_matches_slide18():
+    entries = {e.name: e for e in positioning_map()}
+    bg = [e for n, e in entries.items() if n.startswith("IBM BG")]
+    commodity = [entries["IBM Power 6"], entries["Nehalem cluster (300 TF)"]]
+    # BlueGene: high scalability, low versatility.
+    assert min(e.scalability for e in bg) > max(e.scalability for e in commodity)
+    assert max(e.versatility for e in bg) < max(e.versatility for e in commodity)
+    # DEEP spans: booster-level scalability AND cluster-level versatility.
+    deep = entries["DEEP System"]
+    assert deep.scalability == entries["DEEP Booster"].scalability
+    assert deep.versatility == entries["DEEP Cluster"].versatility
+    assert deep.scalability > entries["DEEP Cluster"].scalability
+    assert deep.versatility > entries["DEEP Booster"].versatility
+
+
+def test_booster_more_scalable_than_cluster():
+    entries = {e.name: e for e in positioning_map()}
+    assert (
+        entries["DEEP Booster"].scalability
+        > entries["DEEP Cluster"].scalability
+    )
+
+
+def test_scalability_monotonic_in_bandwidth():
+    base = SystemBalance("x", 1.0, 100e9, 2e9, 2e-6, 10, 16, False)
+    fat = SystemBalance("y", 1.0, 100e9, 20e9, 2e-6, 10, 16, False)
+    assert scalability_score(fat) > scalability_score(base)
+
+
+def test_scalability_antitonic_in_latency():
+    base = SystemBalance("x", 1.0, 100e9, 2e9, 1e-6, 10, 16, False)
+    slow = SystemBalance("y", 1.0, 100e9, 2e9, 8e-6, 10, 16, False)
+    assert scalability_score(slow) < scalability_score(base)
+
+
+def test_direct_network_bonus():
+    a = SystemBalance("x", 1.0, 100e9, 2e9, 2e-6, 10, 16, False)
+    b = SystemBalance("y", 1.0, 100e9, 2e9, 2e-6, 10, 16, True)
+    assert scalability_score(b) == pytest.approx(scalability_score(a) + 0.15)
+
+
+def test_position_validation():
+    bad = SystemBalance("x", 1.0, 0.0, 1e9, 1e-6, 1, 1, False)
+    with pytest.raises(ConfigurationError):
+        scalability_score(bad)
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+def test_speedup_and_efficiency():
+    assert speedup(10.0, 2.0) == 5.0
+    assert parallel_efficiency(10.0, 2.0, 8) == pytest.approx(0.625)
+    with pytest.raises(ConfigurationError):
+        speedup(1.0, 0.0)
+
+
+def test_amdahl_limits():
+    assert amdahl_speedup(0.0, 16) == 16
+    assert amdahl_speedup(1.0, 16) == pytest.approx(1.0)
+    assert amdahl_speedup(0.1, 10 ** 6) == pytest.approx(10.0, rel=0.01)
+
+
+def test_gustafson():
+    assert gustafson_speedup(0.0, 16) == 16
+    assert gustafson_speedup(0.5, 16) == pytest.approx(8.5)
+
+
+def test_karp_flatt_recovers_serial_fraction():
+    p = 32
+    s = 0.05
+    measured = amdahl_speedup(s, p)
+    assert karp_flatt(measured, p) == pytest.approx(s, rel=0.01)
+
+
+def test_energy_to_solution():
+    assert energy_to_solution(100.0, 60.0) == 6000.0
+    with pytest.raises(ConfigurationError):
+        energy_to_solution(-1, 1)
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+
+
+def test_table_renders_aligned():
+    t = Table(["name", "value"], title="demo")
+    t.add_row("alpha", 1.5)
+    t.add_row("beta", 123456.789)
+    text = t.render()
+    lines = text.splitlines()
+    assert lines[0] == "== demo =="
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+    assert "1.235e+05" in text
+
+
+def test_table_row_width_checked():
+    t = Table(["a", "b"])
+    with pytest.raises(ConfigurationError):
+        t.add_row(1)
+    with pytest.raises(ConfigurationError):
+        Table([])
+
+
+def test_format_series():
+    s = format_series("speedup", [1, 2, 4], [1.0, 1.9, 3.7])
+    assert s.startswith("speedup:")
+    assert "(4, 3.7)" in s

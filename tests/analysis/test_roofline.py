@@ -1,0 +1,69 @@
+"""Roofline analysis."""
+
+import pytest
+
+from repro.analysis.roofline import (
+    KernelPoint,
+    REFERENCE_KERNELS,
+    attainable_flops,
+    balance_point,
+    compare,
+    kernel_time,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import XEON_E5_2680_DUAL, XEON_PHI_KNC
+
+
+def test_kernel_point_validation():
+    with pytest.raises(ConfigurationError):
+        KernelPoint("bad", flops=0, traffic_bytes=1)
+    with pytest.raises(ConfigurationError):
+        KernelPoint("bad", flops=1, traffic_bytes=0)
+
+
+def test_intensity():
+    k = KernelPoint("k", flops=100, traffic_bytes=50)
+    assert k.intensity == 2.0
+
+
+def test_attainable_below_balance_is_bandwidth_bound():
+    spec = XEON_PHI_KNC
+    bal = balance_point(spec)
+    low = attainable_flops(spec, bal / 10)
+    assert low == pytest.approx(
+        bal / 10 * spec.memory.bandwidth_bytes_per_s
+    )
+    assert low < spec.sustained_flops
+
+
+def test_attainable_above_balance_is_compute_bound():
+    spec = XEON_PHI_KNC
+    bal = balance_point(spec)
+    assert attainable_flops(spec, bal * 10) == spec.sustained_flops
+
+
+def test_attainable_validation():
+    with pytest.raises(ConfigurationError):
+        attainable_flops(XEON_PHI_KNC, 0)
+
+
+def test_kernel_time_consistency():
+    k = KernelPoint("k", flops=1e12, traffic_bytes=1e9)  # AI = 1000
+    t = kernel_time(XEON_PHI_KNC, k)
+    assert t == pytest.approx(1e12 / XEON_PHI_KNC.sustained_flops)
+
+
+def test_compare_low_ai_equals_bandwidth_ratio():
+    k = KernelPoint("spmv-ish", flops=1.0, traffic_bytes=10.0)
+    s = compare(XEON_PHI_KNC, XEON_E5_2680_DUAL, k)
+    bw_ratio = (
+        XEON_PHI_KNC.memory.bandwidth_bytes_per_s
+        / XEON_E5_2680_DUAL.memory.bandwidth_bytes_per_s
+    )
+    assert s == pytest.approx(bw_ratio)
+
+
+def test_reference_kernels_span_both_regimes():
+    ais = [k.intensity for k in REFERENCE_KERNELS]
+    knc_bal = balance_point(XEON_PHI_KNC)
+    assert min(ais) < knc_bal < max(ais)

@@ -1,0 +1,198 @@
+"""Application kernels: graph shapes and counts."""
+
+import pytest
+
+from repro.apps import (
+    cholesky_flops,
+    cholesky_graph,
+    cholesky_task_counts,
+    irregular_graph,
+    spmv_graph,
+    stencil_graph,
+    stencil_sweep_flops,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import XEON_PHI_KNC
+
+
+# ---------------------------------------------------------------------------
+# Cholesky (slide 23)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("nt", [1, 2, 4, 6])
+def test_cholesky_task_counts(nt):
+    g = cholesky_graph(nt)
+    counts = cholesky_task_counts(nt)
+    assert len(g) == counts["total"]
+    by_kind = {}
+    for t in g.tasks:
+        kind = t.name.split("(")[0]
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    assert by_kind.get("potrf", 0) == counts["potrf"]
+    assert by_kind.get("trsm", 0) == counts["trsm"]
+    assert by_kind.get("gemm", 0) == counts["gemm"]
+    assert by_kind.get("syrk", 0) == counts["syrk"]
+
+
+def test_cholesky_dependency_structure():
+    """First panel: potrf -> all trsm of column 0 -> updates."""
+    g = cholesky_graph(4)
+    potrf0 = g.tasks[0]
+    assert potrf0.name == "potrf(0,0)"
+    assert g.deps[potrf0.task_id] == set()
+    trsm_names = {t.name for t in g.successors_of(potrf0)}
+    assert trsm_names == {"trsm(0,1)", "trsm(0,2)", "trsm(0,3)"}
+    # The final potrf depends on the last syrk of its diagonal tile.
+    last_potrf = next(t for t in g.tasks if t.name == f"potrf(3,3)")
+    dep_names = {d.name for d in g.dependencies_of(last_potrf)}
+    assert dep_names == {"syrk(2,3)"}
+
+
+def test_cholesky_critical_path_grows_linearly_in_nt():
+    """The panel chain gives a Theta(nt) critical path (in tasks)."""
+    def path_len(nt):
+        g = cholesky_graph(nt)
+        _, path = g.critical_path(lambda t: 1.0)
+        return len(path)
+
+    assert path_len(8) - path_len(4) == pytest.approx(path_len(12) - path_len(8))
+
+
+def test_cholesky_parallelism_grows_with_nt():
+    g4 = cholesky_graph(4)
+    g10 = cholesky_graph(10)
+    p4 = g4.average_parallelism(lambda t: t.flops)
+    p10 = g10.average_parallelism(lambda t: t.flops)
+    assert p10 > p4 > 1.0
+
+
+def test_cholesky_flops():
+    assert cholesky_flops(1000) == pytest.approx(1e9 / 3)
+
+
+def test_cholesky_validation():
+    with pytest.raises(ConfigurationError):
+        cholesky_graph(0)
+    with pytest.raises(ConfigurationError):
+        cholesky_graph(4, tile_size=0)
+
+
+# ---------------------------------------------------------------------------
+# stencil
+# ---------------------------------------------------------------------------
+
+
+def test_stencil_counts_and_width():
+    g = stencil_graph(n_workers=6, sweeps=3)
+    assert len(g) == 18
+    assert g.max_width() == 6  # one sweep fully parallel
+
+
+def test_stencil_neighbour_edges_only():
+    g = stencil_graph(n_workers=5, sweeps=2)
+    sweep1 = [t for t in g.tasks if t.name.startswith("sweep1")]
+    for t in sweep1:
+        w = int(t.name.split("slab")[1])
+        dep_ws = sorted(
+            int(d.name.split("slab")[1]) for d in g.dependencies_of(t)
+        )
+        expected = [x for x in (w - 1, w, w + 1) if 0 <= x < 5]
+        assert dep_ws == expected
+
+
+def test_stencil_first_sweep_is_parallel():
+    g = stencil_graph(n_workers=4, sweeps=1)
+    assert all(not g.deps[t.task_id] for t in g.tasks)
+
+
+def test_stencil_flops_accounting():
+    total = stencil_sweep_flops(4, 3, 1 << 20, flops_per_byte=2.0)
+    g = stencil_graph(4, 3, 1 << 20, flops_per_byte=2.0)
+    assert sum(t.flops for t in g.tasks) == pytest.approx(total)
+
+
+def test_stencil_validation():
+    with pytest.raises(ConfigurationError):
+        stencil_graph(0)
+    with pytest.raises(ConfigurationError):
+        stencil_graph(2, halo_fraction=0.0)
+
+
+# ---------------------------------------------------------------------------
+# spmv
+# ---------------------------------------------------------------------------
+
+
+def test_spmv_counts():
+    g = spmv_graph(4, iterations=3)
+    assert len(g) == 12
+
+
+def test_spmv_is_bandwidth_bound_on_knc():
+    g = spmv_graph(2, iterations=1)
+    t = g.tasks[0]
+    # Memory roofline must bind, not compute (slide 9: spMV class).
+    t_mem = t.traffic_bytes / XEON_PHI_KNC.memory.bandwidth_bytes_per_s
+    t_cpu = t.flops / XEON_PHI_KNC.sustained_flops
+    assert t_mem > t_cpu
+
+
+def test_spmv_band_reach():
+    g = spmv_graph(6, iterations=2, bandwidth_blocks=2)
+    it1 = [t for t in g.tasks if t.name.startswith("spmv1")]
+    mid = next(t for t in it1 if t.name.endswith("blk3"))
+    dep_blocks = sorted(int(d.name.split("blk")[1]) for d in g.dependencies_of(mid))
+    assert dep_blocks == [1, 2, 3, 4, 5]
+
+
+def test_spmv_validation():
+    with pytest.raises(ConfigurationError):
+        spmv_graph(0)
+    with pytest.raises(ConfigurationError):
+        spmv_graph(2, bandwidth_blocks=-1)
+
+
+# ---------------------------------------------------------------------------
+# irregular
+# ---------------------------------------------------------------------------
+
+
+def test_irregular_counts_master_serialises():
+    g = irregular_graph(6, supersteps=3)
+    assert len(g) == 3 * (6 + 1)
+    masters = [t for t in g.tasks if t.name.startswith("master")]
+    # Every update of the next superstep depends (directly) on state
+    # the master rewrote -> master is on every path between supersteps.
+    m0 = masters[0]
+    assert len(g.succs[m0.task_id]) >= 1
+
+
+def test_irregular_deterministic_by_seed():
+    a = irregular_graph(4, seed=3)
+    b = irregular_graph(4, seed=3)
+    assert [t.flops for t in a.tasks] == [t.flops for t in b.tasks]
+    c = irregular_graph(4, seed=4)
+    assert [t.flops for t in a.tasks] != [t.flops for t in c.tasks]
+
+
+def test_irregular_load_skew():
+    g = irregular_graph(16, supersteps=1, skew=1.5, seed=1)
+    updates = [t.flops for t in g.tasks if t.name.startswith("update")]
+    assert max(updates) > 2 * (sum(updates) / len(updates))
+
+
+def test_irregular_lower_parallelism_than_stencil():
+    """Slide 9's split: irregular codes expose less parallelism."""
+    irr = irregular_graph(8, supersteps=4, seed=0)
+    reg = stencil_graph(8, sweeps=4)
+    p_irr = irr.average_parallelism(lambda t: t.flops)
+    p_reg = reg.average_parallelism(lambda t: t.flops)
+    assert p_irr < p_reg
+
+
+def test_irregular_validation():
+    with pytest.raises(ConfigurationError):
+        irregular_graph(0)
+    with pytest.raises(ConfigurationError):
+        irregular_graph(4, skew=0.9)

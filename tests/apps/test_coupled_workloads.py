@@ -1,0 +1,76 @@
+"""Coupled application and workload generators."""
+
+import pytest
+
+from repro.apps import JobMix, coupled_application, random_job_mix
+from repro.deep import DeepSystem, MachineConfig
+from repro.deep.application import KernelPhase, run_application
+from repro.errors import ConfigurationError
+
+
+def test_coupled_application_shape():
+    app = coupled_application(iterations=2)
+    assert app.iterations == 2
+    names = [p.name for p in app.phases]
+    assert names == ["main-part", "cluster-halo", "hscp", "convergence"]
+    kernel = app.phases[2]
+    assert isinstance(kernel, KernelPhase)
+    g = kernel.graph_builder(4)
+    assert len(g) > 0
+
+
+def test_coupled_spmv_variant():
+    app = coupled_application(hscp="spmv")
+    g = app.phases[2].graph_builder(3)
+    assert any(t.name.startswith("spmv") for t in g.tasks)
+
+
+def test_coupled_unknown_hscp():
+    with pytest.raises(ConfigurationError):
+        coupled_application(hscp="fft")
+
+
+def test_coupled_runs_on_all_modes():
+    app = coupled_application(iterations=1, hscp_sweeps=2, hscp_slab_bytes=1 << 20)
+    for mode in ("cluster-only", "cluster-booster"):
+        system = DeepSystem(MachineConfig(n_cluster=2, n_booster=4))
+        rep = run_application(system, app, mode=mode)
+        assert rep.total_time_s > 0
+
+
+# ---------------------------------------------------------------------------
+# job mixes
+# ---------------------------------------------------------------------------
+
+
+def test_job_mix_validation():
+    with pytest.raises(ConfigurationError):
+        JobMix(accel_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        JobMix(offload_duty=0.0)
+    with pytest.raises(ConfigurationError):
+        JobMix(n_jobs=0)
+
+
+def test_random_job_mix_deterministic():
+    a = random_job_mix(JobMix(seed=5))
+    b = random_job_mix(JobMix(seed=5))
+    assert [(j.name, j.arrival_s) for j in a] == [(j.name, j.arrival_s) for j in b]
+
+
+def test_random_job_mix_shape():
+    jobs = random_job_mix(JobMix(n_jobs=100, accel_fraction=0.4, seed=1))
+    assert len(jobs) == 100
+    arrivals = [j.arrival_s for j in jobs]
+    assert arrivals == sorted(arrivals)
+    accel = [j for j in jobs if j.n_booster > 0]
+    assert 20 <= len(accel) <= 60
+    assert all(j.runtime_s > 0 for j in jobs)
+    assert all(1 <= j.n_cluster <= 4 for j in jobs)
+
+
+def test_generated_job_to_spec():
+    job = random_job_mix(JobMix(n_jobs=1, accel_fraction=1.0, seed=0))[0]
+    spec = job.spec()
+    assert spec.n_cluster == job.n_cluster
+    assert spec.walltime_estimate_s > job.runtime_s

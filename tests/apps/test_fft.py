@@ -1,0 +1,57 @@
+"""The pencil-FFT transpose kernel."""
+
+import pytest
+
+from repro.apps import fft_flops, fft_graph, stencil_graph
+from repro.errors import ConfigurationError
+from repro.ompss import partition_tasks
+
+
+def test_fft_flops():
+    assert fft_flops(1024) == pytest.approx(5 * 1024 * 10)
+    with pytest.raises(ConfigurationError):
+        fft_flops(1)
+
+
+def test_fft_graph_counts():
+    g = fft_graph(4, iterations=2)
+    assert len(g) == 2 * (4 + 4)
+
+
+def test_transpose_is_complete_bipartite():
+    g = fft_graph(4, iterations=1)
+    transposes = [t for t in g.tasks if t.name.startswith("transpose")]
+    for t in transposes:
+        # Every transpose task depends on all 4 FFT tasks.
+        dep_names = {d.name for d in g.dependencies_of(t)}
+        assert dep_names == {f"fft0_w{w}" for w in range(4)}
+
+
+def test_fft_cross_traffic_does_not_shrink_with_workers():
+    """The all-to-all signature: per-worker cross volume ~constant."""
+
+    def per_worker_cross(n):
+        g = fft_graph(n, iterations=1)
+        plan = partition_tasks(g, n, "cyclic")
+        return plan.cross_traffic_bytes() / n
+
+    v4, v16 = per_worker_cross(4), per_worker_cross(16)
+    # (n-1)/n of a pencil each: grows slightly, never shrinks.
+    assert v16 >= v4 * 0.9
+
+
+def test_stencil_cross_traffic_shrinks_relative_to_fft():
+    """Stencils keep O(halo) per worker; FFT keeps O(pencil)."""
+    n = 8
+    fft = partition_tasks(fft_graph(n, iterations=1), n, "cyclic")
+    sten = partition_tasks(
+        stencil_graph(n, sweeps=2, slab_bytes=8 << 20), n, "cyclic"
+    )
+    assert fft.cross_traffic_bytes() > 5 * sten.cross_traffic_bytes()
+
+
+def test_fft_validation():
+    with pytest.raises(ConfigurationError):
+        fft_graph(0)
+    with pytest.raises(ConfigurationError):
+        fft_graph(2, iterations=0)

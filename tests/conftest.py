@@ -1,0 +1,28 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator, seeded for determinism."""
+    return Simulator(seed=42)
+
+
+def run_to_end(sim: Simulator, generator, name: str = "test"):
+    """Run *generator* as a process to completion, return its value."""
+    proc = sim.process(generator, name=name)
+    sim.run()
+    assert proc.triggered, f"process {name} never finished"
+    return proc.value
+
+
+def drive(sim: Simulator, *generators):
+    """Run several generators to completion; return their values."""
+    procs = [sim.process(g, name=f"drive{i}") for i, g in enumerate(generators)]
+    sim.run()
+    return [p.value for p in procs]

@@ -1,0 +1,102 @@
+"""Cross-validation: the division advisor against the simulator.
+
+The advisor (slide 9's mapping logic) is an analytic model; the
+simulator is the referee.  For kernel shapes on both sides of the
+offload crossover, the advisor's predicted winner must match the
+measured winner of a real cluster-vs-booster run.
+"""
+
+import pytest
+
+from repro.apps import stencil_graph
+from repro.deep import (
+    DeepSystem,
+    DivisionAdvisor,
+    MachineConfig,
+    PhaseProfile,
+)
+from repro.deep.application import (
+    Application,
+    KernelPhase,
+    run_application,
+)
+from repro.hardware.catalog import XEON_E5_2680_DUAL, XEON_PHI_KNC
+from repro.units import mib
+
+N_CLUSTER = 4
+N_BOOSTER = 16
+SLABS = 16
+SLAB = mib(8)
+SWEEPS = 3
+
+
+def measured_times(intensity: float) -> dict[str, float]:
+    app = Application(
+        "probe",
+        [
+            KernelPhase(
+                "hscp",
+                graph_builder=lambda n: stencil_graph(
+                    SLABS, sweeps=SWEEPS, slab_bytes=SLAB,
+                    flops_per_byte=intensity,
+                ),
+                strategy="locality",
+            )
+        ],
+    )
+    out = {}
+    for mode in ("cluster-only", "cluster-booster"):
+        system = DeepSystem(
+            MachineConfig(n_cluster=N_CLUSTER, n_booster=N_BOOSTER, n_gateways=2)
+        )
+        out[mode] = run_application(system, app, mode=mode).total_time_s
+    return out
+
+
+def make_profile(intensity: float) -> PhaseProfile:
+    total_bytes = SLABS * SLAB
+    return PhaseProfile(
+        "hscp",
+        total_flops=total_bytes * intensity * SWEEPS,
+        serial_fraction=0.0,
+        comm_bytes_per_rank=int(SLAB * 0.05 * SWEEPS),
+        comm_latency_events=SWEEPS,
+        transfer_bytes=total_bytes,  # outputs return to the cluster
+        regular=True,
+    )
+
+
+def make_advisor() -> DivisionAdvisor:
+    return DivisionAdvisor(
+        XEON_E5_2680_DUAL, XEON_PHI_KNC, N_CLUSTER, N_BOOSTER,
+        bridge_bandwidth=2 * 4e9,  # two BI gateways
+    )
+
+
+@pytest.mark.parametrize("intensity", [20.0, 1500.0])
+def test_advisor_winner_matches_simulation(intensity):
+    advisor = make_advisor()
+    profile = make_profile(intensity)
+    predicted = advisor.divide([profile]).placements["hscp"]
+    times = measured_times(intensity)
+    measured = (
+        "booster"
+        if times["cluster-booster"] < times["cluster-only"]
+        else "cluster"
+    )
+    assert predicted == measured, (
+        f"intensity={intensity}: advisor says {predicted}, "
+        f"simulator says {measured} ({times})"
+    )
+
+
+def test_advisor_breakeven_brackets_the_measured_crossover():
+    """The analytic breakeven work must land between an intensity the
+    cluster wins and one the booster wins (order-of-magnitude check)."""
+    advisor = make_advisor()
+    lo, hi = 20.0, 1500.0
+    breakeven = advisor.breakeven_flops(make_profile(lo))
+    total_bytes = SLABS * SLAB
+    flops_lo = total_bytes * lo * SWEEPS
+    flops_hi = total_bytes * hi * SWEEPS
+    assert flops_lo < breakeven < flops_hi

@@ -1,0 +1,160 @@
+"""The three-architecture application runner."""
+
+import pytest
+
+from repro.deep import (
+    Application,
+    DeepSystem,
+    ExchangePhase,
+    KernelPhase,
+    MachineConfig,
+    SerialPhase,
+)
+from repro.deep.application import run_application
+from repro.apps import stencil_graph
+from repro.errors import ConfigurationError
+from repro.units import gflops, mib
+
+
+def small_app(iterations=1, flops_per_byte=20.0):
+    return Application(
+        "t",
+        [
+            SerialPhase("serial", flops_per_rank=gflops(0.2)),
+            ExchangePhase("halo", bytes_per_rank=mib(0.5)),
+            KernelPhase(
+                "kernel",
+                graph_builder=lambda n: stencil_graph(
+                    n, sweeps=2, slab_bytes=mib(4), flops_per_byte=flops_per_byte
+                ),
+            ),
+        ],
+        iterations=iterations,
+    )
+
+
+def fresh_system():
+    return DeepSystem(MachineConfig(n_cluster=4, n_booster=8, n_gateways=2))
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+
+def test_application_validation():
+    with pytest.raises(ConfigurationError):
+        Application("a", [], iterations=1)
+    with pytest.raises(ConfigurationError):
+        Application("a", [SerialPhase("s", 1.0)], iterations=0)
+    with pytest.raises(ConfigurationError):
+        Application(
+            "a",
+            [SerialPhase("x", 1.0), SerialPhase("x", 2.0)],  # duplicate name
+        )
+    with pytest.raises(ConfigurationError):
+        ExchangePhase("e", 100, pattern="gossip")
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ConfigurationError):
+        run_application(fresh_system(), small_app(), mode="quantum")
+
+
+# ---------------------------------------------------------------------------
+# runs
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["cluster-only", "accelerated", "cluster-booster"])
+def test_all_modes_complete(mode):
+    rep = run_application(fresh_system(), small_app(), mode=mode)
+    assert rep.total_time_s > 0
+    assert rep.energy_joules > 0
+    assert rep.mode == mode
+    assert set(rep.phases) == {"serial", "halo", "kernel"}
+    assert rep.phase_time("kernel") > 0
+
+
+def test_phase_counts_match_iterations():
+    rep = run_application(fresh_system(), small_app(iterations=3), mode="cluster-only")
+    assert rep.phases["serial"].count == 3
+    assert rep.phases["serial"].mean_s == pytest.approx(
+        rep.phases["serial"].total_s / 3
+    )
+
+
+def test_booster_used_only_in_cluster_booster_mode():
+    rep_cb = run_application(fresh_system(), small_app(), mode="cluster-booster")
+    rep_co = run_application(fresh_system(), small_app(), mode="cluster-only")
+    assert rep_cb.booster_utilization > 0
+    assert rep_co.booster_utilization == 0
+
+
+def test_cluster_booster_beats_cluster_only_on_compute_heavy_kernel():
+    """Slide 10's architecture claim: when the HSCP's compute dwarfs
+    the spawn + bridge-transfer toll, the Booster's throughput wins."""
+    app = small_app(flops_per_byte=2000.0)
+    t_co = run_application(fresh_system(), app, mode="cluster-only").total_time_s
+    t_cb = run_application(fresh_system(), app, mode="cluster-booster").total_time_s
+    assert t_cb < t_co
+
+
+def test_exchange_patterns_run():
+    for pattern in ("halo", "allreduce", "alltoall"):
+        app = Application(
+            "x", [ExchangePhase("e", bytes_per_rank=mib(1), pattern=pattern)]
+        )
+        rep = run_application(fresh_system(), app, mode="cluster-only")
+        assert rep.phase_time("e") > 0
+
+
+def test_non_offloadable_kernel_stays_on_cluster():
+    app = Application(
+        "x",
+        [
+            KernelPhase(
+                "k",
+                graph_builder=lambda n: stencil_graph(n, sweeps=2, slab_bytes=mib(1)),
+                offloadable=False,
+            )
+        ],
+    )
+    rep = run_application(fresh_system(), app, mode="cluster-booster")
+    assert rep.booster_utilization == 0.0
+
+
+def test_accelerated_mode_charges_pcie_staging():
+    """The accelerated run must move kernel data over PCIe links."""
+    system = fresh_system()
+    rep = run_application(system, small_app(), mode="accelerated")
+    assert rep.total_time_s > 0
+    accs = [n.accelerators for n in system.machine.cluster_nodes]
+    assert all(len(a) == 1 for a in accs)
+
+
+def test_advisor_mode_tracks_the_winner():
+    """The division advisor, driving execution: stay home when the
+    offload toll dominates, offload when compute dominates."""
+    lo = run_application(fresh_system(), small_app(flops_per_byte=5.0), mode="advisor")
+    hi = run_application(
+        fresh_system(), small_app(flops_per_byte=3000.0), mode="advisor"
+    )
+    assert lo.booster_utilization == 0.0       # stayed on the cluster
+    assert hi.booster_utilization > 0.1        # offloaded
+
+    hi_cb = run_application(
+        fresh_system(), small_app(flops_per_byte=3000.0), mode="cluster-booster"
+    )
+    assert hi.total_time_s == pytest.approx(hi_cb.total_time_s, rel=0.02)
+
+
+def test_profile_of_graph_fields():
+    from repro.deep.application import profile_of_graph
+
+    g = stencil_graph(8, sweeps=4, slab_bytes=mib(4), flops_per_byte=10.0)
+    p = profile_of_graph(g, 8, "k")
+    assert p.total_flops == pytest.approx(sum(t.flops for t in g.tasks))
+    assert p.transfer_bytes == 8 * mib(4)  # terminal sweep outputs
+    assert p.max_parallelism == pytest.approx(8.0, rel=0.01)
+    assert p.regular

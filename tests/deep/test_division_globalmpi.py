@@ -1,0 +1,178 @@
+"""The code-division advisor and Global-MPI helpers."""
+
+import pytest
+
+from repro.deep import (
+    DeepSystem,
+    DivisionAdvisor,
+    MachineConfig,
+    PhaseProfile,
+    global_latency,
+    global_latency_responder,
+    spawn_booster_world,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import XEON_E5_2680_DUAL, XEON_PHI_KNC
+
+
+def make_advisor(n_cluster=8, n_booster=32):
+    return DivisionAdvisor(
+        XEON_E5_2680_DUAL, XEON_PHI_KNC, n_cluster, n_booster
+    )
+
+
+# ---------------------------------------------------------------------------
+# advisor
+# ---------------------------------------------------------------------------
+
+
+def test_profile_validation():
+    with pytest.raises(ConfigurationError):
+        PhaseProfile("p", total_flops=1e9, serial_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        PhaseProfile("p", total_flops=-1)
+
+
+def test_regular_heavy_kernel_goes_to_booster():
+    advisor = make_advisor()
+    hscp = PhaseProfile(
+        "hscp", total_flops=1e14, serial_fraction=0.0,
+        comm_bytes_per_rank=1e6, transfer_bytes=1e8, regular=True,
+    )
+    report = advisor.divide([hscp])
+    assert report.placements["hscp"] == "booster"
+
+
+def test_serial_irregular_phase_stays_on_cluster():
+    advisor = make_advisor()
+    main_part = PhaseProfile(
+        "main", total_flops=1e10, serial_fraction=0.6,
+        comm_latency_events=100, regular=False,
+    )
+    report = advisor.divide([main_part])
+    assert report.placements["main"] == "cluster"
+
+
+def test_division_mixed_application():
+    """Slide 9: map each part to the suited hardware."""
+    advisor = make_advisor()
+    profiles = [
+        PhaseProfile("setup", 5e9, serial_fraction=0.9, regular=False),
+        PhaseProfile(
+            "stencil", 5e13, serial_fraction=0.0,
+            comm_bytes_per_rank=1e6, transfer_bytes=1e8, regular=True,
+        ),
+        PhaseProfile(
+            "graph-update", 2e10, serial_fraction=0.2,
+            comm_latency_events=500, regular=False,
+        ),
+    ]
+    report = advisor.divide(profiles)
+    assert report.offloaded_phases() == ["stencil"]
+    assert report.predicted_time() > 0
+
+
+def test_breakeven_flops_finite_for_scalable_shape():
+    advisor = make_advisor()
+    p = PhaseProfile(
+        "k", total_flops=1e12, serial_fraction=0.0,
+        transfer_bytes=1e8, regular=True,
+    )
+    breakeven = advisor.breakeven_flops(p)
+    assert 0 < breakeven < float("inf")
+    # Above breakeven the booster side wins.
+    big = PhaseProfile(
+        "k", total_flops=breakeven * 10, serial_fraction=0.0,
+        transfer_bytes=1e8, regular=True,
+    )
+    assert advisor.divide([big]).placements["k"] == "booster"
+
+
+def test_breakeven_infinite_for_serial_shape():
+    advisor = make_advisor()
+    p = PhaseProfile("k", total_flops=1e12, serial_fraction=0.95)
+    assert advisor.breakeven_flops(p) == float("inf")
+
+
+def test_advisor_validation():
+    with pytest.raises(ConfigurationError):
+        DivisionAdvisor(XEON_E5_2680_DUAL, XEON_PHI_KNC, 0, 4)
+
+
+def test_irregular_penalty_applies_on_booster():
+    advisor = make_advisor()
+    reg = PhaseProfile("r", 1e12, comm_latency_events=100, regular=True)
+    irr = PhaseProfile("i", 1e12, comm_latency_events=100, regular=False)
+    assert (
+        advisor.estimate_booster(irr).comm_s
+        > advisor.estimate_booster(reg).comm_s
+    )
+    assert advisor.estimate_cluster(irr).comm_s == pytest.approx(
+        advisor.estimate_cluster(reg).comm_s
+    )
+
+
+# ---------------------------------------------------------------------------
+# global MPI helpers
+# ---------------------------------------------------------------------------
+
+
+def test_global_latency_ping_pong():
+    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=4))
+    out = {}
+
+    def responder(proc):
+        yield from global_latency_responder(proc, n_pings=1)
+
+    system.register_command("responder", responder)
+
+    def main(proc):
+        cw = proc.comm_world
+        inter = yield from spawn_booster_world(proc, 2, command="responder")
+        if cw.rank == 0:
+            rtts = yield from global_latency(proc, inter, peers=(0, 1))
+            out.update(rtts)
+        yield from cw.barrier()
+
+    system.launch(main)
+    system.run()
+    # Bridged round trip: a few microseconds up to tens of us.
+    assert 2e-6 < out[0] < 1e-3
+    assert 2e-6 < out[1] < 1e-3
+
+
+def test_energy_objective_changes_placement():
+    """A phase the Booster wins on time may lose on energy when the
+    margin is thin: 32 KNCs burn far more power than 8 Xeon nodes."""
+    advisor = make_advisor()
+    # Shape where the booster is only slightly faster.
+    p = PhaseProfile(
+        "marginal", total_flops=3e12, serial_fraction=0.0,
+        transfer_bytes=2e9, regular=True,
+    )
+    by_time = advisor.divide([p], objective="time")
+    by_energy = advisor.divide([p], objective="energy")
+    cn, bn = by_time.estimates["marginal"]
+    if by_time.placements["marginal"] == "booster":
+        # Booster wins time but with 32x225W vs 8x260W it can lose energy.
+        if bn.energy_j > cn.energy_j:
+            assert by_energy.placements["marginal"] == "cluster"
+    # Reports expose both predictions.
+    assert by_time.predicted_time() > 0
+    assert by_energy.predicted_energy() > 0
+
+
+def test_divide_objective_validation():
+    from repro.errors import ConfigurationError
+
+    advisor = make_advisor()
+    with pytest.raises(ConfigurationError):
+        advisor.divide([], objective="vibes")
+
+
+def test_edp_objective_runs():
+    advisor = make_advisor()
+    p = PhaseProfile("k", total_flops=1e13, transfer_bytes=1e8, regular=True)
+    report = advisor.divide([p], objective="edp")
+    assert report.objective == "edp"
+    assert report.placements["k"] in ("cluster", "booster")

@@ -1,0 +1,96 @@
+"""Machine assembly and DeepSystem wiring."""
+
+import pytest
+
+from repro.deep import DeepSystem, Machine, MachineConfig
+from repro.errors import ConfigurationError
+from repro.hardware.node import NodeKind
+from repro.mpi import SUM
+from repro.simkernel import Simulator
+
+
+def test_machine_config_validation():
+    with pytest.raises(ConfigurationError):
+        MachineConfig(n_cluster=0)
+    with pytest.raises(ConfigurationError):
+        MachineConfig(n_booster=0)
+    with pytest.raises(ConfigurationError):
+        MachineConfig(n_gateways=0)
+
+
+def test_machine_builds_all_nodes():
+    sim = Simulator()
+    m = Machine(sim, MachineConfig(n_cluster=3, n_booster=8, n_gateways=2))
+    assert len(m.cluster_nodes) == 3
+    assert len(m.booster_nodes) == 8
+    assert len(m.gateway_nodes) == 2
+    assert all(n.kind is NodeKind.CLUSTER for n in m.cluster_nodes)
+
+
+def test_gateways_on_both_fabrics():
+    sim = Simulator()
+    m = Machine(sim, MachineConfig(n_cluster=2, n_booster=4, n_gateways=1))
+    gw = m.gateway_nodes[0]
+    assert "infiniband" in gw.interfaces
+    assert "extoll" in gw.interfaces
+    cn = m.cluster_nodes[0]
+    assert "infiniband" in cn.interfaces and "extoll" not in cn.interfaces
+    bn = m.booster_nodes[0]
+    assert "extoll" in bn.interfaces and "infiniband" not in bn.interfaces
+
+
+def test_machine_aggregates():
+    sim = Simulator()
+    m = Machine(sim, MachineConfig(n_cluster=2, n_booster=4))
+    assert m.total_peak_flops() > 4e12  # 4 KNC alone > 4 TF
+    assert m.total_power_estimate() > 1000
+    assert m.energy_joules() == 0.0
+
+
+def test_system_launch_and_collectives():
+    system = DeepSystem(MachineConfig(n_cluster=4, n_booster=4))
+    out = []
+
+    def main(proc):
+        cw = proc.comm_world
+        v = yield from cw.allreduce(cw.rank, SUM)
+        out.append(v)
+
+    system.launch(main)
+    system.run()
+    assert out == [6, 6, 6, 6]
+
+
+def test_system_ranks_per_node():
+    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=4))
+    placements = []
+
+    def main(proc):
+        placements.append(proc.endpoint)
+        yield from proc.comm_world.barrier()
+
+    system.launch(main, ranks_per_node=2)
+    system.run()
+    assert sorted(placements) == ["cn0", "cn0", "cn1", "cn1"]
+
+
+def test_system_rank_bounds():
+    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=4))
+    with pytest.raises(ConfigurationError):
+        system.launch(lambda p: None, n_ranks=5)
+
+
+def test_booster_native_world():
+    """Slide 7: the booster can run autonomously."""
+    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=4))
+    out = []
+
+    def main(proc):
+        v = yield from proc.comm_world.allreduce(1, SUM)
+        out.append((proc.endpoint, v))
+
+    system.launch_on_booster(main)
+    system.run()
+    assert len(out) == 4
+    assert all(v == 4 for _, v in out)
+    assert all(ep.startswith("bn") for ep, _ in out)

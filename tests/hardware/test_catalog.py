@@ -1,0 +1,54 @@
+"""Sanity checks of the hardware catalog against public figures."""
+
+import pytest
+
+from repro.hardware import catalog
+from repro.hardware.node import NodeKind
+
+
+def test_xeon_e5_peak():
+    # 8 cores x 2.7 GHz x 8 flop/cycle = 172.8 GF.
+    assert catalog.XEON_E5_2680.peak_flops == pytest.approx(172.8e9)
+
+
+def test_bgq_chip_peak():
+    # 16 x 1.6 GHz x 8 = 204.8 GF.
+    assert catalog.BGQ_CHIP.peak_flops == pytest.approx(204.8e9)
+
+
+def test_bgp_chip_peak():
+    # 4 x 0.85 GHz x 4 = 13.6 GF.
+    assert catalog.BGP_CHIP.peak_flops == pytest.approx(13.6e9)
+
+
+def test_slide5_bgp_to_bgq_factor_20_at_same_power():
+    """Slide 5: BG/P -> BG/Q gives ~factor 20 at the same energy envelope."""
+    perf_ratio = catalog.BGQ_CHIP.peak_flops / catalog.BGP_CHIP.peak_flops
+    power_ratio = catalog.BGQ_CHIP.tdp_watts / catalog.BGP_CHIP.tdp_watts
+    per_watt_gain = perf_ratio / power_ratio
+    assert 12 < perf_ratio < 20
+    assert per_watt_gain > 4  # big efficiency jump per generation
+
+
+def test_node_spec_builders():
+    cn = catalog.cluster_node_spec()
+    bn = catalog.booster_node_spec()
+    bi = catalog.booster_interface_spec()
+    assert cn.kind is NodeKind.CLUSTER and cn.pcie is not None
+    assert bn.kind is NodeKind.BOOSTER and bn.pcie is None
+    assert bi.kind is NodeKind.BOOSTER_INTERFACE
+
+
+def test_booster_node_more_efficient_than_cluster_node():
+    """The energy argument: KNC delivers more flops per watt."""
+    cn = catalog.XEON_E5_2680_DUAL
+    bn = catalog.XEON_PHI_KNC
+    assert bn.gflops_per_watt > 1.5 * cn.gflops_per_watt
+
+
+def test_knc_memory_bandwidth_exceeds_xeon():
+    """Slide 15: 'sufficient memory bandwidth' — GDDR5 beats DDR3."""
+    assert (
+        catalog.XEON_PHI_KNC.memory.bandwidth_bytes_per_s
+        > catalog.XEON_E5_2680_DUAL.memory.bandwidth_bytes_per_s
+    )

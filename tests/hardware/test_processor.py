@@ -1,0 +1,176 @@
+"""Unit tests for core/processor/memory models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import CoreSpec, MemorySpec, Processor, ProcessorSpec, roofline_time
+from repro.hardware.catalog import XEON_E5_2680, XEON_PHI_KNC
+from repro.units import gbyte_per_s, gib
+
+from tests.conftest import run_to_end
+
+
+def make_spec(n_cores=4, clock=2e9, fpc=8.0, eff=1.0, bw=gbyte_per_s(50)):
+    return ProcessorSpec(
+        name="test",
+        core=CoreSpec(clock_hz=clock, flops_per_cycle=fpc, sustained_efficiency=eff),
+        n_cores=n_cores,
+        memory=MemorySpec(capacity_bytes=gib(8), bandwidth_bytes_per_s=bw),
+        tdp_watts=100.0,
+        idle_watts=20.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# specs
+# ---------------------------------------------------------------------------
+
+
+def test_core_peak_flops():
+    core = CoreSpec(clock_hz=2e9, flops_per_cycle=8.0, sustained_efficiency=0.5)
+    assert core.peak_flops == 16e9
+    assert core.sustained_flops == 8e9
+
+
+def test_core_validation():
+    with pytest.raises(ConfigurationError):
+        CoreSpec(clock_hz=0, flops_per_cycle=8)
+    with pytest.raises(ConfigurationError):
+        CoreSpec(clock_hz=1e9, flops_per_cycle=8, sustained_efficiency=1.5)
+
+
+def test_chip_peak_is_cores_times_core():
+    spec = make_spec(n_cores=4, clock=2e9, fpc=8.0)
+    assert spec.peak_flops == 4 * 16e9
+
+
+def test_processor_validation():
+    with pytest.raises(ConfigurationError):
+        make_spec(n_cores=0)
+    with pytest.raises(ConfigurationError):
+        ProcessorSpec(
+            name="bad",
+            core=CoreSpec(1e9, 1.0),
+            n_cores=1,
+            memory=MemorySpec(gib(1), 1e9),
+            tdp_watts=10.0,
+            idle_watts=50.0,  # idle > tdp
+        )
+
+
+def test_knc_matches_slide15_efficiency():
+    """Slide 15: KNC is ~5 GFlop/W."""
+    assert XEON_PHI_KNC.gflops_per_watt == pytest.approx(4.49, rel=0.05)
+    assert XEON_PHI_KNC.peak_flops == pytest.approx(1.01e12, rel=0.01)
+
+
+def test_knc_vs_xeon_peak_ratio():
+    """Many-core chip >> multicore chip in raw throughput."""
+    assert XEON_PHI_KNC.peak_flops / XEON_E5_2680.peak_flops > 5
+
+
+# ---------------------------------------------------------------------------
+# roofline
+# ---------------------------------------------------------------------------
+
+
+def test_roofline_compute_bound():
+    # 8 Gflop at 4 Gflop/s vs 1 MB at 50 GB/s -> compute wins.
+    t = roofline_time(8e9, 1e6, 4e9, 50e9)
+    assert t == pytest.approx(2.0)
+
+
+def test_roofline_memory_bound():
+    t = roofline_time(1e6, 100e9, 4e9, 50e9)
+    assert t == pytest.approx(2.0)
+
+
+def test_roofline_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        roofline_time(-1, 0, 1e9, 1e9)
+
+
+def test_kernel_time_scales_with_cores():
+    spec = make_spec(n_cores=4, eff=1.0)
+    t1 = spec.kernel_time(64e9, n_cores=1)
+    t4 = spec.kernel_time(64e9, n_cores=4)
+    assert t1 == pytest.approx(4 * t4)
+
+
+def test_kernel_time_bandwidth_shared():
+    """Bandwidth-bound kernels do not speed up with more cores."""
+    spec = make_spec(n_cores=4, bw=gbyte_per_s(10))
+    t1 = spec.kernel_time(1e6, traffic_bytes=10e9, n_cores=1)
+    t4 = spec.kernel_time(1e6, traffic_bytes=10e9, n_cores=4)
+    assert t1 == pytest.approx(t4)
+
+
+def test_kernel_time_core_range_checked():
+    spec = make_spec(n_cores=4)
+    with pytest.raises(ConfigurationError):
+        spec.kernel_time(1e9, n_cores=5)
+
+
+# ---------------------------------------------------------------------------
+# simulated execution
+# ---------------------------------------------------------------------------
+
+
+def test_execute_takes_roofline_time(sim):
+    proc = Processor(sim, make_spec(n_cores=2, clock=1e9, fpc=1.0, eff=1.0))
+
+    def p(sim):
+        yield from proc.execute(flops=3e9, n_cores=1)
+        return sim.now
+
+    assert run_to_end(sim, p(sim)) == pytest.approx(3.0)
+
+
+def test_execute_contends_for_cores(sim):
+    proc = Processor(sim, make_spec(n_cores=1, clock=1e9, fpc=1.0, eff=1.0))
+    ends = []
+
+    def p(sim):
+        yield from proc.execute(flops=1e9, n_cores=1)
+        ends.append(sim.now)
+
+    sim.process(p(sim))
+    sim.process(p(sim))
+    sim.run()
+    assert ends == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_execute_whole_chip_with_zero(sim):
+    proc = Processor(sim, make_spec(n_cores=4, clock=1e9, fpc=1.0, eff=1.0))
+
+    def p(sim):
+        yield from proc.execute(flops=4e9, n_cores=0)
+        return sim.now
+
+    assert run_to_end(sim, p(sim)) == pytest.approx(1.0)
+
+
+def test_wide_tasks_do_not_deadlock(sim):
+    """Two 3-core tasks on a 4-core chip must serialise, not deadlock."""
+    proc = Processor(sim, make_spec(n_cores=4, clock=1e9, fpc=1.0, eff=1.0))
+    ends = []
+
+    def p(sim):
+        yield from proc.execute(flops=3e9, n_cores=3)
+        ends.append(sim.now)
+
+    sim.process(p(sim))
+    sim.process(p(sim))
+    sim.run()
+    assert sorted(ends) == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_utilization_accounting(sim):
+    proc = Processor(sim, make_spec(n_cores=2, clock=1e9, fpc=1.0, eff=1.0))
+
+    def p(sim):
+        yield from proc.execute(flops=2e9, n_cores=1)
+
+    sim.process(p(sim))
+    sim.run()
+    assert proc.utilization() == pytest.approx(0.5)

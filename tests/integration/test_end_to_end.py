@@ -1,0 +1,157 @@
+"""End-to-end scenarios across the full stack."""
+
+import pytest
+
+from repro.apps import cholesky_graph, coupled_application, stencil_graph
+from repro.deep import (
+    DeepSystem,
+    MachineConfig,
+    OFFLOAD_WORKER_COMMAND,
+    offload_graph,
+    offload_worker,
+)
+from repro.deep.application import run_application
+from repro.config import commodity_cluster, deep_prototype, deep_prototype_2013
+from repro.mpi import SUM
+from repro.units import mib
+
+
+def test_full_coupled_app_three_modes_ordering():
+    """The headline E6 shape: on a compute-heavy HSCP the DEEP mode
+    beats cluster-only; all modes finish; energy is accounted."""
+    app = coupled_application(
+        iterations=2, hscp_sweeps=3, hscp_slab_bytes=mib(8), hscp_intensity=300.0
+    )
+    results = {}
+    for mode in ("cluster-only", "accelerated", "cluster-booster"):
+        system = DeepSystem(MachineConfig(n_cluster=4, n_booster=16, n_gateways=2))
+        results[mode] = run_application(system, app, mode=mode)
+    assert results["cluster-booster"].total_time_s < results["cluster-only"].total_time_s
+    for rep in results.values():
+        assert rep.energy_joules > 0
+    assert results["cluster-booster"].booster_utilization > 0.1
+
+
+def test_presets_build_and_run():
+    for cfg in (deep_prototype(4, 8, 1), deep_prototype_2013(2, 4, 1), commodity_cluster(4)):
+        system = DeepSystem(cfg)
+        out = []
+
+        def main(proc):
+            v = yield from proc.comm_world.allreduce(1, SUM)
+            out.append(v)
+
+        system.launch(main)
+        system.run()
+        assert len(out) == cfg.n_cluster
+
+
+def test_galibier_prototype_slower_than_tourmalet():
+    """The 2013 FPGA-EXTOLL bring-up config offloads slower."""
+
+    def offload_time(cfg):
+        system = DeepSystem(cfg)
+        system.register_command(OFFLOAD_WORKER_COMMAND, offload_worker)
+        out = {}
+
+        def main(proc):
+            cw = proc.comm_world
+            inter = yield from proc.spawn(cw, OFFLOAD_WORKER_COMMAND, 4)
+            if cw.rank == 0:
+                g = stencil_graph(4, sweeps=4, slab_bytes=mib(8))
+                r = yield from offload_graph(proc, inter, g)
+                out["t"] = r.elapsed_s
+            yield from cw.barrier()
+
+        system.launch(main)
+        system.run()
+        return out["t"]
+
+    t_new = offload_time(deep_prototype(2, 4, 1))
+    t_old = offload_time(deep_prototype_2013(2, 4, 1))
+    assert t_old > t_new
+
+
+def test_cholesky_offload_full_stack_determinism():
+    """Same seed, same config => bit-identical simulated times."""
+
+    def run_once():
+        system = DeepSystem(MachineConfig(n_cluster=2, n_booster=8), seed=123)
+        system.register_command(OFFLOAD_WORKER_COMMAND, offload_worker)
+        out = {}
+
+        def main(proc):
+            cw = proc.comm_world
+            inter = yield from proc.spawn(cw, OFFLOAD_WORKER_COMMAND, 8)
+            if cw.rank == 0:
+                g = cholesky_graph(6, tile_size=256)
+                r = yield from offload_graph(proc, inter, g, strategy="cyclic")
+                out["elapsed"] = r.elapsed_s
+            yield from cw.barrier()
+
+        system.launch(main)
+        system.run()
+        return out["elapsed"], system.now
+
+    a = run_once()
+    b = run_once()
+    assert a == b
+
+
+def test_energy_split_between_cluster_and_booster():
+    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=4))
+    system.register_command(OFFLOAD_WORKER_COMMAND, offload_worker)
+
+    def main(proc):
+        cw = proc.comm_world
+        inter = yield from proc.spawn(cw, OFFLOAD_WORKER_COMMAND, 4)
+        if cw.rank == 0:
+            g = stencil_graph(4, sweeps=4, slab_bytes=mib(4), flops_per_byte=100)
+            yield from offload_graph(proc, inter, g)
+        yield from cw.barrier()
+
+    system.launch(main)
+    system.run()
+    booster_j = sum(n.energy.energy_joules() for n in system.machine.booster_nodes)
+    cluster_j = sum(n.energy.energy_joules() for n in system.machine.cluster_nodes)
+    assert booster_j > 0 and cluster_j > 0
+    # Booster did the compute: its energy exceeds idle-only baseline.
+    idle_booster = sum(
+        n.spec.power.power(0.0) * system.now for n in system.machine.booster_nodes
+    )
+    assert booster_j > idle_booster
+
+
+def test_batch_scheduler_with_mpi_jobs():
+    """Jobs flowing through the batch scheduler drive real MPI work."""
+    from repro.parastation import BoosterPolicy, JobSpec
+
+    system = DeepSystem(MachineConfig(n_cluster=4, n_booster=8))
+    sched = system.batch
+    finished = []
+
+    def make_body(n_nodes, tag):
+        def body(job):
+            done = {}
+
+            def main(proc):
+                v = yield from proc.comm_world.allreduce(1, SUM)
+                done["v"] = v
+
+            world_nodes = job.cluster_nodes
+            system.world.create_world(
+                [(n.name, n) for n in world_nodes], main, name=f"job{tag}"
+            )
+            yield system.sim.timeout(0.05)
+            finished.append((tag, done.get("v")))
+
+        return body
+
+    for i in range(3):
+        sched.submit(
+            JobSpec(f"job{i}", n_cluster=2, walltime_estimate_s=1.0, body=make_body(2, i))
+        )
+    system.sim.process(sched.drain())
+    system.run()
+    assert sorted(tag for tag, _ in finished) == [0, 1, 2]
+    assert all(v == 2 for _, v in finished)

@@ -1,0 +1,142 @@
+"""Full-stack scenarios combining the newer subsystems."""
+
+import pytest
+
+from repro.apps import stencil_graph
+from repro.deep import (
+    DeepSystem,
+    MachineConfig,
+    OFFLOAD_WORKER_COMMAND,
+    offload_graph,
+    offload_worker,
+)
+from repro.parastation import DaemonMonitor, HeartbeatConfig, NodeState
+from repro.resilience import resilient_offload
+from repro.units import mib
+
+
+def offload_time(**config_kw):
+    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=8, **config_kw))
+    system.register_command(OFFLOAD_WORKER_COMMAND, offload_worker)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        inter = yield from proc.spawn(cw, OFFLOAD_WORKER_COMMAND, 8)
+        if cw.rank == 0:
+            g = stencil_graph(8, sweeps=3, slab_bytes=mib(8), flops_per_byte=50.0)
+            r = yield from offload_graph(proc, inter, g, strategy="locality")
+            out["t"] = r.elapsed_s
+        yield from cw.barrier()
+
+    system.launch(main)
+    system.run()
+    return out["t"]
+
+
+def test_segmented_machine_config_speeds_bridge_bound_offload():
+    """X17's effect through the whole stack: pipelined bridging makes a
+    transfer-bound offload faster."""
+    t_circuit = offload_time()
+    t_segmented = offload_time(ib_mtu=256 << 10, extoll_mtu=256 << 10)
+    from repro.network.smfu import SMFUSpec
+
+    t_all = offload_time(
+        ib_mtu=256 << 10, extoll_mtu=256 << 10,
+        smfu=SMFUSpec(segment_bytes=256 << 10),
+    )
+    assert t_all < t_circuit
+    assert t_all <= t_segmented * 1.01
+
+
+def test_adaptive_machine_config_runs():
+    t = offload_time(extoll_adaptive=True)
+    assert t > 0
+
+
+def test_monitored_failure_with_resilient_offload():
+    """Daemons detect a silent node while the application survives the
+    induced worker loss through the resilient offload path."""
+    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=8))
+    system.register_command(OFFLOAD_WORKER_COMMAND, offload_worker)
+    part = system.booster_partition
+    downs = []
+    monitor = DaemonMonitor(
+        system.sim, part, HeartbeatConfig(0.005, 3.0),
+        on_node_down=lambda name, t: downs.append((name, t)),
+    )
+    monitor.start()
+
+    from repro.resilience import kill_endpoint
+
+    def killer(sim):
+        yield sim.timeout(0.02)
+        victim = next(
+            n.name for n in part.nodes
+            if part.state_of(n.name) is NodeState.ALLOCATED
+            and any(
+                d.is_alive
+                for d in system.world.drivers_by_endpoint.get(n.name, [])
+            )
+        )
+        # The node goes silent: both its MPI drivers and its daemon die.
+        kill_endpoint(system.world, victim)
+        monitor.fail_node(victim)
+
+    system.sim.process(killer(system.sim))
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        g = stencil_graph(4, sweeps=4, slab_bytes=mib(4), flops_per_byte=2000.0)
+        result, attempts = yield from resilient_offload(proc, cw, g, 4)
+        if cw.rank == 0:
+            out["attempts"] = attempts
+        monitor.stop()
+
+    system.launch(main)
+    system.run()
+    assert out["attempts"] == 2
+    # The watchdog independently declared the node dead.
+    assert len(downs) == 1
+    name, detected_at = downs[0]
+    assert part.state_of(name) is NodeState.DOWN
+    assert detected_at >= 0.02
+
+
+def test_table_csv_roundtrip(tmp_path):
+    from repro.analysis import Table
+
+    t = Table(["a", "b"], title="x")
+    t.add_row(1, 2.5)
+    t.add_row("s", 3)
+    csv_text = t.to_csv()
+    assert csv_text.splitlines()[0] == "a,b"
+    assert "2.5" in csv_text
+    path = tmp_path / "out.csv"
+    t.write_csv(str(path))
+    assert path.read_text() == csv_text
+
+
+def test_scale_smoke_64_booster_nodes():
+    """A 64-node Booster offload completes with sane accounting —
+    insurance that nothing in the stack degrades super-linearly."""
+    system = DeepSystem(MachineConfig(n_cluster=4, n_booster=64, n_gateways=4))
+    system.register_command(OFFLOAD_WORKER_COMMAND, offload_worker)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        inter = yield from proc.spawn(cw, OFFLOAD_WORKER_COMMAND, 64)
+        if cw.rank == 0:
+            g = stencil_graph(64, sweeps=3, slab_bytes=mib(2), flops_per_byte=100.0)
+            out["r"] = yield from offload_graph(proc, inter, g, strategy="locality")
+        yield from cw.barrier()
+
+    system.launch(main)
+    system.run()
+    r = out["r"]
+    assert r.n_tasks == 192
+    assert r.n_ranks == 64
+    assert 0 < r.elapsed_s < 1.0
+    assert system.booster_partition.free_count == 64  # all released

@@ -1,0 +1,95 @@
+"""The parallel-filesystem model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io import FileSystemSpec, ParallelFileSystem, checkpoint_write_time
+from repro.simkernel import Simulator
+from repro.units import gbyte_per_s, gib, mib
+
+from tests.conftest import run_to_end
+
+SPEC = FileSystemSpec(
+    n_targets=4,
+    ost_bandwidth=gbyte_per_s(1.0),
+    per_client_bandwidth=gbyte_per_s(2.0),
+    metadata_latency_s=1e-3,
+    default_stripe_count=2,
+)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        FileSystemSpec(n_targets=0)
+    with pytest.raises(ConfigurationError):
+        FileSystemSpec(ost_bandwidth=0)
+    with pytest.raises(ConfigurationError):
+        FileSystemSpec(n_targets=4, default_stripe_count=5)
+    assert SPEC.aggregate_bandwidth == pytest.approx(4e9)
+
+
+def test_single_write_time(sim):
+    fs = ParallelFileSystem(sim, SPEC)
+
+    def p(sim):
+        yield from fs.write(gib(2), stripe_count=2)
+        return sim.now
+
+    # 2 GiB over 2 stripes: per-stripe 1 GiB at min(1, 2/2)=1 GB/s.
+    t = run_to_end(sim, p(sim))
+    expected = 1e-3 + gib(1) / 1e9
+    assert t == pytest.approx(expected, rel=0.01)
+    assert fs.bytes_written == gib(2)
+
+
+def test_client_cap_binds_on_wide_stripes(sim):
+    fs = ParallelFileSystem(sim, SPEC)
+
+    def p(sim):
+        yield from fs.write(gib(2), stripe_count=4)
+        return sim.now
+
+    # 4 stripes: client cap 2 GB/s / 4 = 0.5 GB/s per stripe.
+    t = run_to_end(sim, p(sim))
+    expected = 1e-3 + (gib(2) / 4) / 0.5e9
+    assert t == pytest.approx(expected, rel=0.01)
+
+
+def test_concurrent_writers_saturate_aggregate():
+    # 8 writers x 1 GiB, stripe 1, onto 4 x 1 GB/s OSTs: aggregate
+    # 4 GB/s floor -> ~2 s for 8 GiB.
+    t = checkpoint_write_time(
+        Simulator, SPEC, n_writers=8, bytes_per_writer=gib(1), stripe_count=1
+    )
+    floor = 8 * gib(1) / SPEC.aggregate_bandwidth
+    assert t == pytest.approx(floor, rel=0.05)
+
+
+def test_single_writer_not_aggregate_bound():
+    t = checkpoint_write_time(
+        Simulator, SPEC, n_writers=1, bytes_per_writer=gib(1), stripe_count=2
+    )
+    # One client at its own 1 GB/s-per-stripe rate, not 4 GB/s.
+    assert t == pytest.approx(1e-3 + gib(0.5) / 1e9, rel=0.02)
+
+
+def test_write_validation(sim):
+    fs = ParallelFileSystem(sim, SPEC)
+
+    def bad(sim):
+        yield from fs.write(100, stripe_count=9)
+
+    sim.process(bad(sim))
+    with pytest.raises(ConfigurationError):
+        sim.run()
+
+
+def test_utilization_accounting(sim):
+    fs = ParallelFileSystem(sim, SPEC)
+
+    def p(sim):
+        yield from fs.write(gib(4), stripe_count=4)
+
+    sim.process(p(sim))
+    sim.run()
+    assert fs.utilization() > 0.9  # all four OSTs busy nearly all run

@@ -1,0 +1,89 @@
+"""MPI test harness: small worlds on a star IB fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi import MPIWorld
+from repro.network import (
+    ClusterBoosterBridge,
+    ExtollFabric,
+    InfinibandFabric,
+    SMFUGateway,
+)
+from repro.simkernel import Simulator
+
+
+class WorldHarness:
+    """A ready-to-run MPI world over n cluster endpoints."""
+
+    def __init__(self, n: int = 4, eager_threshold: int = 32 * 1024, seed: int = 0):
+        self.sim = Simulator(seed=seed)
+        self.endpoints = [f"cn{i}" for i in range(n)]
+        self.fabric = InfinibandFabric(self.sim, self.endpoints)
+        for e in self.endpoints:
+            self.fabric.attach_endpoint(e)
+        self.world = MPIWorld(
+            self.sim, [self.fabric], eager_threshold=eager_threshold
+        )
+        self.n = n
+
+    def run(self, main):
+        """Run ``main(proc)`` on every rank to completion.
+
+        Returns the list of per-rank return values.
+        """
+        procs = self.world.create_world(
+            [(e, None) for e in self.endpoints], main
+        )
+        self.sim.run()
+        return [d.value for d in self.world.rank_drivers[: self.n]]
+
+
+class BridgedHarness(WorldHarness):
+    """Cluster + booster fabrics with SMFU gateways and a spawn pool."""
+
+    def __init__(self, n_cn: int = 4, n_bn: int = 8, n_gw: int = 1, **kw):
+        from repro.mpi.spawn import StaticPool
+
+        self.sim = Simulator(seed=kw.pop("seed", 0))
+        self.endpoints = [f"cn{i}" for i in range(n_cn)]
+        self.booster_eps = [f"bn{i}" for i in range(n_bn)]
+        gws = [f"bi{i}" for i in range(n_gw)]
+        self.fabric = InfinibandFabric(self.sim, self.endpoints + gws)
+        for e in self.endpoints + gws:
+            self.fabric.attach_endpoint(e)
+        self.extoll = ExtollFabric(self.sim, self.booster_eps + gws)
+        for e in self.booster_eps + gws:
+            self.extoll.attach_endpoint(e)
+        gateways = [SMFUGateway(self.sim, g, self.fabric, self.extoll) for g in gws]
+        self.bridge = ClusterBoosterBridge(gateways)
+        self.world = MPIWorld(
+            self.sim, [self.fabric, self.extoll], self.bridge,
+            eager_threshold=kw.pop("eager_threshold", 32 * 1024),
+        )
+        self.world.spawn_backend = StaticPool(
+            self.sim, [(b, None) for b in self.booster_eps]
+        )
+        self.n = n_cn
+
+
+@pytest.fixture
+def world4():
+    return WorldHarness(4)
+
+
+@pytest.fixture
+def world5():
+    """Odd size exercises the non-power-of-two collective paths."""
+    return WorldHarness(5)
+
+
+@pytest.fixture
+def world8():
+    return WorldHarness(8)
+
+
+@pytest.fixture
+def bridged():
+    return BridgedHarness()

@@ -1,0 +1,143 @@
+"""Unit tests for datatypes, status, groups, ops, requests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError, ConfigurationError, MPIError, RankError
+from repro.mpi import (
+    BAND,
+    BOR,
+    BYTE,
+    DOUBLE,
+    Group,
+    INT,
+    LAND,
+    LOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROD,
+    SUM,
+    Status,
+)
+from repro.mpi.datatypes import Datatype
+
+
+# ---------------------------------------------------------------------------
+# datatypes
+# ---------------------------------------------------------------------------
+
+
+def test_predefined_sizes():
+    assert BYTE.size == 1
+    assert INT.size == 4
+    assert DOUBLE.size == 8
+
+
+def test_extent_and_contiguous():
+    assert DOUBLE.extent(100) == 800
+    derived = DOUBLE.contiguous(16)
+    assert derived.size == 128
+    with pytest.raises(ConfigurationError):
+        DOUBLE.extent(-1)
+    with pytest.raises(ConfigurationError):
+        Datatype("bad", 0)
+
+
+def test_status_count():
+    st = Status(source=2, tag=7, count_bytes=64)
+    assert st.count(DOUBLE.size) == 8
+    assert st.count() == 64
+
+
+# ---------------------------------------------------------------------------
+# groups
+# ---------------------------------------------------------------------------
+
+
+def test_group_rank_mapping():
+    g = Group([10, 20, 30])
+    assert g.size == 3
+    assert g.rank_of(20) == 1
+    assert g.gpid_of(2) == 30
+    assert 20 in g and 99 not in g
+    assert list(g) == [10, 20, 30]
+
+
+def test_group_duplicates_rejected():
+    with pytest.raises(CommunicatorError):
+        Group([1, 1, 2])
+
+
+def test_group_bad_rank():
+    g = Group([1, 2])
+    with pytest.raises(RankError):
+        g.gpid_of(2)
+    with pytest.raises(CommunicatorError):
+        g.rank_of(99)
+
+
+def test_group_incl_excl():
+    g = Group([10, 20, 30, 40])
+    assert g.incl([3, 0]).gpids == (40, 10)
+    assert g.excl([1, 2]).gpids == (10, 40)
+
+
+def test_group_set_operations():
+    a = Group([1, 2, 3])
+    b = Group([3, 4])
+    assert a.union(b).gpids == (1, 2, 3, 4)
+    assert a.intersection(b).gpids == (3,)
+    assert a.difference(b).gpids == (1, 2)
+
+
+def test_translate_rank():
+    a = Group([5, 6, 7])
+    b = Group([7, 5])
+    assert a.translate_rank(0, b) == 1
+    assert a.translate_rank(2, b) == 0
+    assert a.translate_rank(1, b) == -1
+
+
+def test_group_equality_hash():
+    assert Group([1, 2]) == Group([1, 2])
+    assert Group([1, 2]) != Group([2, 1])
+    assert hash(Group([1, 2])) == hash(Group([1, 2]))
+
+
+# ---------------------------------------------------------------------------
+# ops
+# ---------------------------------------------------------------------------
+
+
+def test_scalar_ops():
+    assert SUM(2, 3) == 5
+    assert PROD(2, 3) == 6
+    assert MAX(2, 3) == 3
+    assert MIN(2, 3) == 2
+    assert LAND(1, 0) is False
+    assert LOR(1, 0) is True
+    assert BAND(0b110, 0b011) == 0b010
+    assert BOR(0b110, 0b011) == 0b111
+
+
+def test_list_ops_elementwise():
+    assert SUM([1, 2], [3, 4]) == [4, 6]
+    assert MAX([1, 5], [2, 4]) == [2, 5]
+    with pytest.raises(ValueError):
+        SUM([1], [1, 2])
+
+
+def test_numpy_ops():
+    a = np.array([1.0, 2.0])
+    b = np.array([3.0, 1.0])
+    assert np.allclose(SUM(a, b), [4.0, 3.0])
+    assert np.allclose(MAX(a, b), [3.0, 2.0])
+
+
+def test_loc_ops():
+    assert MAXLOC((5, 1), (5, 0)) == (5, 0)  # ties -> lowest rank
+    assert MAXLOC((3, 0), (7, 2)) == (7, 2)
+    assert MINLOC((3, 4), (3, 1)) == (3, 1)
+    assert MINLOC((2, 9), (5, 0)) == (2, 9)

@@ -1,0 +1,142 @@
+"""Cartesian communicators and topology-aware reordering."""
+
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.mpi import MPIWorld, SUM, dims_create
+from repro.network import ExtollFabric
+from repro.simkernel import Simulator
+
+from tests.mpi.conftest import WorldHarness
+
+
+def test_dims_create():
+    assert dims_create(8, 3) == (2, 2, 2)
+    assert dims_create(12, 2) == (4, 3)
+    assert dims_create(7, 2) == (7, 1)
+
+
+def test_cart_coords_roundtrip():
+    h = WorldHarness(8)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        cart = yield from cw.create_cart([2, 2, 2])
+        coords = cart.coords
+        assert cart.rank_of(coords) == cart.rank
+        out[cw.rank] = coords
+
+    h.run(main)
+    assert len(set(out.values())) == 8  # all coordinates distinct
+
+
+def test_cart_dims_must_fit(world4):
+    def main(proc):
+        yield from proc.comm_world.create_cart([3, 2])
+
+    with pytest.raises(CommunicatorError):
+        world4.run(main)
+
+
+def test_cart_shift_periodic_and_bounded():
+    h = WorldHarness(6)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        cart = yield from cw.create_cart([3, 2], periods=[True, False])
+        out[cart.coords] = {
+            "x": cart.shift(0, 1),
+            "y": cart.shift(1, 1),
+        }
+
+    h.run(main)
+    # Periodic x wraps; non-periodic y has PROC_NULL at the edges.
+    src, dst = out[(0, 0)]["x"]
+    assert src is not None and dst is not None
+    src, dst = out[(0, 0)]["y"]
+    assert src is None  # no y-1 neighbour
+    assert dst is not None
+    src, dst = out[(0, 1)]["y"]
+    assert dst is None  # no y+1 neighbour
+
+
+def test_cart_neighbours_count():
+    h = WorldHarness(8)
+    out = {}
+
+    def main(proc):
+        cart = yield from proc.comm_world.create_cart([2, 2, 2])
+        out[cart.rank] = cart.neighbours()
+
+    h.run(main)
+    # On a 2x2x2 fully periodic torus every node touches 3 others
+    # (each dimension's two directions coincide).
+    assert all(len(v) == 3 for v in out.values())
+
+
+def test_cart_halo_exchange_values():
+    h = WorldHarness(4)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        cart = yield from cw.create_cart([4], periods=[True])
+        received = yield from cart.halo_exchange(1024, value=cart.rank)
+        out[cart.rank] = received
+
+    h.run(main)
+    for r in range(4):
+        assert out[r][(0, -1)] == (r - 1) % 4
+        assert out[r][(0, +1)] == (r + 1) % 4
+
+
+def test_cart_collectives_still_work():
+    h = WorldHarness(8)
+    out = []
+
+    def main(proc):
+        cart = yield from proc.comm_world.create_cart([4, 2])
+        v = yield from cart.allreduce(1, SUM)
+        out.append(v)
+
+    h.run(main)
+    assert out == [8] * 8
+
+
+def make_torus_world(dims=(2, 2, 2)):
+    sim = Simulator()
+    n = dims[0] * dims[1] * dims[2]
+    names = [f"bn{i}" for i in range(n)]
+    fabric = ExtollFabric(sim, names, dims=dims)
+    for b in names:
+        fabric.attach_endpoint(b)
+    world = MPIWorld(sim, [fabric])
+    return sim, world, names
+
+
+def test_cart_reorder_aligns_to_physical_torus():
+    """With reorder, logical neighbours sit one physical hop apart."""
+    sim, world, names = make_torus_world((2, 2, 2))
+    hops = {"reordered": [], "naive": []}
+
+    # Scramble the rank->endpoint placement so identity mapping is bad.
+    scrambled = [names[i] for i in (5, 2, 7, 0, 3, 6, 1, 4)]
+
+    def main(proc):
+        cw = proc.comm_world
+        for reorder, tag in ((True, "reordered"), (False, "naive")):
+            cart = yield from cw.create_cart([2, 2, 2], reorder=reorder)
+            fabric = world.transport.fabrics[0]
+            me = world.endpoint_of(cart.group.gpid_of(cart.rank))
+            for nb in cart.neighbours():
+                other = world.endpoint_of(cart.group.gpid_of(nb))
+                hops[tag].append(fabric.routing.hops(me, other))
+
+    world.create_world([(e, None) for e in scrambled], main)
+    sim.run()
+    mean_re = sum(hops["reordered"]) / len(hops["reordered"])
+    mean_naive = sum(hops["naive"]) / len(hops["naive"])
+    assert mean_re <= mean_naive
+    assert mean_re == pytest.approx(1.0)  # perfect alignment on 2x2x2

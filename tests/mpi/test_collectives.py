@@ -1,0 +1,261 @@
+"""Collective correctness across sizes and algorithms."""
+
+import pytest
+
+from repro.errors import MPIError, RankError
+from repro.mpi import MAX, MIN, PROD, SUM
+
+from tests.mpi.conftest import WorldHarness
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8])
+def test_barrier_synchronises(n):
+    h = WorldHarness(n)
+    after = []
+
+    def main(proc):
+        cw = proc.comm_world
+        yield from proc.elapse(0.01 * cw.rank)  # skewed arrival
+        yield from cw.barrier()
+        after.append(proc.sim.now)
+
+    h.run(main)
+    assert len(after) == n
+    # Nobody leaves before the slowest arrival.
+    assert min(after) >= 0.01 * (n - 1)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8])
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast_all_sizes_roots(n, root):
+    h = WorldHarness(n)
+    root = n - 1 if root == "last" else 0
+    got = []
+
+    def main(proc):
+        cw = proc.comm_world
+        value = "payload" if cw.rank == root else None
+        v = yield from cw.bcast(value, root=root)
+        got.append(v)
+
+    h.run(main)
+    assert got == ["payload"] * n
+
+
+def test_bcast_bad_root(world4):
+    def main(proc):
+        yield from proc.comm_world.bcast("x", root=7)
+
+    with pytest.raises(RankError):
+        world4.run(main)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8])
+def test_reduce_sum(n):
+    h = WorldHarness(n)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        r = yield from cw.reduce(cw.rank + 1, SUM, root=0)
+        out[cw.rank] = r
+
+    h.run(main)
+    assert out[0] == n * (n + 1) // 2
+    for r in range(1, n):
+        assert out[r] is None
+
+
+@pytest.mark.parametrize("algorithm", ["recursive-doubling", "ring", "reduce-bcast"])
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+def test_allreduce_algorithms_agree(n, algorithm):
+    h = WorldHarness(n)
+    got = []
+
+    def main(proc):
+        cw = proc.comm_world
+        v = yield from cw.allreduce(cw.rank + 1, SUM, algorithm=algorithm)
+        got.append(v)
+
+    h.run(main)
+    assert got == [n * (n + 1) // 2] * n
+
+
+def test_allreduce_auto_selects(world8):
+    got = []
+
+    def main(proc):
+        cw = proc.comm_world
+        small = yield from cw.allreduce(1, SUM, size_bytes=8)
+        big = yield from cw.allreduce(1, SUM, size_bytes=1 << 20)
+        got.append((small, big))
+
+    world8.run(main)
+    assert got == [(8, 8)] * 8
+
+
+def test_allreduce_minmax(world5):
+    got = []
+
+    def main(proc):
+        cw = proc.comm_world
+        mx = yield from cw.allreduce(cw.rank, MAX)
+        mn = yield from cw.allreduce(cw.rank, MIN)
+        got.append((mx, mn))
+
+    world5.run(main)
+    assert got == [(4, 0)] * 5
+
+
+def test_allreduce_unknown_algorithm(world4):
+    def main(proc):
+        yield from proc.comm_world.allreduce(1, SUM, algorithm="magic")
+
+    with pytest.raises(MPIError):
+        world4.run(main)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_gather(n):
+    h = WorldHarness(n)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        g = yield from cw.gather(cw.rank * 10, root=0)
+        out[cw.rank] = g
+
+    h.run(main)
+    assert out[0] == [r * 10 for r in range(n)]
+    for r in range(1, n):
+        assert out[r] is None
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+@pytest.mark.parametrize("root", [0, "mid"])
+def test_scatter(n, root):
+    h = WorldHarness(n)
+    root = n // 2 if root == "mid" else 0
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        values = [100 + i for i in range(n)] if cw.rank == root else None
+        v = yield from cw.scatter(values, root=root)
+        out[cw.rank] = v
+
+    h.run(main)
+    assert out == {r: 100 + r for r in range(n)}
+
+
+def test_scatter_needs_values_at_root(world4):
+    def main(proc):
+        yield from proc.comm_world.scatter(None, root=0)
+
+    with pytest.raises(MPIError):
+        world4.run(main)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_allgather(n):
+    h = WorldHarness(n)
+    got = []
+
+    def main(proc):
+        cw = proc.comm_world
+        v = yield from cw.allgather(cw.rank * cw.rank)
+        got.append(v)
+
+    h.run(main)
+    expected = [r * r for r in range(n)]
+    assert got == [expected] * n
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_alltoall(n):
+    h = WorldHarness(n)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        values = [cw.rank * 100 + j for j in range(n)]
+        v = yield from cw.alltoall(values)
+        out[cw.rank] = v
+
+    h.run(main)
+    for r in range(n):
+        assert out[r] == [j * 100 + r for j in range(n)]
+
+
+def test_alltoall_wrong_length(world4):
+    def main(proc):
+        yield from proc.comm_world.alltoall([1, 2])
+
+    with pytest.raises(MPIError):
+        world4.run(main)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_scan_inclusive_prefix(n):
+    h = WorldHarness(n)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        v = yield from cw.scan(cw.rank + 1, SUM)
+        out[cw.rank] = v
+
+    h.run(main)
+    assert out == {r: (r + 1) * (r + 2) // 2 for r in range(n)}
+
+
+def test_reduce_prod(world4):
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        v = yield from cw.reduce(cw.rank + 1, PROD, root=2)
+        out[cw.rank] = v
+
+    world4.run(main)
+    assert out[2] == 24
+
+
+def test_collective_cost_grows_with_size():
+    """A bcast on 16 ranks must take longer than on 2 (log depth)."""
+
+    def timed(n):
+        h = WorldHarness(n)
+        times = []
+
+        def main(proc):
+            cw = proc.comm_world
+            t0 = proc.sim.now
+            yield from cw.bcast("x" if cw.rank == 0 else None, size_bytes=1024)
+            times.append(proc.sim.now - t0)
+
+        h.run(main)
+        return max(times)
+
+    assert timed(16) > timed(2)
+
+
+def test_ring_allreduce_bandwidth_optimal():
+    """For big payloads, ring beats reduce+bcast (2x traffic at root)."""
+
+    def timed(algorithm):
+        h = WorldHarness(8)
+        times = []
+
+        def main(proc):
+            cw = proc.comm_world
+            t0 = proc.sim.now
+            yield from cw.allreduce(
+                1.0, SUM, size_bytes=32 << 20, algorithm=algorithm
+            )
+            times.append(proc.sim.now - t0)
+
+        h.run(main)
+        return max(times)
+
+    assert timed("ring") < timed("reduce-bcast")

@@ -1,0 +1,134 @@
+"""Communicator management: split, dup, subsets, intercomms."""
+
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.mpi import SUM
+from repro.mpi.communicator import Communicator
+from repro.mpi.group import Group
+
+from tests.mpi.conftest import WorldHarness
+
+
+def test_rank_and_size(world4):
+    seen = []
+
+    def main(proc):
+        cw = proc.comm_world
+        seen.append((cw.rank, cw.size))
+        yield from cw.barrier()
+
+    world4.run(main)
+    assert sorted(seen) == [(r, 4) for r in range(4)]
+
+
+def test_split_even_odd(world8):
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        sub = yield from cw.split(color=cw.rank % 2, key=cw.rank)
+        total = yield from sub.allreduce(cw.rank, SUM)
+        out[cw.rank] = (sub.rank, sub.size, total)
+
+    world8.run(main)
+    for r in range(8):
+        subrank, subsize, total = out[r]
+        assert subsize == 4
+        assert subrank == r // 2
+        assert total == (0 + 2 + 4 + 6 if r % 2 == 0 else 1 + 3 + 5 + 7)
+
+
+def test_split_with_undefined_color(world4):
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        color = 0 if cw.rank < 2 else None
+        sub = yield from cw.split(color=color, key=cw.rank)
+        out[cw.rank] = None if sub is None else sub.size
+
+    world4.run(main)
+    assert out == {0: 2, 1: 2, 2: None, 3: None}
+
+
+def test_split_key_reorders(world4):
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        # Reverse ordering via key.
+        sub = yield from cw.split(color=0, key=-cw.rank)
+        out[cw.rank] = sub.rank
+
+    world4.run(main)
+    assert out == {0: 3, 1: 2, 2: 1, 3: 0}
+
+
+def test_dup_isolates_traffic(world4):
+    """A message sent on the dup must not match a recv on the parent."""
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        dup = yield from cw.dup()
+        assert dup.context_id != cw.context_id
+        if cw.rank == 0:
+            yield from dup.send(1, 32, value="on-dup", tag=3)
+            yield from cw.send(1, 32, value="on-world", tag=3)
+        elif cw.rank == 1:
+            v_world, _ = yield from cw.recv(0, tag=3)
+            v_dup, _ = yield from dup.recv(0, tag=3)
+            out["world"] = v_world
+            out["dup"] = v_dup
+
+    world4.run(main)
+    assert out == {"world": "on-world", "dup": "on-dup"}
+
+
+def test_create_subcomm(world8):
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        sub = yield from cw.create_subcomm([0, 2, 4, 6])
+        if sub is not None:
+            v = yield from sub.allreduce(1, SUM)
+            out[cw.rank] = (sub.rank, v)
+        else:
+            out[cw.rank] = None
+
+    world8.run(main)
+    assert out[0] == (0, 4) and out[2] == (1, 4)
+    assert out[1] is None and out[7] is None
+
+
+def test_communicator_membership_enforced(world4):
+    h = world4
+
+    def main(proc):
+        if proc.comm_world.rank == 0:
+            foreign = Group([999, 998])
+            with pytest.raises(CommunicatorError):
+                Communicator(proc.world, proc, foreign, 12345)
+        yield from proc.comm_world.barrier()
+
+    h.run(main)
+
+
+def test_nested_splits(world8):
+    """Split the splits: quadrant communicators."""
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        half = yield from cw.split(color=cw.rank // 4, key=cw.rank)
+        quarter = yield from half.split(color=half.rank // 2, key=half.rank)
+        v = yield from quarter.allreduce(cw.rank, SUM)
+        out[cw.rank] = (quarter.size, v)
+
+    world8.run(main)
+    assert out[0] == (2, 0 + 1)
+    assert out[2] == (2, 2 + 3)
+    assert out[5] == (2, 4 + 5)
+    assert out[7] == (2, 6 + 7)

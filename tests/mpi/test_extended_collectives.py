@@ -1,0 +1,188 @@
+"""v-collectives, reduce_scatter, and nonblocking collectives."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi import SUM, MAX
+from repro.mpi.request import wait_all
+
+from tests.mpi.conftest import WorldHarness
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_gatherv_variable_sizes(n):
+    h = WorldHarness(n)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        my_size = (cw.rank + 1) * 100
+        sizes = [(r + 1) * 100 for r in range(n)] if cw.rank == 0 else None
+        result = yield from cw.gatherv(
+            f"data{cw.rank}", size_bytes=my_size, sizes=sizes, root=0
+        )
+        out[cw.rank] = result
+
+    h.run(main)
+    assert out[0] == [f"data{r}" for r in range(n)]
+    for r in range(1, n):
+        assert out[r] is None
+
+
+def test_gatherv_size_mismatch_detected(world4):
+    def main(proc):
+        cw = proc.comm_world
+        sizes = [8, 8, 8, 8] if cw.rank == 0 else None
+        yield from cw.gatherv(
+            "x", size_bytes=999 if cw.rank == 2 else 8, sizes=sizes, root=0
+        )
+
+    with pytest.raises(MPIError):
+        world4.run(main)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_scatterv(n):
+    h = WorldHarness(n)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        if cw.rank == 1 % n:
+            values = [f"v{r}" for r in range(n)]
+            sizes = [(r + 1) * 64 for r in range(n)]
+        else:
+            values = sizes = None
+        v = yield from cw.scatterv(values, sizes, root=1 % n)
+        out[cw.rank] = v
+
+    h.run(main)
+    assert out == {r: f"v{r}" for r in range(n)}
+
+
+def test_scatterv_validation(world4):
+    def main(proc):
+        yield from proc.comm_world.scatterv(None, None, root=0)
+
+    with pytest.raises(MPIError):
+        world4.run(main)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_allgatherv(n):
+    h = WorldHarness(n)
+    got = []
+
+    def main(proc):
+        cw = proc.comm_world
+        v = yield from cw.allgatherv(cw.rank * 2, size_bytes=(cw.rank + 1) * 128)
+        got.append(v)
+
+    h.run(main)
+    assert got == [[r * 2 for r in range(n)]] * n
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8])
+def test_reduce_scatter_each_rank_gets_own_block(n):
+    h = WorldHarness(n)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        # Rank r contributes [r*10 + 0, r*10 + 1, ...]: block b's total
+        # over ranks is sum_r (r*10 + b).
+        values = [cw.rank * 10 + b for b in range(n)]
+        v = yield from cw.reduce_scatter(values, SUM, size_bytes=8 * n)
+        out[cw.rank] = v
+
+    h.run(main)
+    base = sum(r * 10 for r in range(n))
+    for r in range(n):
+        assert out[r] == base + n * r
+
+
+def test_reduce_scatter_wrong_length(world4):
+    def main(proc):
+        yield from proc.comm_world.reduce_scatter([1, 2], SUM)
+
+    with pytest.raises(MPIError):
+        world4.run(main)
+
+
+def test_ibarrier_overlaps_computation(world4):
+    """Barrier *entry* is at the ibarrier() call, so post-call work
+    overlaps with the barrier instead of delaying the other ranks."""
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        req = cw.ibarrier()
+        if cw.rank == 3:
+            yield from proc.elapse(0.05)
+        else:
+            yield from proc.elapse(0.01)
+        yield from req.wait()
+        out[cw.rank] = proc.sim.now
+
+    world4.run(main)
+    # Everyone entered at t=0; fast ranks exit with their own 0.01 of
+    # work, NOT rank 3's 0.05 — the overlap nonblocking buys.
+    assert out[3] == pytest.approx(0.05)
+    for r in range(3):
+        assert out[r] < 0.02
+
+
+def test_blocking_barrier_does_delay(world4):
+    """Contrast: a blocking barrier after the work holds everyone."""
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        yield from proc.elapse(0.05 if cw.rank == 3 else 0.01)
+        yield from cw.barrier()
+        out[cw.rank] = proc.sim.now
+
+    world4.run(main)
+    assert all(t >= 0.05 for t in out.values())
+
+
+def test_ibcast_value_delivered(world4):
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        req = cw.ibcast("hello" if cw.rank == 0 else None, root=0)
+        v = yield from req.wait()
+        out[cw.rank] = v
+
+    world4.run(main)
+    assert out == {r: "hello" for r in range(4)}
+
+
+def test_ireduce(world5):
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        req = cw.ireduce(cw.rank, MAX, root=2)
+        v = yield from req.wait()
+        out[cw.rank] = v
+
+    world5.run(main)
+    assert out[2] == 4
+    assert out[0] is None
+
+
+def test_two_overlapping_nonblocking_collectives(world4):
+    """Two ibcasts in flight simultaneously must not cross-match."""
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        r1 = cw.ibcast("first" if cw.rank == 0 else None, root=0)
+        r2 = cw.ibcast("second" if cw.rank == 0 else None, root=0)
+        results = yield from wait_all(proc.sim, [r1, r2])
+        out[cw.rank] = results
+
+    world4.run(main)
+    assert all(v == ["first", "second"] for v in out.values())

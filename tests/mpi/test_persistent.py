@@ -1,0 +1,76 @@
+"""Persistent communication requests."""
+
+import pytest
+
+from repro.errors import MPIError
+
+from tests.mpi.conftest import WorldHarness
+
+
+def test_persistent_halo_loop(world4):
+    """The classic use: fixed halo pattern restarted every iteration."""
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        right = (cw.rank + 1) % cw.size
+        left = (cw.rank - 1) % cw.size
+        psend = cw.send_init(right, 4096, value=None, tag=8)
+        precv = cw.recv_init(left, tag=8)
+        received = []
+        for it in range(3):
+            # Value changes per iteration: re-arm with fresh payload by
+            # using a new template when content matters; here we track
+            # arrival only.
+            r = precv.start()
+            s = psend.start()
+            value, _ = yield from r.wait()
+            yield from s.wait()
+            received.append(it)
+        out[cw.rank] = received
+
+    world4.run(main)
+    assert all(v == [0, 1, 2] for v in out.values())
+
+
+def test_persistent_restart_while_active_rejected(world4):
+    failures = []
+
+    def main(proc):
+        cw = proc.comm_world
+        if cw.rank == 0:
+            precv = cw.recv_init(1, tag=9)
+            precv.start()
+            try:
+                precv.start()
+            except MPIError:
+                failures.append("caught")
+            # Satisfy the outstanding receive.
+            value, _ = yield from precv.active.wait()
+            assert value == "x"
+        elif cw.rank == 1:
+            yield from cw.send(0, 64, value="x", tag=9)
+
+    world4.run(main)
+    assert failures == ["caught"]
+
+
+def test_persistent_send_carries_value(world4):
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        if cw.rank == 0:
+            p = cw.send_init(1, 64, value="payload", tag=3)
+            for _ in range(2):
+                req = p.start()
+                yield from req.wait()
+        elif cw.rank == 1:
+            vals = []
+            for _ in range(2):
+                v, _ = yield from cw.recv(0, tag=3)
+                vals.append(v)
+            out["vals"] = vals
+
+    world4.run(main)
+    assert out["vals"] == ["payload", "payload"]

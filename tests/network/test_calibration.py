@@ -1,0 +1,57 @@
+"""Network calibration from measurements."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.calibration import (
+    linkspec_from_measurements,
+    validate_against,
+)
+
+# Synthetic "measurements" of a QDR-like fabric: 1.3 us + n/4GB/s.
+SIZES = [0, 1024, 16 << 10, 256 << 10, 4 << 20]
+TIMES = [1.3e-6 + n / 4e9 for n in SIZES]
+
+
+def test_fit_recovers_bandwidth():
+    params = linkspec_from_measurements(SIZES, TIMES)
+    assert params.link.bandwidth_bytes_per_s == pytest.approx(4e9, rel=0.02)
+
+
+def test_fit_intercept_split():
+    params = linkspec_from_measurements(SIZES, TIMES, hops=2)
+    total = (
+        2 * params.link.latency_s
+        + params.send_overhead_s
+        + params.recv_overhead_s
+    )
+    assert total == pytest.approx(1.3e-6, rel=0.05)
+
+
+def test_validation_errors_small_on_own_data():
+    params = linkspec_from_measurements(SIZES, TIMES)
+    errors = validate_against(params, SIZES[1:], TIMES[1:])
+    assert max(errors) < 0.05
+
+
+def test_fit_rejects_degenerate_data():
+    with pytest.raises(ConfigurationError):
+        linkspec_from_measurements([1, 2], [1e-6, 1e-6], hops=0)
+    with pytest.raises(ConfigurationError):
+        # No slope at all: constant times.
+        linkspec_from_measurements([0, 10, 20], [1e-6, 1e-6, 1e-6])
+
+
+def test_calibrated_fabric_round_trip():
+    from repro.simkernel import Simulator
+
+    params = linkspec_from_measurements(SIZES, TIMES)
+    sim = Simulator()
+    fabric = params.build_two_node_fabric(sim)
+    t = (
+        params.send_overhead_s
+        + fabric.ideal_transfer_time("cn0", "cn1", 1 << 20)
+        + params.recv_overhead_s
+    )
+    expected = 1.3e-6 + (1 << 20) / 4e9
+    assert t == pytest.approx(expected, rel=0.03)

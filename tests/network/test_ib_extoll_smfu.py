@@ -1,0 +1,248 @@
+"""Unit tests for the InfiniBand and EXTOLL fabrics and the SMFU bridge."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.network import (
+    ClusterBoosterBridge,
+    EXTOLL_TOURMALET,
+    ExtollFabric,
+    IB_FDR,
+    IB_QDR,
+    InfinibandFabric,
+    Message,
+    SMFUGateway,
+)
+from repro.network.extoll import EXTOLL_GALIBIER, balanced_dims
+from repro.network.smfu import SMFUSpec
+from repro.simkernel import Simulator
+
+from tests.conftest import drive, run_to_end
+
+
+def make_bridged(sim, n_cn=4, n_bn=8, n_gw=2, **bridge_kw):
+    cns = [f"cn{i}" for i in range(n_cn)]
+    bns = [f"bn{i}" for i in range(n_bn)]
+    gws = [f"bi{i}" for i in range(n_gw)]
+    ib = InfinibandFabric(sim, cns + gws)
+    for e in cns + gws:
+        ib.attach_endpoint(e)
+    ex = ExtollFabric(sim, bns + gws)
+    for e in bns + gws:
+        ex.attach_endpoint(e)
+    gateways = [SMFUGateway(sim, g, ib, ex) for g in gws]
+    bridge = ClusterBoosterBridge(gateways, **bridge_kw)
+    return ib, ex, bridge
+
+
+# ---------------------------------------------------------------------------
+# InfiniBand
+# ---------------------------------------------------------------------------
+
+
+def test_ib_latency_in_microsecond_range(sim):
+    eps = [f"cn{i}" for i in range(8)]
+    ib = InfinibandFabric(sim, eps)
+    for e in eps:
+        ib.attach_endpoint(e)
+    lat = ib.mpi_latency("cn0", "cn7")
+    assert 1e-6 < lat < 3e-6  # QDR-class MPI latency
+
+
+def test_ib_fdr_faster_than_qdr():
+    assert IB_FDR.bandwidth_bytes_per_s > IB_QDR.bandwidth_bytes_per_s
+    assert IB_FDR.hop_latency_s <= IB_QDR.hop_latency_s
+
+
+def test_ib_large_system_uses_fat_tree(sim):
+    eps = [f"cn{i}" for i in range(40)]
+    ib = InfinibandFabric(sim, eps, leaf_radix=18)
+    assert any(s.startswith("spine") for s in ib.topo.switches)
+
+
+# ---------------------------------------------------------------------------
+# EXTOLL
+# ---------------------------------------------------------------------------
+
+
+def test_balanced_dims():
+    assert balanced_dims(32) == (4, 4, 2)
+    assert balanced_dims(64) == (4, 4, 4)
+    assert balanced_dims(60) == (5, 4, 3)
+    assert balanced_dims(7) == (7, 1, 1)
+    assert balanced_dims(1) == (1, 1, 1)
+
+
+def test_extoll_dims_must_fit(sim):
+    with pytest.raises(ConfigurationError):
+        ExtollFabric(sim, [f"b{i}" for i in range(8)], dims=(3, 3, 1))
+
+
+def test_velo_latency_sub_two_microseconds(sim):
+    bns = [f"bn{i}" for i in range(8)]
+    ex = ExtollFabric(sim, bns)
+    for b in bns:
+        ex.attach_endpoint(b)
+    assert ex.velo_latency("bn0", "bn1") < 2e-6
+
+
+def test_velo_vs_rma_selection(sim):
+    bns = [f"bn{i}" for i in range(4)]
+    ex = ExtollFabric(sim, bns, dims=(4, 1, 1))
+    ifaces = {b: ex.attach_endpoint(b) for b in bns}
+
+    def send_small(sim):
+        yield from ifaces["bn0"].send(Message(src="bn0", dst="bn1", size_bytes=64))
+
+    def send_big(sim):
+        yield from ifaces["bn2"].send(
+            Message(src="bn2", dst="bn3", size_bytes=1 << 20)
+        )
+
+    def drain(sim, ep, n):
+        for _ in range(n):
+            yield ex.interface(ep).inbox.get()
+
+    drive(
+        sim, send_small(sim), send_big(sim),
+        drain(sim, "bn1", 1), drain(sim, "bn3", 1),
+    )
+    assert ifaces["bn0"].velo_messages == 1
+    assert ifaces["bn2"].rma_transfers == 1
+
+
+def test_velo_send_rejects_oversize(sim):
+    bns = ["bn0", "bn1"]
+    ex = ExtollFabric(sim, bns, dims=(2, 1, 1))
+    iface = ex.attach_endpoint("bn0")
+    ex.attach_endpoint("bn1")
+    msg = Message(src="bn0", dst="bn1", size_bytes=1 << 20)
+
+    def p(sim):
+        yield from iface.velo_send(msg)
+
+    proc = sim.process(p(sim))
+    with pytest.raises(ConfigurationError):
+        sim.run()
+
+
+def test_galibier_slower_than_tourmalet():
+    assert (
+        EXTOLL_GALIBIER.bandwidth_bytes_per_s
+        < EXTOLL_TOURMALET.bandwidth_bytes_per_s
+    )
+
+
+def test_extoll_rma_streams_near_link_rate(sim):
+    bns = [f"bn{i}" for i in range(4)]
+    ex = ExtollFabric(sim, bns, dims=(4, 1, 1))
+    ifaces = {b: ex.attach_endpoint(b) for b in bns}
+    size = 64 << 20
+
+    def send(sim):
+        rec = yield from ifaces["bn0"].send(
+            Message(src="bn0", dst="bn1", size_bytes=size)
+        )
+        return rec
+
+    def drain(sim):
+        yield ex.interface("bn1").inbox.get()
+
+    rec, _ = drive(sim, send(sim), drain(sim))
+    achieved = size / rec.duration
+    assert achieved > 0.9 * EXTOLL_TOURMALET.bandwidth_bytes_per_s
+
+
+# ---------------------------------------------------------------------------
+# SMFU bridge
+# ---------------------------------------------------------------------------
+
+
+def test_bridge_needs_gateways(sim):
+    with pytest.raises(ConfigurationError):
+        ClusterBoosterBridge([])
+
+
+def test_bridge_transfer_crosses_fabrics(sim):
+    ib, ex, bridge = make_bridged(sim)
+
+    def p(sim):
+        rec = yield from bridge.transfer("cn0", "bn5", 1 << 16)
+        return rec
+
+    rec = run_to_end(sim, p(sim))
+    assert rec.src == "cn0" and rec.dst == "bn5"
+    assert rec.duration > 0
+    total_forwarded = sum(g.forwarded_messages for g in bridge.gateways)
+    assert total_forwarded == 1
+
+
+def test_bridge_rejects_same_fabric(sim):
+    ib, ex, bridge = make_bridged(sim)
+
+    def p(sim):
+        yield from bridge.transfer("cn0", "cn1", 100)
+
+    sim.process(p(sim))
+    with pytest.raises(RoutingError):
+        sim.run()
+
+
+def test_bridge_send_message_delivers_to_inbox(sim):
+    ib, ex, bridge = make_bridged(sim)
+    msg = Message(src="cn0", dst="bn0", size_bytes=4096)
+
+    def send(sim):
+        yield from bridge.send_message(msg)
+
+    def recv(sim):
+        m = yield ex.interface("bn0").inbox.get()
+        return m
+
+    _, m = drive(sim, send(sim), recv(sim))
+    assert m is msg
+    assert m.latency > 0
+
+
+def test_static_gateway_selection_deterministic(sim):
+    _, _, bridge = make_bridged(sim, n_gw=3)
+    g1 = bridge.pick_gateway("cn0", "bn0")
+    g2 = bridge.pick_gateway("cn0", "bn0")
+    assert g1 is g2
+
+
+def test_dynamic_gateway_selection_balances(sim):
+    _, _, bridge = make_bridged(sim, n_gw=2, selection="dynamic")
+    bridge.gateways[0].queued_bytes = 1 << 30
+    chosen = bridge.pick_gateway("cn0", "bn0")
+    assert chosen is bridge.gateways[1]
+
+
+def test_bridge_ideal_time_additive(sim):
+    ib, ex, bridge = make_bridged(sim)
+    gw = bridge.pick_gateway("cn0", "bn1")
+    t = bridge.ideal_transfer_time("cn0", "bn1", 1 << 20)
+    leg1 = ib.ideal_transfer_time("cn0", gw.name, 1 << 20)
+    leg2 = ex.ideal_transfer_time(gw.name, "bn1", 1 << 20)
+    assert t > leg1 + leg2  # plus SMFU forwarding
+
+
+def test_gateway_engine_contention(sim):
+    sim2 = Simulator()
+    ib, ex, bridge = make_bridged(sim2, n_gw=1)
+    gw = bridge.gateways[0]
+    gw.spec = SMFUSpec(engines=1)
+    # Re-create engine with capacity 1.
+    from repro.simkernel import Resource
+
+    gw.engine = Resource(sim2, capacity=1)
+    ends = []
+
+    def p(sim, src, dst):
+        yield from bridge.transfer(src, dst, 8 << 20)
+        ends.append(sim.now)
+
+    sim2.process(p(sim2, "cn0", "bn0"))
+    sim2.process(p(sim2, "cn1", "bn1"))
+    sim2.run()
+    assert max(ends) > min(ends) * 1.2  # serialized at the gateway

@@ -1,0 +1,85 @@
+"""Unit tests for the LogGP model and fitting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network import (
+    InfinibandFabric,
+    LogGPModel,
+    crossover_size,
+    fit_loggp,
+    probe_fabric,
+)
+
+
+def test_transfer_time_formula():
+    m = LogGPModel(L=1e-6, o=0.5e-6, g=1e-6, G=1e-9)
+    assert m.transfer_time(1) == pytest.approx(2e-6)
+    assert m.transfer_time(1001) == pytest.approx(2e-6 + 1000e-9)
+
+
+def test_bandwidth_asymptote():
+    m = LogGPModel(L=1e-6, o=0.5e-6, g=1e-6, G=1e-9)
+    assert m.bandwidth(1 << 30) == pytest.approx(1e9, rel=0.01)
+
+
+def test_half_bandwidth_size():
+    m = LogGPModel(L=1e-6, o=0.5e-6, g=0, G=1e-9)
+    assert m.half_bandwidth_size() == pytest.approx(2000.0)
+
+
+def test_message_rate():
+    assert LogGPModel(0, 0, 2e-6, 0).message_rate() == pytest.approx(5e5)
+    assert LogGPModel(0, 0, 0, 0).message_rate() == float("inf")
+
+
+def test_negative_params_rejected():
+    with pytest.raises(ConfigurationError):
+        LogGPModel(L=-1, o=0, g=0, G=0)
+
+
+def test_crossover_pcie_vs_ib_shape():
+    """Slide 8: PCIe lower latency, IB same-ish bandwidth -> crossover.
+
+    Below the crossover PCIe wins (latency); above it the two are
+    equivalent (bandwidth) — with IB slightly better G they converge.
+    """
+    pcie = LogGPModel(L=0.9e-6, o=0.1e-6, g=0.5e-6, G=1 / 6e9, name="pcie")
+    ib = LogGPModel(L=1.0e-6, o=0.3e-6, g=0.5e-6, G=1 / 4e9, name="ib")
+    n = crossover_size(pcie, ib)
+    assert n == float("inf")  # pcie dominates everywhere here
+
+    # A booster-style fabric with higher latency but more bandwidth
+    # crosses over at a finite size.
+    fat = LogGPModel(L=2.0e-6, o=0.3e-6, g=0.5e-6, G=1 / 10e9, name="fat")
+    thin = LogGPModel(L=0.8e-6, o=0.1e-6, g=0.5e-6, G=1 / 4e9, name="thin")
+    n2 = crossover_size(fat, thin)
+    assert 1e3 < n2 < 1e5
+    assert thin.transfer_time(100) < fat.transfer_time(100)
+    assert fat.transfer_time(10 * n2) < thin.transfer_time(10 * n2)
+
+
+def test_fit_recovers_parameters():
+    true = LogGPModel(L=1e-6, o=0.5e-6, g=2e-6, G=0.25e-9)
+    sizes = [0, 1024, 65536, 1 << 20, 8 << 20]
+    times = [true.transfer_time(s) for s in sizes]
+    fit = fit_loggp(sizes, times)
+    assert fit.G == pytest.approx(true.G, rel=0.01)
+    assert fit.L + 2 * fit.o == pytest.approx(true.L + 2 * true.o, rel=0.05)
+
+
+def test_fit_validation():
+    with pytest.raises(ConfigurationError):
+        fit_loggp([1], [1.0])
+    with pytest.raises(ConfigurationError):
+        fit_loggp([1, 2], [-1.0, 1.0])
+
+
+def test_probe_fabric_sane(sim):
+    eps = [f"n{i}" for i in range(4)]
+    ib = InfinibandFabric(sim, eps)
+    for e in eps:
+        ib.attach_endpoint(e)
+    model = probe_fabric(ib, "n0", "n1", [0, 4096, 65536, 1 << 20])
+    assert model.bandwidth(64 << 20) == pytest.approx(4e9, rel=0.05)
+    assert model.transfer_time(0) < 3e-6

@@ -1,0 +1,192 @@
+"""Unit tests for routing and the generic fabric."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError, TopologyError
+from repro.network import (
+    Fabric,
+    LinkSpec,
+    Message,
+    RoutingTable,
+    dimension_order_route,
+    star_topology,
+    torus_topology,
+)
+
+from tests.conftest import drive, run_to_end
+
+SPEC = LinkSpec(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+
+
+def make_star_fabric(sim, n=4, contention=True):
+    eps = [f"n{i}" for i in range(n)]
+    fabric = Fabric(
+        sim, star_topology(eps), SPEC, name="f", contention=contention
+    )
+    for e in eps:
+        fabric.attach_endpoint(e)
+    return fabric, eps
+
+
+# ---------------------------------------------------------------------------
+# routing
+# ---------------------------------------------------------------------------
+
+
+def test_dimension_order_route_corrects_axes_in_order():
+    topo = torus_topology((4, 4))
+    path = dimension_order_route(topo, "bn0_0", "bn2_2")
+    coords = [topo.graph.nodes[p]["coord"] for p in path]
+    assert coords[0] == (0, 0) and coords[-1] == (2, 2)
+    # X corrected before Y.
+    assert coords[1][1] == 0 and coords[2][1] == 0
+
+
+def test_dimension_order_uses_wraparound():
+    topo = torus_topology((4,))
+    path = dimension_order_route(topo, "bn0", "bn3")
+    assert len(path) == 2  # 0 -> 3 the short way around
+
+
+def test_dimension_order_requires_torus():
+    topo = star_topology(["a", "b"])
+    with pytest.raises(TopologyError):
+        dimension_order_route(topo, "a", "b")
+
+
+def test_routing_table_shortest_and_cache():
+    topo = star_topology([f"n{i}" for i in range(4)])
+    rt = RoutingTable(topo)
+    assert rt.route("n0", "n1") == ["n0", "sw0", "n1"]
+    assert rt.hops("n0", "n1") == 2
+    assert rt.route("n0", "n0") == ["n0"]
+    assert rt.route("n0", "n1") is rt.route("n0", "n1")  # cached
+
+
+def test_routing_table_unknown_scheme():
+    topo = star_topology(["a", "b"])
+    with pytest.raises(RoutingError):
+        RoutingTable(topo, scheme="wormhole")
+
+
+def test_routing_no_route():
+    import networkx as nx
+
+    from repro.network.topology import Topology
+
+    g = nx.Graph()
+    g.add_node("a", kind="endpoint")
+    g.add_node("b", kind="endpoint")
+    topo = Topology(g)
+    rt = RoutingTable(topo)
+    with pytest.raises(RoutingError):
+        rt.route("a", "b")
+
+
+def test_average_hops_torus():
+    topo = torus_topology((4, 4))
+    rt = RoutingTable(topo, scheme="dimension-order")
+    avg = rt.average_hops()
+    # Sum of ring distances from a node on a 4-ring is 4; over the 15
+    # ordered peers of the 4x4 torus that is (4*4 + 4*4)/15 = 32/15.
+    assert avg == pytest.approx(32.0 / 15.0, rel=0.01)
+
+
+# ---------------------------------------------------------------------------
+# fabric transfers
+# ---------------------------------------------------------------------------
+
+
+def test_ideal_transfer_time(sim):
+    fabric, eps = make_star_fabric(sim)
+    t = fabric.ideal_transfer_time("n0", "n1", 1_000_000)
+    assert t == pytest.approx(2e-6 + 1e-3)
+
+
+def test_transfer_delivers_message(sim):
+    fabric, eps = make_star_fabric(sim)
+    msg = Message(src="n0", dst="n1", size_bytes=1000)
+
+    def send(sim):
+        rec = yield from fabric.interface("n0").send(msg)
+        return rec
+
+    def recv(sim):
+        m = yield fabric.interface("n1").inbox.get()
+        return (m, sim.now)
+
+    rec, (m, t) = drive(sim, send(sim), recv(sim))
+    assert m is msg
+    assert m.latency == pytest.approx(2e-6 + 1e-6)
+    assert rec.hops == 2
+
+
+def test_loopback_transfer(sim):
+    fabric, _ = make_star_fabric(sim)
+
+    def p(sim):
+        rec = yield from fabric.transfer("n0", "n0", 100)
+        return rec
+
+    rec = run_to_end(sim, p(sim))
+    assert rec.hops == 0
+    assert rec.duration == pytest.approx(fabric.loopback_latency_s)
+
+
+def test_contention_on_shared_destination_link(sim):
+    fabric, _ = make_star_fabric(sim)
+    recs = []
+
+    def send(sim, src):
+        rec = yield from fabric.transfer(src, "n3", 1_000_000)
+        recs.append(rec)
+
+    sim.process(send(sim, "n0"))
+    sim.process(send(sim, "n1"))
+    sim.run()
+    ends = sorted(r.end for r in recs)
+    # Second transfer waits for the sw0->n3 link: ~double the time.
+    assert ends[1] == pytest.approx(ends[0] + 1e-3, rel=0.01)
+
+
+def test_analytic_mode_ignores_contention(sim):
+    fabric, _ = make_star_fabric(sim, contention=False)
+    recs = []
+
+    def send(sim, src):
+        rec = yield from fabric.transfer(src, "n3", 1_000_000)
+        recs.append(rec)
+
+    sim.process(send(sim, "n0"))
+    sim.process(send(sim, "n1"))
+    sim.run()
+    ends = [r.end for r in recs]
+    assert ends[0] == pytest.approx(ends[1])
+
+
+def test_attach_unknown_endpoint_rejected(sim):
+    fabric, _ = make_star_fabric(sim)
+    with pytest.raises(ConfigurationError):
+        fabric.attach_endpoint("ghost")
+    with pytest.raises(ConfigurationError):
+        fabric.attach_endpoint("n0")  # duplicate
+    with pytest.raises(ConfigurationError):
+        fabric.attach_endpoint("sw0")  # a switch
+
+
+def test_interface_lookup_missing(sim):
+    fabric, _ = make_star_fabric(sim)
+    with pytest.raises(RoutingError):
+        Fabric.interface(fabric, "nope")
+
+
+def test_statistics(sim):
+    fabric, _ = make_star_fabric(sim)
+
+    def p(sim):
+        yield from fabric.transfer("n0", "n1", 500)
+
+    run_to_end(sim, p(sim))
+    assert fabric.total_bytes() == 1000  # two links on the path
+    hot = fabric.hottest_links(2)
+    assert all(b == 500 for _, b in hot)

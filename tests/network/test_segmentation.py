@@ -1,0 +1,160 @@
+"""Segmented (pipelined) transfers: fabric MTU mode and SMFU segments."""
+
+import dataclasses
+
+import pytest
+
+from repro.network import (
+    ClusterBoosterBridge,
+    ExtollFabric,
+    Fabric,
+    InfinibandFabric,
+    LinkSpec,
+    SMFUGateway,
+    torus_topology,
+)
+from repro.network.smfu import SMFUSpec
+from repro.simkernel import Simulator
+
+from tests.conftest import run_to_end
+
+SPEC = LinkSpec(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+
+
+def multihop_time(mtu, hops=4, size=16 << 20):
+    sim = Simulator()
+    topo = torus_topology((hops * 2,), endpoint_prefix="n")
+    fabric = Fabric(
+        sim, topo, SPEC, name="f", routing="dimension-order", mtu_bytes=mtu
+    )
+    eps = topo.endpoints
+    for e in eps:
+        fabric.attach_endpoint(e)
+    src, dst = "n0", f"n{hops}"
+
+    def p(sim):
+        rec = yield from fabric.transfer(src, dst, size)
+        return rec
+
+    rec = run_to_end(sim, p(sim))
+    assert rec.hops == hops
+    return rec.duration
+
+
+def test_mtu_validation(sim):
+    from repro.errors import ConfigurationError
+    from repro.network.topology import star_topology
+
+    with pytest.raises(ConfigurationError):
+        Fabric(sim, star_topology(["a"]), SPEC, name="f", mtu_bytes=0)
+
+
+def test_segmented_multihop_pipelines():
+    """Circuit mode pays size/bw once at the bottleneck but holds the
+    whole path; segmentation overlaps hops so multi-hop bulk transfers
+    approach one-hop serialization + fill."""
+    t_circuit = multihop_time(None)
+    t_segmented = multihop_time(64 << 10)
+    # Both are ~size/bw + latencies; segmented adds only fill.
+    size_time = (16 << 20) / 1e9
+    assert t_circuit == pytest.approx(size_time + 4e-6, rel=0.01)
+    assert t_segmented == pytest.approx(size_time, rel=0.05)
+
+
+def test_segmented_does_not_hold_whole_path():
+    """Two opposite transfers on a shared middle link: with circuit
+    mode each holds its full path; segmentation interleaves fairly and
+    both finish around 2x the solo time (shared bottleneck), never
+    one-after-the-other."""
+    sim = Simulator()
+    topo = torus_topology((6,), endpoint_prefix="n")
+    fabric = Fabric(
+        sim, topo, SPEC, name="f", routing="dimension-order",
+        mtu_bytes=64 << 10,
+    )
+    for e in topo.endpoints:
+        fabric.attach_endpoint(e)
+    size = 8 << 20
+    ends = []
+
+    def xfer(sim, src, dst):
+        rec = yield from fabric.transfer(src, dst, size)
+        ends.append(rec.end)
+
+    # n0->n2 and n1->n3 share link n1->n2.
+    sim.process(xfer(sim, "n0", "n2"))
+    sim.process(xfer(sim, "n1", "n3"))
+    sim.run()
+    solo = size / 1e9
+    assert max(ends) < 2.4 * solo  # shared-link bound, not serialized paths
+
+
+def test_small_messages_skip_segmentation():
+    t = multihop_time(1 << 20, size=1000)
+    # One segment: identical to the circuit path cost.
+    assert t == pytest.approx(1000 / 1e9 + 4e-6, rel=0.01)
+
+
+# ---------------------------------------------------------------------------
+# SMFU pipelined bridging
+# ---------------------------------------------------------------------------
+
+
+def bridged_time(segment_bytes, size=64 << 20):
+    sim = Simulator()
+    cns = ["cn0", "cn1"]
+    bns = [f"bn{i}" for i in range(4)]
+    gw_names = ["bi0"]
+    ib = InfinibandFabric(sim, cns + gw_names)
+    for e in cns + gw_names:
+        ib.attach_endpoint(e)
+    ex = ExtollFabric(sim, bns + gw_names, dims=(5, 1, 1))
+    for e in bns + gw_names:
+        ex.attach_endpoint(e)
+    spec = SMFUSpec(segment_bytes=segment_bytes)
+    gws = [SMFUGateway(sim, "bi0", ib, ex, spec=spec)]
+    bridge = ClusterBoosterBridge(gws)
+
+    def p(sim):
+        rec = yield from bridge.transfer("cn0", "bn0", size)
+        return rec
+
+    rec = run_to_end(sim, p(sim))
+    return rec.duration
+
+
+def test_smfu_segmentation_overlaps_stages():
+    """Whole-message store-and-forward pays all three stages in
+    sequence; segmented bridging overlaps them, approaching the
+    slowest stage's time."""
+    t_whole = bridged_time(None)
+    t_seg = bridged_time(1 << 20)
+    size = 64 << 20
+    slowest = size / 4e9  # the IB leg (QDR) is the bottleneck stage
+    stages_sum = size / 4e9 + size / 5e9 + size / 5.4e9
+    assert t_whole == pytest.approx(stages_sum, rel=0.05)
+    assert t_seg == pytest.approx(slowest, rel=0.10)
+    assert t_seg < 0.55 * t_whole
+
+
+def test_smfu_segment_byte_accounting():
+    sim = Simulator()
+    cns = ["cn0"]
+    bns = ["bn0"]
+    gw_names = ["bi0"]
+    ib = InfinibandFabric(sim, cns + gw_names)
+    for e in cns + gw_names:
+        ib.attach_endpoint(e)
+    ex = ExtollFabric(sim, bns + gw_names, dims=(2, 1, 1))
+    for e in bns + gw_names:
+        ex.attach_endpoint(e)
+    gw = SMFUGateway(sim, "bi0", ib, ex, spec=SMFUSpec(segment_bytes=1 << 20))
+    bridge = ClusterBoosterBridge([gw])
+
+    def p(sim):
+        yield from bridge.transfer("cn0", "bn0", 5 << 20)
+
+    run_to_end(sim, p(sim))
+    assert gw.forwarded_bytes == 5 << 20
+    assert gw.forwarded_messages == 1  # overhead charged once
+    assert gw.queued_bytes == 0

@@ -1,0 +1,42 @@
+"""Chrome-trace export."""
+
+import json
+
+from repro.ompss.tracing import TraceInterval, to_chrome_trace
+
+
+def make(start, end, i=0, name="t"):
+    return TraceInterval(i, name, start, end)
+
+
+def test_events_are_json_serialisable():
+    events = to_chrome_trace([make(0.0, 1.0, 1, "a"), make(1.0, 2.0, 2, "b")])
+    text = json.dumps({"traceEvents": events})
+    assert "traceEvents" in text
+
+
+def test_event_fields():
+    (ev,) = to_chrome_trace([make(0.5, 1.5, 7, "gemm")])
+    assert ev["name"] == "gemm"
+    assert ev["ph"] == "X"
+    assert ev["ts"] == 0.5e6
+    assert ev["dur"] == 1.0e6
+    assert ev["args"]["task_id"] == 7
+
+
+def test_overlapping_tasks_get_distinct_lanes():
+    events = to_chrome_trace(
+        [make(0.0, 2.0, 1), make(1.0, 3.0, 2), make(2.5, 4.0, 3)]
+    )
+    lanes = {e["args"]["task_id"]: e["tid"] for e in events}
+    assert lanes[1] != lanes[2]  # overlap -> split lanes
+    assert lanes[3] == lanes[1]  # task 3 reuses the freed lane
+
+
+def test_serial_tasks_share_a_lane():
+    events = to_chrome_trace([make(0, 1, 1), make(1, 2, 2), make(2, 3, 3)])
+    assert len({e["tid"] for e in events}) == 1
+
+
+def test_empty_trace():
+    assert to_chrome_trace([]) == []

@@ -1,0 +1,141 @@
+"""Dependency-graph construction and analysis."""
+
+import pytest
+
+from repro.errors import DependencyCycleError, TaskError
+from repro.ompss import Region, Task, TaskGraph
+
+
+def chain_graph(n=4, space="X"):
+    """n tasks all inout-ing the same region: a serial chain."""
+    g = TaskGraph()
+    for i in range(n):
+        g.add_task(f"t{i}", flops=1.0, inout=[Region(space, 0, 8)])
+    return g
+
+
+def test_raw_dependency():
+    g = TaskGraph()
+    w = g.add_task("writer", out=[Region("A", 0, 10)])
+    r = g.add_task("reader", in_=[Region("A", 0, 10)])
+    assert g.deps[r.task_id] == {w.task_id}
+    assert g.succs[w.task_id] == {r.task_id}
+
+
+def test_war_dependency():
+    g = TaskGraph()
+    r = g.add_task("reader", in_=[Region("A", 0, 10)])
+    w = g.add_task("writer", out=[Region("A", 0, 10)])
+    assert g.deps[w.task_id] == {r.task_id}
+
+
+def test_waw_dependency():
+    g = TaskGraph()
+    w1 = g.add_task("w1", out=[Region("A", 0, 10)])
+    w2 = g.add_task("w2", out=[Region("A", 0, 10)])
+    assert g.deps[w2.task_id] == {w1.task_id}
+
+
+def test_readers_do_not_depend_on_each_other():
+    g = TaskGraph()
+    w = g.add_task("w", out=[Region("A", 0, 10)])
+    r1 = g.add_task("r1", in_=[Region("A", 0, 10)])
+    r2 = g.add_task("r2", in_=[Region("A", 0, 10)])
+    assert g.deps[r1.task_id] == {w.task_id}
+    assert g.deps[r2.task_id] == {w.task_id}
+
+
+def test_partial_overlap_creates_dependency():
+    g = TaskGraph()
+    w = g.add_task("w", out=[Region("A", 0, 100)])
+    r = g.add_task("r", in_=[Region("A", 90, 200)])
+    assert g.deps[r.task_id] == {w.task_id}
+
+
+def test_disjoint_regions_independent():
+    g = TaskGraph()
+    a = g.add_task("a", out=[Region("A", 0, 10)])
+    b = g.add_task("b", out=[Region("A", 10, 20)])
+    assert g.deps[b.task_id] == set()
+    assert len(g.roots()) == 2
+
+
+def test_different_spaces_independent():
+    g = TaskGraph()
+    g.add_task("a", out=[Region("A", 0, 10)])
+    b = g.add_task("b", inout=[Region("B", 0, 10)])
+    assert g.deps[b.task_id] == set()
+
+
+def test_chain_is_serial():
+    g = chain_graph(5)
+    for i, t in enumerate(g.tasks):
+        expected = {g.tasks[i - 1].task_id} if i else set()
+        assert g.deps[t.task_id] == expected
+    assert g.max_width() == 1
+
+
+def test_submit_twice_rejected():
+    g = TaskGraph()
+    t = Task("t")
+    g.submit(t)
+    with pytest.raises(TaskError):
+        g.submit(t)
+
+
+def test_critical_path_chain():
+    g = chain_graph(5)
+    span, path = g.critical_path(lambda t: 2.0)
+    assert span == pytest.approx(10.0)
+    assert [t.name for t in path] == [f"t{i}" for i in range(5)]
+
+
+def test_critical_path_diamond():
+    g = TaskGraph()
+    a = g.add_task("a", out=[Region("X", 0, 8)])
+    b = g.add_task("b", in_=[Region("X", 0, 8)], out=[Region("Y", 0, 8)])
+    c = g.add_task("c", in_=[Region("X", 0, 8)], out=[Region("Z", 0, 8)])
+    d = g.add_task("d", in_=[Region("Y", 0, 8), Region("Z", 0, 8)])
+    durations = {"a": 1.0, "b": 5.0, "c": 2.0, "d": 1.0}
+    span, path = g.critical_path(lambda t: durations[t.name])
+    assert span == pytest.approx(7.0)
+    assert [t.name for t in path] == ["a", "b", "d"]
+
+
+def test_average_parallelism():
+    g = TaskGraph()
+    for i in range(4):
+        g.add_task(f"p{i}", out=[Region("A", i * 10, i * 10 + 10)])
+    # 4 independent unit tasks: work 4, span 1.
+    assert g.average_parallelism(lambda t: 1.0) == pytest.approx(4.0)
+    assert g.max_width() == 4
+
+
+def test_edge_bytes_overlap():
+    g = TaskGraph()
+    w = g.add_task("w", out=[Region("A", 0, 100)])
+    r = g.add_task("r", in_=[Region("A", 50, 100)])
+    assert g.edge_bytes(w, r) == 50
+
+
+def test_edge_bytes_control_dependency_minimum():
+    g = TaskGraph()
+    r1 = g.add_task("r1", in_=[Region("A", 0, 10)])
+    w = g.add_task("w", out=[Region("A", 0, 10)])  # WAR: no data flows
+    assert g.edge_bytes(r1, w) == 8
+
+
+def test_validate_acyclic_catches_hand_edits():
+    g = chain_graph(3)
+    first, last = g.tasks[0], g.tasks[-1]
+    g.deps[first.task_id].add(last.task_id)  # corrupt: back edge
+    with pytest.raises(DependencyCycleError):
+        g.validate_acyclic()
+
+
+def test_empty_graph_analysis():
+    g = TaskGraph()
+    span, path = g.critical_path(lambda t: 1.0)
+    assert span == 0.0 and path == []
+    assert g.max_width() == 0
+    assert g.edge_count() == 0

@@ -1,0 +1,95 @@
+"""Offload planning: partitioners and plan statistics."""
+
+import pytest
+
+from repro.errors import OffloadError
+from repro.ompss import Region, TaskGraph, partition_tasks
+from repro.apps import stencil_graph
+
+
+def simple_graph(n=8):
+    g = TaskGraph()
+    for i in range(n):
+        g.add_task(f"t{i}", flops=float(i + 1), out=[Region("A", i * 8, i * 8 + 8)])
+    return g
+
+
+def test_block_partition_contiguous():
+    plan = partition_tasks(simple_graph(8), 4, "block")
+    assert [plan.assignment[t.task_id] for t in plan.graph.tasks] == [
+        0, 0, 1, 1, 2, 2, 3, 3,
+    ]
+    assert len(plan.tasks_of(0)) == 2
+
+
+def test_cyclic_partition_round_robin():
+    plan = partition_tasks(simple_graph(8), 3, "cyclic")
+    assert [plan.assignment[t.task_id] for t in plan.graph.tasks] == [
+        0, 1, 2, 0, 1, 2, 0, 1,
+    ]
+
+
+def test_locality_partition_groups_chains():
+    g = TaskGraph()
+    # Two independent chains; locality should keep each on one rank.
+    for c, space in enumerate("AB"):
+        for i in range(4):
+            g.add_task(f"{space}{i}", flops=1.0, inout=[Region(space, 0, 1024)])
+    plan = partition_tasks(g, 2, "locality")
+    chain_a_ranks = {plan.assignment[t.task_id] for t in g.tasks if t.name[0] == "A"}
+    chain_b_ranks = {plan.assignment[t.task_id] for t in g.tasks if t.name[0] == "B"}
+    assert len(chain_a_ranks) == 1
+    assert len(chain_b_ranks) == 1
+    assert chain_a_ranks != chain_b_ranks
+
+
+def test_cross_edges_and_traffic():
+    g = TaskGraph()
+    w = g.add_task("w", out=[Region("A", 0, 1000)])
+    r = g.add_task("r", in_=[Region("A", 0, 1000)])
+    plan = partition_tasks(g, 2, "cyclic")  # w->rank0, r->rank1
+    edges = plan.cross_edges()
+    assert len(edges) == 1
+    producer, consumer, nbytes = edges[0]
+    assert producer is w and consumer is r and nbytes == 1000
+    assert plan.cross_traffic_bytes() == 1000
+
+
+def test_block_partition_no_cross_traffic_for_local_chains():
+    g = TaskGraph()
+    for i in range(4):
+        g.add_task(f"t{i}", flops=1.0, inout=[Region("A", 0, 8)])
+    plan = partition_tasks(g, 1, "block")
+    assert plan.cross_traffic_bytes() == 0
+
+
+def test_load_and_imbalance():
+    plan = partition_tasks(simple_graph(4), 2, "block")
+    loads = plan.load_by_rank(lambda t: t.flops)
+    assert loads == [3.0, 7.0]
+    assert plan.imbalance(lambda t: t.flops) == pytest.approx(7.0 / 5.0)
+
+
+def test_partition_validation():
+    with pytest.raises(OffloadError):
+        partition_tasks(simple_graph(4), 0)
+    with pytest.raises(OffloadError):
+        partition_tasks(TaskGraph(), 2)
+    with pytest.raises(OffloadError):
+        partition_tasks(simple_graph(4), 2, "magic")
+
+
+def test_more_ranks_than_tasks():
+    plan = partition_tasks(simple_graph(2), 8, "block")
+    assert sorted(plan.assignment.values()) == [0, 1]
+    assert plan.tasks_of(5) == []
+
+
+def test_stencil_block_partition_neighbour_traffic_only():
+    g = stencil_graph(n_workers=6, sweeps=3, slab_bytes=1 << 20)
+    plan = partition_tasks(g, 6, "block")
+    # Block partition over a stencil built per-worker: tasks of one
+    # worker column spread across sweeps; cyclic in program order means
+    # cross traffic exists but only between neighbouring slabs.
+    for producer, consumer, nbytes in plan.cross_edges():
+        assert nbytes <= (1 << 20) + (1 << 20) // 10

@@ -1,0 +1,118 @@
+"""Regions, access modes, and task declarations."""
+
+import pytest
+
+from repro.errors import TaskError
+from repro.hardware.catalog import XEON_E5_2680
+from repro.ompss import AccessMode, Region, RegionAccess, Task
+
+
+# ---------------------------------------------------------------------------
+# regions
+# ---------------------------------------------------------------------------
+
+
+def test_region_validation():
+    with pytest.raises(TaskError):
+        Region("A", 10, 10)
+    with pytest.raises(TaskError):
+        Region("A", -1, 5)
+
+
+def test_overlap_same_space():
+    a = Region("A", 0, 100)
+    b = Region("A", 50, 150)
+    c = Region("A", 100, 200)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)  # half-open intervals
+    assert a.overlap_bytes(b) == 50
+    assert a.overlap_bytes(c) == 0
+
+
+def test_overlap_different_space():
+    a = Region("A", 0, 100)
+    b = Region("B", 0, 100)
+    assert not a.overlaps(b)
+    assert a.overlap_bytes(b) == 0
+
+
+def test_tile_regions():
+    t00 = Region.tile("A", 0, 0, tile_bytes=64, tiles_per_row=4)
+    t01 = Region.tile("A", 0, 1, tile_bytes=64, tiles_per_row=4)
+    t10 = Region.tile("A", 1, 0, tile_bytes=64, tiles_per_row=4)
+    assert t00.size_bytes == 64
+    assert not t00.overlaps(t01)
+    assert not t01.overlaps(t10)
+    assert t10.start == 4 * 64
+
+
+def test_tile_validation():
+    with pytest.raises(TaskError):
+        Region.tile("A", 0, 5, 64, 4)
+
+
+def test_access_modes():
+    assert AccessMode.IN.reads and not AccessMode.IN.writes
+    assert AccessMode.OUT.writes and not AccessMode.OUT.reads
+    assert AccessMode.INOUT.reads and AccessMode.INOUT.writes
+
+
+@pytest.mark.parametrize(
+    "m1, m2, conflict",
+    [
+        (AccessMode.IN, AccessMode.IN, False),
+        (AccessMode.IN, AccessMode.OUT, True),
+        (AccessMode.OUT, AccessMode.IN, True),
+        (AccessMode.OUT, AccessMode.OUT, True),
+        (AccessMode.INOUT, AccessMode.IN, True),
+    ],
+)
+def test_conflict_rules(m1, m2, conflict):
+    r = Region("A", 0, 10)
+    assert RegionAccess(r, m1).conflicts_with(RegionAccess(r, m2)) is conflict
+
+
+def test_no_conflict_when_disjoint():
+    a = RegionAccess(Region("A", 0, 10), AccessMode.OUT)
+    b = RegionAccess(Region("A", 10, 20), AccessMode.OUT)
+    assert not a.conflicts_with(b)
+
+
+# ---------------------------------------------------------------------------
+# tasks
+# ---------------------------------------------------------------------------
+
+
+def test_task_accessors():
+    t = Task("t", flops=100.0)
+    t.reads(Region("A", 0, 10)).writes(Region("B", 0, 20)).updates(Region("C", 0, 5))
+    assert [r.size_bytes for r in t.input_regions] == [10, 5]
+    assert [r.size_bytes for r in t.output_regions] == [20, 5]
+    assert t.input_bytes() == 15
+    assert t.output_bytes() == 25
+
+
+def test_task_validation():
+    with pytest.raises(TaskError):
+        Task("t", flops=-1)
+    with pytest.raises(TaskError):
+        Task("t", n_cores=-2)
+    with pytest.raises(TaskError):
+        Task("t", duration_s=-0.1)
+
+
+def test_task_duration_roofline_vs_override():
+    t = Task("t", flops=XEON_E5_2680.core.sustained_flops)  # 1 core-second
+    assert t.duration_on(XEON_E5_2680) == pytest.approx(1.0)
+    t2 = Task("t2", flops=1e12, duration_s=0.5)
+    assert t2.duration_on(XEON_E5_2680) == 0.5
+
+
+def test_task_whole_chip_duration():
+    t = Task("t", flops=XEON_E5_2680.sustained_flops, n_cores=0)
+    assert t.duration_on(XEON_E5_2680) == pytest.approx(1.0)
+
+
+def test_task_ids_unique():
+    a, b = Task("a"), Task("b")
+    assert a.task_id != b.task_id

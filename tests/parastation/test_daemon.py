@@ -1,0 +1,117 @@
+"""psid heartbeat daemons and failure detection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import booster_node_spec
+from repro.hardware.node import BoosterNode
+from repro.parastation import DaemonMonitor, HeartbeatConfig, NodeState, Partition
+
+
+def make(sim, n=4, interval=0.5, mult=3.0, on_down=None):
+    part = Partition(
+        sim, "booster", [BoosterNode(sim, booster_node_spec(), i) for i in range(n)]
+    )
+    mon = DaemonMonitor(
+        sim, part, HeartbeatConfig(interval, mult), on_node_down=on_down
+    )
+    mon.start()
+    return part, mon
+
+
+def test_heartbeat_config_validation():
+    with pytest.raises(ConfigurationError):
+        HeartbeatConfig(interval_s=0)
+    with pytest.raises(ConfigurationError):
+        HeartbeatConfig(interval_s=1, timeout_multiplier=0.5)
+    assert HeartbeatConfig(0.5, 3.0).timeout_s == pytest.approx(1.5)
+
+
+def test_healthy_nodes_stay_up(sim):
+    part, mon = make(sim)
+    sim.run(until=10.0)
+    assert mon.detected_down == {}
+    assert part.free_count == 4
+    mon.stop()
+    sim.run()
+
+
+def test_failure_detected_within_latency_bound(sim):
+    downs = []
+    part, mon = make(sim, on_down=lambda name, t: downs.append((name, t)))
+
+    def killer(sim):
+        yield sim.timeout(2.0)
+        mon.fail_node("bn1")
+
+    sim.process(killer(sim))
+    sim.run(until=10.0)
+    assert [name for name, _ in downs] == ["bn1"]
+    latency = mon.detection_latency("bn1", failed_at=2.0)
+    # Bounded by timeout + one sweep interval.
+    assert latency <= mon.config.timeout_s + mon.config.interval_s + 1e-9
+    assert latency > mon.config.timeout_s - mon.config.interval_s
+    assert part.state_of("bn1") is NodeState.DOWN
+    mon.stop()
+    sim.run()
+
+
+def test_detection_latency_scales_with_interval(sim):
+    latencies = {}
+    for interval in (0.2, 0.8):
+        from repro.simkernel import Simulator
+
+        s = Simulator()
+        part, mon = make(s, interval=interval)
+
+        def killer(s=s, mon=mon):
+            yield s.timeout(1.0)
+            mon.fail_node("bn0")
+
+        s.process(killer())
+        s.run(until=20.0)
+        latencies[interval] = mon.detection_latency("bn0", failed_at=1.0)
+        mon.stop()
+        s.run(until=21.0)
+    assert latencies[0.8] > 2.5 * latencies[0.2]
+
+
+def test_allocated_node_released_on_detection(sim):
+    part, mon = make(sim)
+    part.allocate(2)  # bn0, bn1 allocated
+
+    def killer(sim):
+        yield sim.timeout(1.0)
+        mon.fail_node("bn0")
+
+    sim.process(killer(sim))
+    sim.run(until=5.0)
+    assert part.state_of("bn0") is NodeState.DOWN
+    assert part.state_of("bn1") is NodeState.ALLOCATED
+    mon.stop()
+    sim.run()
+
+
+def test_revive_restores_node(sim):
+    part, mon = make(sim)
+
+    def script(sim):
+        yield sim.timeout(1.0)
+        mon.fail_node("bn2")
+        yield sim.timeout(5.0)
+        mon.revive_node("bn2")
+
+    sim.process(script(sim))
+    sim.run(until=12.0)
+    assert part.state_of("bn2") is NodeState.FREE
+    assert "bn2" not in mon.detected_down
+    mon.stop()
+    sim.run()
+
+
+def test_fail_unknown_node_rejected(sim):
+    part, mon = make(sim)
+    with pytest.raises(ConfigurationError):
+        mon.fail_node("ghost")
+    mon.stop()
+    sim.run()

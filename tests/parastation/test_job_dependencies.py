@@ -1,0 +1,84 @@
+"""Job dependency chains in the batch scheduler."""
+
+import pytest
+
+from repro.hardware.catalog import booster_node_spec, cluster_node_spec
+from repro.hardware.node import BoosterNode, ClusterNode
+from repro.parastation import BoosterPolicy, JobSpec, JobState, Partition, Scheduler
+
+
+def make_sched(sim, n_cluster=4):
+    cluster = Partition(
+        sim, "cluster",
+        [ClusterNode(sim, cluster_node_spec(), i) for i in range(n_cluster)],
+    )
+    booster = Partition(
+        sim, "booster", [BoosterNode(sim, booster_node_spec(), 0)]
+    )
+    return Scheduler(sim, cluster, booster, policy=BoosterPolicy.DYNAMIC)
+
+
+def sleep_body(duration):
+    def body(job):
+        yield job.scheduler.sim.timeout(duration)
+
+    return body
+
+
+def test_dependent_job_waits_for_completion(sim):
+    sched = make_sched(sim)
+    first = sched.submit(JobSpec("first", 1, walltime_estimate_s=5, body=sleep_body(5)))
+    second = sched.submit(
+        JobSpec("second", 1, walltime_estimate_s=5, body=sleep_body(5)),
+        after=[first],
+    )
+    sim.process(sched.drain())
+    sim.run()
+    assert first.end_time == pytest.approx(5.0)
+    assert second.start_time == pytest.approx(5.0)
+
+
+def test_dependency_chain(sim):
+    sched = make_sched(sim)
+    prev = None
+    jobs = []
+    for i in range(3):
+        job = sched.submit(
+            JobSpec(f"j{i}", 1, walltime_estimate_s=2, body=sleep_body(2)),
+            after=[prev] if prev else None,
+        )
+        jobs.append(job)
+        prev = job
+    sim.process(sched.drain())
+    sim.run()
+    for i, job in enumerate(jobs):
+        assert job.start_time == pytest.approx(2.0 * i)
+
+
+def test_blocked_head_does_not_block_queue(sim):
+    """A dependency-blocked job at the queue head must not stall
+    later independent jobs (unlike a resource-blocked head)."""
+    sched = make_sched(sim, n_cluster=2)
+    long = sched.submit(JobSpec("long", 1, walltime_estimate_s=10, body=sleep_body(10)))
+    dependent = sched.submit(
+        JobSpec("dep", 2, walltime_estimate_s=2, body=sleep_body(2)), after=[long]
+    )
+    indep = sched.submit(JobSpec("indep", 1, walltime_estimate_s=2, body=sleep_body(2)))
+    sim.process(sched.drain())
+    sim.run()
+    assert indep.start_time == pytest.approx(0.0)
+    assert dependent.start_time == pytest.approx(10.0)
+
+
+def test_fan_in_dependency(sim):
+    sched = make_sched(sim)
+    a = sched.submit(JobSpec("a", 1, walltime_estimate_s=3, body=sleep_body(3)))
+    b = sched.submit(JobSpec("b", 1, walltime_estimate_s=7, body=sleep_body(7)))
+    joined = sched.submit(
+        JobSpec("join", 1, walltime_estimate_s=1, body=sleep_body(1)),
+        after=[a, b],
+    )
+    sim.process(sched.drain())
+    sim.run()
+    assert joined.start_time == pytest.approx(7.0)
+    assert joined.state is JobState.COMPLETED

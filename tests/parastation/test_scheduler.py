@@ -1,0 +1,160 @@
+"""Batch scheduler: FIFO, backfill, and booster policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ResourceError
+from repro.hardware.catalog import booster_node_spec, cluster_node_spec
+from repro.hardware.node import BoosterNode, ClusterNode
+from repro.parastation import BoosterPolicy, JobSpec, JobState, Partition, Scheduler
+
+
+def make_sched(sim, n_cluster=4, n_booster=4, policy=BoosterPolicy.DYNAMIC):
+    cluster = Partition(
+        sim, "cluster",
+        [ClusterNode(sim, cluster_node_spec(), i) for i in range(n_cluster)],
+    )
+    booster = Partition(
+        sim, "booster",
+        [BoosterNode(sim, booster_node_spec(), i) for i in range(n_booster)],
+    )
+    return Scheduler(sim, cluster, booster, policy=policy)
+
+
+def sleep_body(duration):
+    def body(job):
+        yield job.scheduler.sim.timeout(duration)
+
+    return body
+
+
+def test_jobspec_validation():
+    with pytest.raises(ConfigurationError):
+        JobSpec(name="bad", n_cluster=0)
+    with pytest.raises(ConfigurationError):
+        JobSpec(name="bad", n_cluster=1, n_booster=-1)
+    with pytest.raises(ConfigurationError):
+        JobSpec(name="bad", n_cluster=1, walltime_estimate_s=0)
+
+
+def test_fifo_start_order(sim):
+    sched = make_sched(sim, n_cluster=2)
+    j1 = sched.submit(JobSpec("a", n_cluster=2, walltime_estimate_s=10, body=sleep_body(10)))
+    j2 = sched.submit(JobSpec("b", n_cluster=2, walltime_estimate_s=10, body=sleep_body(10)))
+    sim.process(sched.drain())
+    sim.run()
+    assert j1.start_time == 0.0
+    assert j2.start_time == pytest.approx(10.0)
+    assert j1.state is JobState.COMPLETED
+    assert j2.state is JobState.COMPLETED
+
+
+def test_backfill_lets_small_jobs_jump(sim):
+    sched = make_sched(sim, n_cluster=4)
+    # Head of queue will need all 4 nodes; a long job holds 2.
+    long_job = sched.submit(
+        JobSpec("long", n_cluster=2, walltime_estimate_s=100, body=sleep_body(100))
+    )
+    big = sched.submit(
+        JobSpec("big", n_cluster=4, walltime_estimate_s=10, body=sleep_body(10))
+    )
+    # Small, short job fits in the 2 free nodes and ends before the
+    # long job frees the rest -> backfilled.
+    small = sched.submit(
+        JobSpec("small", n_cluster=2, walltime_estimate_s=5, body=sleep_body(5))
+    )
+    sim.process(sched.drain())
+    sim.run()
+    assert small.start_time == pytest.approx(0.0)
+    assert big.start_time == pytest.approx(100.0)
+
+
+def test_backfill_does_not_delay_head(sim):
+    sched = make_sched(sim, n_cluster=4)
+    sched.submit(JobSpec("hold", n_cluster=2, walltime_estimate_s=10, body=sleep_body(10)))
+    big = sched.submit(JobSpec("big", n_cluster=4, walltime_estimate_s=10, body=sleep_body(10)))
+    # This one *would* fit now but runs past the head's start -> no jump.
+    blocker = sched.submit(
+        JobSpec("blocker", n_cluster=2, walltime_estimate_s=50, body=sleep_body(50))
+    )
+    sim.process(sched.drain())
+    sim.run()
+    assert big.start_time == pytest.approx(10.0)
+    assert blocker.start_time >= big.start_time
+
+
+def test_static_policy_coallocates_booster(sim):
+    sched = make_sched(sim, policy=BoosterPolicy.STATIC)
+    job = sched.submit(
+        JobSpec("j", n_cluster=1, n_booster=3, walltime_estimate_s=5, body=sleep_body(5))
+    )
+    sim.process(sched.drain())
+    sim.run(until=1.0)
+    assert sched.booster.allocated_count == 3
+    sim.run()
+    assert sched.booster.allocated_count == 0
+
+
+def test_static_policy_blocks_without_booster(sim):
+    sched = make_sched(sim, n_booster=2, policy=BoosterPolicy.STATIC)
+    a = sched.submit(JobSpec("a", n_cluster=1, n_booster=2, walltime_estimate_s=5, body=sleep_body(5)))
+    b = sched.submit(JobSpec("b", n_cluster=1, n_booster=2, walltime_estimate_s=5, body=sleep_body(5)))
+    sim.process(sched.drain())
+    sim.run()
+    assert b.start_time == pytest.approx(5.0)
+
+
+def test_dynamic_policy_claims_per_phase(sim):
+    sched = make_sched(sim, policy=BoosterPolicy.DYNAMIC)
+    observed = {}
+
+    def body(job):
+        yield sim.timeout(2.0)  # cluster-only part
+        nodes = sched.claim_booster(job, 3)
+        observed["during"] = sched.booster.allocated_count
+        yield sim.timeout(1.0)  # offload part
+        sched.release_booster(job, nodes)
+        observed["after"] = sched.booster.allocated_count
+        yield sim.timeout(2.0)
+
+    job = sched.submit(JobSpec("dyn", n_cluster=1, n_booster=3, walltime_estimate_s=10, body=body))
+    sim.process(sched.drain())
+    sim.run()
+    assert observed == {"during": 3, "after": 0}
+    # Booster only held for 1 of 5 seconds -> utilisation gap vs static.
+    assert sched.booster.allocated_node_seconds() == pytest.approx(3.0)
+
+
+def test_claim_booster_requires_dynamic(sim):
+    sched = make_sched(sim, policy=BoosterPolicy.STATIC)
+    job = sched.submit(JobSpec("j", n_cluster=1, walltime_estimate_s=5, body=sleep_body(5)))
+    sim.run(until=0.5)
+    with pytest.raises(ResourceError):
+        sched.claim_booster(job, 1)
+
+
+def test_job_wait_and_run_times(sim):
+    sched = make_sched(sim, n_cluster=1)
+    a = sched.submit(JobSpec("a", n_cluster=1, walltime_estimate_s=4, body=sleep_body(4)))
+    b = sched.submit(JobSpec("b", n_cluster=1, walltime_estimate_s=4, body=sleep_body(4)))
+    sim.process(sched.drain())
+    sim.run()
+    assert a.wait_time == pytest.approx(0.0)
+    assert b.wait_time == pytest.approx(4.0)
+    assert a.run_time == pytest.approx(4.0)
+    assert sched.ledger.job_count == 2
+
+
+def test_failed_job_releases_nodes(sim):
+    sched = make_sched(sim, n_cluster=2)
+
+    def bad_body(job):
+        yield sim.timeout(1.0)
+        raise RuntimeError("application crashed")
+
+    job = sched.submit(JobSpec("crash", n_cluster=2, walltime_estimate_s=5, body=bad_body))
+    ok = sched.submit(JobSpec("next", n_cluster=2, walltime_estimate_s=5, body=sleep_body(1)))
+    sim.process(sched.drain())
+    with pytest.raises(RuntimeError):
+        sim.run()
+    assert job.state is JobState.FAILED
+    assert sched.cluster.free_count >= 0  # nodes were released in finish()

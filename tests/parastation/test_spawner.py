@@ -1,0 +1,121 @@
+"""The ParaStation spawn backend."""
+
+import math
+
+import pytest
+
+from repro.errors import AllocationError, SpawnError
+from repro.hardware.catalog import booster_node_spec
+from repro.hardware.node import BoosterNode
+from repro.parastation import ParaStationSpawner, Partition, StartupModel
+from repro.parastation.job import Job, JobSpec
+
+from tests.conftest import run_to_end
+
+
+def make_partition(sim, n=8):
+    return Partition(
+        sim, "booster", [BoosterNode(sim, booster_node_spec(), i) for i in range(n)]
+    )
+
+
+def test_startup_model_log_shape():
+    m = StartupModel(base_s=5e-3, per_level_s=1e-3)
+    assert m.startup_time(1) == pytest.approx(6e-3)
+    assert m.startup_time(2) == pytest.approx(6e-3)
+    assert m.startup_time(64) == pytest.approx(5e-3 + 6e-3)
+    with pytest.raises(SpawnError):
+        m.startup_time(0)
+
+
+def test_allocate_claims_partition_nodes(sim):
+    part = make_partition(sim)
+    spawner = ParaStationSpawner(sim, part)
+
+    def p(sim):
+        alloc = yield from spawner.allocate(4)
+        return alloc
+
+    alloc = run_to_end(sim, p(sim))
+    assert len(alloc.placements) == 4
+    assert part.allocated_count == 4
+    spawner.release(alloc)
+    assert part.allocated_count == 0
+
+
+def test_allocate_exhaustion(sim):
+    part = make_partition(sim, n=2)
+    spawner = ParaStationSpawner(sim, part)
+
+    def p(sim):
+        yield from spawner.allocate(5)
+
+    sim.process(p(sim))
+    with pytest.raises(AllocationError):
+        sim.run()
+
+
+def test_procs_per_node_packing(sim):
+    part = make_partition(sim, n=2)
+    spawner = ParaStationSpawner(sim, part, procs_per_node=4)
+
+    def p(sim):
+        alloc = yield from spawner.allocate(8)
+        return alloc
+
+    alloc = run_to_end(sim, p(sim))
+    assert len(alloc.placements) == 8
+    assert part.allocated_count == 2
+    endpoints = [ep for ep, _ in alloc.placements]
+    assert endpoints.count(endpoints[0]) == 4
+
+
+def test_static_job_nodes_reused(sim):
+    part = make_partition(sim, n=8)
+    job = Job(spec=JobSpec("j", n_cluster=1, n_booster=4))
+    job.booster_nodes = part.allocate(4)
+    spawner = ParaStationSpawner(sim, part, job=job)
+
+    def p(sim):
+        alloc = yield from spawner.allocate(4)
+        return alloc
+
+    alloc = run_to_end(sim, p(sim))
+    # Served from the job's own nodes: pool allocation unchanged.
+    assert part.allocated_count == 4
+    names = {ep for ep, _ in alloc.placements}
+    assert names == {n.name for n in job.booster_nodes}
+    spawner.release(alloc)  # no-op for static
+    assert part.allocated_count == 4
+
+
+def test_static_job_overask_raises(sim):
+    part = make_partition(sim, n=8)
+    job = Job(spec=JobSpec("j", n_cluster=1, n_booster=2))
+    job.booster_nodes = part.allocate(2)
+    spawner = ParaStationSpawner(sim, part, job=job)
+
+    def p(sim):
+        yield from spawner.allocate(4)
+
+    sim.process(p(sim))
+    with pytest.raises(SpawnError):
+        sim.run()
+
+
+def test_allocation_charges_rm_latency(sim):
+    part = make_partition(sim)
+    spawner = ParaStationSpawner(
+        sim, part, startup=StartupModel(rm_latency_s=0.25)
+    )
+
+    def p(sim):
+        yield from spawner.allocate(2)
+        return sim.now
+
+    assert run_to_end(sim, p(sim)) == pytest.approx(0.25)
+
+
+def test_invalid_procs_per_node(sim):
+    with pytest.raises(SpawnError):
+        ParaStationSpawner(sim, make_partition(sim), procs_per_node=0)

@@ -1,0 +1,144 @@
+"""Property-based tests of MPI collectives and groups."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import Group, MAX, MIN, SUM
+from repro.mpi.group import Group as G
+
+from tests.mpi.conftest import WorldHarness
+
+
+@given(
+    n=st.integers(min_value=1, max_value=9),
+    values=st.data(),
+    algorithm=st.sampled_from(["recursive-doubling", "ring", "reduce-bcast"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_allreduce_sum_matches_python_sum(n, values, algorithm):
+    vals = values.draw(
+        st.lists(
+            st.integers(min_value=-1000, max_value=1000), min_size=n, max_size=n
+        )
+    )
+    h = WorldHarness(n)
+    got = []
+
+    def main(proc):
+        cw = proc.comm_world
+        v = yield from cw.allreduce(vals[cw.rank], SUM, algorithm=algorithm)
+        got.append(v)
+
+    h.run(main)
+    assert got == [sum(vals)] * n
+
+
+@given(n=st.integers(min_value=1, max_value=9), root_frac=st.floats(0, 0.999))
+@settings(max_examples=20, deadline=None)
+def test_gather_scatter_roundtrip(n, root_frac):
+    root = int(root_frac * n)
+    h = WorldHarness(n)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        gathered = yield from cw.gather(cw.rank * 3, root=root)
+        if cw.rank == root:
+            scattered_src = [v + 1 for v in gathered]
+        else:
+            scattered_src = None
+        mine = yield from cw.scatter(scattered_src, root=root)
+        out[cw.rank] = mine
+
+    h.run(main)
+    assert out == {r: r * 3 + 1 for r in range(n)}
+
+
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=15, deadline=None)
+def test_alltoall_is_transpose(n, seed):
+    h = WorldHarness(n)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        row = [(cw.rank, j, seed) for j in range(n)]
+        got = yield from cw.alltoall(row)
+        out[cw.rank] = got
+
+    h.run(main)
+    for r in range(n):
+        assert out[r] == [(j, r, seed) for j in range(n)]
+
+
+@given(gpids=st.lists(st.integers(0, 1000), min_size=1, max_size=30, unique=True))
+@settings(max_examples=50)
+def test_group_rank_gpid_inverse(gpids):
+    g = Group(gpids)
+    for rank in range(g.size):
+        assert g.rank_of(g.gpid_of(rank)) == rank
+
+
+@given(
+    a=st.lists(st.integers(0, 50), min_size=1, max_size=15, unique=True),
+    b=st.lists(st.integers(0, 50), min_size=1, max_size=15, unique=True),
+)
+@settings(max_examples=50)
+def test_group_set_algebra(a, b):
+    ga, gb = Group(a), Group(b)
+    union = ga.union(gb)
+    inter = ga.intersection(gb)
+    diff = ga.difference(gb)
+    assert set(union.gpids) == set(a) | set(b)
+    assert set(inter.gpids) == set(a) & set(b) or inter.size == 0
+    assert set(diff.gpids) == set(a) - set(b) or diff.size == 0
+    # Orderings preserved from the left group.
+    assert list(inter.gpids) == [g for g in a if g in set(b)]
+    assert union.size == len(set(a) | set(b))
+
+
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    base=st.integers(min_value=-100, max_value=100),
+)
+@settings(max_examples=15, deadline=None)
+def test_reduce_scatter_blocks_land_with_owners(n, base):
+    h = WorldHarness(n)
+    out = {}
+
+    def main(proc):
+        cw = proc.comm_world
+        values = [base + cw.rank * n + b for b in range(n)]
+        v = yield from cw.reduce_scatter(values, SUM, size_bytes=8 * n)
+        out[cw.rank] = v
+
+    h.run(main)
+    for r in range(n):
+        expected = sum(base + rank * n + r for rank in range(n))
+        assert out[r] == expected
+
+
+@given(
+    dims=st.sampled_from([(2, 2), (4, 2), (2, 2, 2), (3, 2), (6,), (2, 3, 2)]),
+)
+@settings(max_examples=10, deadline=None)
+def test_cart_coords_bijective(dims):
+    import math
+
+    n = math.prod(dims)
+    h = WorldHarness(n)
+    seen = []
+
+    def main(proc):
+        cart = yield from proc.comm_world.create_cart(list(dims))
+        coords = cart.coords
+        assert cart.rank_of(coords) == cart.rank
+        seen.append(coords)
+
+    h.run(main)
+    assert len(set(seen)) == n
+    for c in seen:
+        assert all(0 <= x < d for x, d in zip(c, dims))

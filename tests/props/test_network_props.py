@@ -1,0 +1,168 @@
+"""Property-based tests of topologies, routing, and LogGP fitting."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    LogGPModel,
+    RoutingTable,
+    fat_tree_topology,
+    fit_loggp,
+    torus_topology,
+)
+from repro.network.extoll import balanced_dims
+
+dims_st = st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=3).filter(
+    lambda d: 1 < math.prod(d) <= 64
+)
+
+
+@given(dims=dims_st)
+@settings(max_examples=40, deadline=None)
+def test_torus_is_connected_and_routes_everywhere(dims):
+    topo = torus_topology(dims)
+    topo.validate_connected()
+    rt = RoutingTable(topo, scheme="dimension-order")
+    eps = topo.endpoints
+    a, b = eps[0], eps[-1]
+    path = rt.route(a, b)
+    assert path[0] == a and path[-1] == b
+    # Every consecutive pair is an edge.
+    for u, v in zip(path, path[1:]):
+        assert topo.graph.has_edge(u, v)
+
+
+@given(dims=dims_st)
+@settings(max_examples=40, deadline=None)
+def test_dimension_order_within_diameter(dims):
+    topo = torus_topology(dims)
+    rt = RoutingTable(topo, scheme="dimension-order")
+    eps = topo.endpoints
+    bound = sum(d // 2 for d in dims)
+    for a in eps[:3]:
+        for b in eps[-3:]:
+            if a != b:
+                assert rt.hops(a, b) <= bound
+
+
+@given(n=st.integers(min_value=1, max_value=80), radix=st.integers(2, 20))
+@settings(max_examples=40, deadline=None)
+def test_fat_tree_connected_any_size(n, radix):
+    eps = [f"n{i}" for i in range(n)]
+    topo = fat_tree_topology(eps, leaf_radix=radix)
+    topo.validate_connected()
+    assert set(topo.endpoints) == set(eps)
+    rt = RoutingTable(topo)
+    if n >= 2:
+        assert 2 <= rt.hops("n0", f"n{n-1}") <= 4
+
+
+@given(n=st.integers(min_value=1, max_value=200))
+@settings(max_examples=60)
+def test_balanced_dims_factorises(n):
+    dims = balanced_dims(n)
+    assert math.prod(dims) == n
+    assert dims == tuple(sorted(dims, reverse=True))
+
+
+@given(
+    L=st.floats(min_value=1e-7, max_value=1e-5),
+    o=st.floats(min_value=1e-8, max_value=1e-6),
+    G=st.floats(min_value=1e-11, max_value=1e-8),
+)
+@settings(max_examples=40)
+def test_loggp_fit_roundtrip(L, o, G):
+    true = LogGPModel(L=L, o=o, g=L, G=G)
+    sizes = [0, 512, 4096, 65536, 1 << 20]
+    times = [true.transfer_time(s) for s in sizes]
+    fit = fit_loggp(sizes, times)
+    assert abs(fit.G - G) <= max(0.05 * G, 1e-13)
+    intercept_true = L + 2 * o
+    intercept_fit = fit.L + 2 * fit.o
+    assert abs(intercept_fit - intercept_true) <= 0.1 * intercept_true + 1e-9
+
+
+@given(
+    size=st.integers(min_value=0, max_value=1 << 26),
+)
+@settings(max_examples=50)
+def test_loggp_monotone_in_size(size):
+    m = LogGPModel(L=1e-6, o=1e-7, g=1e-6, G=1e-9)
+    assert m.transfer_time(size + 1) >= m.transfer_time(size)
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=1 << 22), min_size=1, max_size=10),
+)
+@settings(max_examples=20, deadline=None)
+def test_fabric_byte_conservation(sizes):
+    """Every byte sent crosses each link of its path exactly once:
+    total link bytes == sum(size * hops)."""
+    from repro.network import Fabric, LinkSpec, star_topology
+    from repro.simkernel import Simulator
+
+    sim = Simulator()
+    eps = [f"n{i}" for i in range(4)]
+    fabric = Fabric(
+        sim, star_topology(eps),
+        LinkSpec(latency_s=1e-6, bandwidth_bytes_per_s=1e9), name="f",
+    )
+    for e in eps:
+        fabric.attach_endpoint(e)
+
+    expected = 0
+    for i, size in enumerate(sizes):
+        src = eps[i % 3]
+        dst = eps[(i + 1) % 3 + 1] if eps[(i + 1) % 3 + 1] != src else eps[0]
+        if src == dst:
+            continue
+        hops = fabric.routing.hops(src, dst)
+        expected += size * hops
+
+        def xfer(sim, src=src, dst=dst, size=size):
+            yield from fabric.transfer(src, dst, size)
+
+        sim.process(xfer(sim))
+    sim.run()
+    assert fabric.total_bytes() == expected
+
+
+@given(
+    n_msgs=st.integers(min_value=1, max_value=8),
+    size=st.integers(min_value=1, max_value=1 << 21),
+)
+@settings(max_examples=20, deadline=None)
+def test_bridge_byte_conservation(n_msgs, size):
+    """The SMFU forwards exactly the bytes that cross, once each."""
+    from repro.network import (
+        ClusterBoosterBridge,
+        ExtollFabric,
+        InfinibandFabric,
+        SMFUGateway,
+    )
+    from repro.simkernel import Simulator
+
+    sim = Simulator()
+    cns = ["cn0", "cn1"]
+    bns = ["bn0", "bn1"]
+    gws = ["bi0"]
+    ib = InfinibandFabric(sim, cns + gws)
+    for e in cns + gws:
+        ib.attach_endpoint(e)
+    ex = ExtollFabric(sim, bns + gws, dims=(3, 1, 1))
+    for e in bns + gws:
+        ex.attach_endpoint(e)
+    gw = SMFUGateway(sim, "bi0", ib, ex)
+    bridge = ClusterBoosterBridge([gw])
+
+    def xfer(sim, i):
+        yield from bridge.transfer(cns[i % 2], bns[i % 2], size)
+
+    for i in range(n_msgs):
+        sim.process(xfer(sim, i))
+    sim.run()
+    assert gw.forwarded_bytes == n_msgs * size
+    assert gw.forwarded_messages == n_msgs
+    assert gw.queued_bytes == 0

@@ -1,0 +1,93 @@
+"""Property-based tests of the resilience and I/O models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import FileSystemSpec, ParallelFileSystem
+from repro.resilience import expected_runtime, simulate_checkpointed_run
+from repro.simkernel import Simulator
+
+
+@given(
+    work=st.floats(min_value=10.0, max_value=5e3),
+    interval=st.floats(min_value=1.0, max_value=500.0),
+    ckpt=st.floats(min_value=0.1, max_value=20.0),
+    restart=st.floats(min_value=0.0, max_value=60.0),
+    mtbf=st.floats(min_value=30.0, max_value=1e5),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=40, deadline=None)
+def test_checkpointed_run_invariants(work, interval, ckpt, restart, mtbf, seed):
+    sim = Simulator(seed=seed)
+
+    def p(sim):
+        stats = yield from simulate_checkpointed_run(
+            sim, work, interval, ckpt, restart, mtbf,
+            rng_stream=f"prop{seed}",
+        )
+        return stats
+
+    driver = sim.process(p(sim))
+    sim.run()
+    stats = driver.value
+    # All declared work was committed, never more and never less.
+    assert stats.work_s == work
+    # Wall time covers at least work + the mandatory checkpoints.
+    import math
+
+    min_ckpts = math.ceil(work / interval)
+    assert stats.n_checkpoints >= min_ckpts
+    assert stats.elapsed_s >= work + min_ckpts * ckpt - 1e-6
+    # Efficiency is a proper fraction and wasted time is the difference.
+    assert 0 < stats.efficiency <= 1
+    assert stats.wasted_s >= 0
+    assert stats.elapsed_s == stats.work_s + stats.wasted_s
+
+
+@given(
+    work=st.floats(min_value=100.0, max_value=1e4),
+    interval=st.floats(min_value=5.0, max_value=500.0),
+    ckpt=st.floats(min_value=0.5, max_value=10.0),
+    mtbf=st.floats(min_value=1e3, max_value=1e6),
+)
+@settings(max_examples=50)
+def test_expected_runtime_bounds(work, interval, ckpt, mtbf):
+    t = expected_runtime(work, interval, ckpt, 3 * ckpt, mtbf)
+    # Never faster than the failure-free checkpointed run.
+    import math
+
+    assert t >= work
+    # And monotone in the failure rate.
+    t_safer = expected_runtime(work, interval, ckpt, 3 * ckpt, mtbf * 10)
+    assert t_safer <= t
+
+
+@given(
+    n_writers=st.integers(min_value=1, max_value=12),
+    size=st.integers(min_value=1, max_value=1 << 28),
+    stripes=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_filesystem_conservation_and_bounds(n_writers, size, stripes):
+    spec = FileSystemSpec(
+        n_targets=4, ost_bandwidth=1e9, per_client_bandwidth=2e9,
+        metadata_latency_s=1e-3,
+    )
+    sim = Simulator()
+    fs = ParallelFileSystem(sim, spec)
+
+    def w(sim):
+        yield from fs.write(size, stripe_count=stripes)
+
+    for _ in range(n_writers):
+        sim.process(w(sim))
+    end = sim.run()
+    assert fs.bytes_written == n_writers * size
+    assert fs.writes == n_writers
+    # Lower bound: aggregate-bandwidth floor (+ metadata).
+    floor = n_writers * size / spec.aggregate_bandwidth
+    assert end >= floor - 1e-9
+    # Upper bound: fully serialized at the worst per-stripe rate.
+    worst_rate = min(spec.ost_bandwidth, spec.per_client_bandwidth / stripes)
+    ceiling = 1e-3 + n_writers * (size / stripes) * stripes / worst_rate + 1e-6
+    assert end <= ceiling

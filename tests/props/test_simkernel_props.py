@@ -1,0 +1,116 @@
+"""Property-based tests of the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import Resource, Simulator, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_time_never_goes_backwards(delays):
+    sim = Simulator()
+    observed = []
+
+    def p(sim, d):
+        yield sim.timeout(d)
+        observed.append(sim.now)
+
+    for d in delays:
+        sim.process(p(sim, d))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    holds=st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=25),
+)
+@settings(max_examples=40)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    max_seen = [0]
+
+    def worker(sim, hold):
+        req = res.request()
+        yield req
+        max_seen[0] = max(max_seen[0], res.count)
+        yield sim.timeout(hold)
+        res.release(req)
+
+    for h in holds:
+        sim.process(worker(sim, h))
+    sim.run()
+    assert max_seen[0] <= capacity
+    assert res.count == 0  # everything released
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    holds=st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=25),
+)
+@settings(max_examples=40)
+def test_resource_work_conserving(capacity, holds):
+    """Total time = sum of holds serialised over `capacity` servers,
+    bounded below by work/capacity and above by sum of work."""
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+
+    def worker(sim, hold):
+        req = res.request()
+        yield req
+        yield sim.timeout(hold)
+        res.release(req)
+
+    for h in holds:
+        sim.process(worker(sim, h))
+    end = sim.run()
+    assert end >= sum(holds) / capacity - 1e-9
+    assert end <= sum(holds) + 1e-9
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=50))
+@settings(max_examples=50)
+def test_store_preserves_fifo_order(items):
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer(sim):
+        for x in items:
+            yield store.put(x)
+
+    def consumer(sim):
+        for _ in items:
+            v = yield store.get()
+            got.append(v)
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == items
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=30)
+def test_simulation_deterministic_under_seed(seed, n):
+    def trace(seed, n):
+        sim = Simulator(seed=seed)
+        log = []
+
+        def p(sim, i):
+            rng = sim.rng.stream("jitter")
+            yield sim.timeout(rng.random())
+            log.append((i, sim.now))
+
+        for i in range(n):
+            sim.process(p(sim, i))
+        sim.run()
+        return log
+
+    assert trace(seed, n) == trace(seed, n)

@@ -1,0 +1,248 @@
+"""Failure injection, checkpoint modelling, and resilient offload."""
+
+import math
+
+import pytest
+
+from repro.apps import stencil_graph
+from repro.deep import DeepSystem, MachineConfig, OFFLOAD_WORKER_COMMAND, offload_worker
+from repro.errors import ConfigurationError, OffloadError, ProcessKilled
+from repro.parastation.nodes import NodeState
+from repro.resilience import (
+    FaultInjector,
+    daly_optimal_interval,
+    expected_runtime,
+    kill_endpoint,
+    resilient_offload,
+    simulate_checkpointed_run,
+)
+from repro.simkernel import Simulator
+from repro.units import mib
+
+from tests.conftest import run_to_end
+
+
+# ---------------------------------------------------------------------------
+# checkpoint models
+# ---------------------------------------------------------------------------
+
+
+def test_daly_formula():
+    assert daly_optimal_interval(10.0, 2000.0) == pytest.approx(200.0)
+    with pytest.raises(ConfigurationError):
+        daly_optimal_interval(0.0, 10.0)
+
+
+def test_expected_runtime_monotone_in_failure_rate():
+    base = expected_runtime(1e4, 200.0, 10.0, 30.0, mtbf_s=1e6)
+    risky = expected_runtime(1e4, 200.0, 10.0, 30.0, mtbf_s=1e3)
+    assert risky > base > 1e4
+
+
+def test_expected_runtime_minimised_near_daly():
+    """Expected runtime has its minimum close to sqrt(2 C M)."""
+    C, M, R, W = 10.0, 5000.0, 30.0, 1e5
+    opt = daly_optimal_interval(C, M)
+    t_opt = expected_runtime(W, opt, C, R, M)
+    assert t_opt < expected_runtime(W, opt / 5, C, R, M)
+    assert t_opt < expected_runtime(W, opt * 5, C, R, M)
+
+
+def test_simulated_run_no_failures():
+    sim = Simulator(seed=1)
+
+    def p(sim):
+        stats = yield from simulate_checkpointed_run(
+            sim, work_s=100.0, interval_s=25.0, checkpoint_cost_s=1.0,
+            restart_cost_s=5.0, mtbf_s=1e9,
+        )
+        return stats
+
+    stats = run_to_end(sim, p(sim))
+    assert stats.n_failures == 0
+    assert stats.n_checkpoints == 4
+    assert stats.elapsed_s == pytest.approx(104.0)
+    assert stats.efficiency == pytest.approx(100 / 104)
+
+
+def test_simulated_run_with_failures_completes():
+    sim = Simulator(seed=7)
+
+    def p(sim):
+        stats = yield from simulate_checkpointed_run(
+            sim, work_s=500.0, interval_s=20.0, checkpoint_cost_s=2.0,
+            restart_cost_s=10.0, mtbf_s=100.0,
+        )
+        return stats
+
+    stats = run_to_end(sim, p(sim))
+    assert stats.n_failures > 0
+    assert stats.work_s == 500.0
+    assert stats.elapsed_s > 500.0
+    assert 0 < stats.efficiency < 1
+
+
+def test_simulation_tracks_analytic_model():
+    """Mean simulated wall time within ~20% of the first-order model."""
+    W, I, C, R, M = 2000.0, 60.0, 3.0, 15.0, 400.0
+    runs = []
+    for seed in range(10):
+        sim = Simulator(seed=seed)
+
+        def p(sim=sim):
+            stats = yield from simulate_checkpointed_run(
+                sim, W, I, C, R, M, rng_stream=f"ckpt{seed}"
+            )
+            return stats
+
+        runs.append(run_to_end(sim, p()).elapsed_s)
+    mean = sum(runs) / len(runs)
+    predicted = expected_runtime(W, I, C, R, M)
+    assert mean == pytest.approx(predicted, rel=0.2)
+
+
+# ---------------------------------------------------------------------------
+# fault injection
+# ---------------------------------------------------------------------------
+
+
+def test_kill_endpoint_kills_drivers():
+    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=4))
+    seen = []
+
+    def main(proc):
+        try:
+            yield proc.sim.timeout(100.0)
+        except ProcessKilled:
+            seen.append(proc.endpoint)
+
+    system.launch(main)
+
+    def killer(sim):
+        yield sim.timeout(1.0)
+        kill_endpoint(system.world, "cn0")
+
+    system.sim.process(killer(system.sim))
+    system.run()
+    assert seen == ["cn0"]
+
+
+def test_fault_injector_marks_down_and_repairs():
+    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=4))
+    injector = FaultInjector(
+        system.sim, system.world, system.booster_partition,
+        mtbf_s=0.5, repair_time_s=2.0, max_failures=1,
+    )
+    injector.start()
+    system.run(until=1.5)
+    assert injector.failure_count == 1
+    _, victim = injector.failures[0]
+    assert system.booster_partition.state_of(victim) is NodeState.DOWN
+    system.run(until=10.0)
+    assert system.booster_partition.state_of(victim) is NodeState.FREE
+
+
+def test_fault_injector_validation():
+    system = DeepSystem(MachineConfig(n_cluster=1, n_booster=2))
+    with pytest.raises(ConfigurationError):
+        FaultInjector(system.sim, system.world, system.booster_partition, mtbf_s=0)
+
+
+# ---------------------------------------------------------------------------
+# resilient offload
+# ---------------------------------------------------------------------------
+
+
+def _targeted_killer(system, kill_times):
+    """Kill the first currently-allocated booster node at each time."""
+    part = system.booster_partition
+
+    def has_live_driver(name):
+        return any(
+            d.is_alive
+            for d in system.world.drivers_by_endpoint.get(name, [])
+        )
+
+    def killer(sim):
+        for t in kill_times:
+            yield sim.timeout(max(t - sim.now, 0.0))
+            victim = next(
+                (
+                    n.name for n in part.nodes
+                    if part.state_of(n.name) is NodeState.ALLOCATED
+                    and has_live_driver(n.name)
+                ),
+                None,
+            )
+            if victim is None:
+                continue
+            part.release([part.node(victim)])
+            part.mark_down(victim)
+            kill_endpoint(system.world, victim, "targeted failure")
+
+    system.sim.process(killer(system.sim), name="targeted-killer")
+
+
+def run_resilient(kill_times=(), max_attempts=3, n_workers=4, n_booster=8):
+    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=n_booster))
+    system.register_command(OFFLOAD_WORKER_COMMAND, offload_worker)
+    out = {}
+    if kill_times:
+        _targeted_killer(system, kill_times)
+
+    def main(proc):
+        cw = proc.comm_world
+        g = stencil_graph(
+            n_workers, sweeps=4, slab_bytes=mib(4), flops_per_byte=2000.0
+        )
+        try:
+            result, attempts = yield from resilient_offload(
+                proc, cw, g, n_workers, max_attempts=max_attempts
+            )
+            if cw.rank == 0:
+                out["result"] = result
+                out["attempts"] = attempts
+        except OffloadError as exc:
+            out.setdefault("errors", []).append(str(exc))
+
+    system.launch(main)
+    system.run()
+    return out, system
+
+
+def test_resilient_offload_clean_run_single_attempt():
+    out, _ = run_resilient()
+    assert out["attempts"] == 1
+    assert out["result"].n_tasks == 16
+
+
+def test_resilient_offload_survives_node_failure():
+    # Kill one allocated worker node mid-offload (the offload takes
+    # tens of ms); the retry runs on the remaining healthy nodes.
+    out, system = run_resilient(kill_times=(0.02,))
+    assert out["attempts"] == 2
+    assert out["result"].n_tasks == 16
+    down = [
+        n.name for n in system.booster_partition.nodes
+        if system.booster_partition.state_of(n.name) is NodeState.DOWN
+    ]
+    assert len(down) == 1
+    # The retry avoided the dead node.
+    assert system.booster_partition.free_count == 7
+
+
+def test_resilient_offload_gives_up_after_max_attempts():
+    out, _ = run_resilient(kill_times=(0.02, 0.08, 0.2), max_attempts=2)
+    assert "result" not in out
+    assert out["errors"]
+    assert all("2" in e or "cannot spawn" in e for e in out["errors"])
+
+
+def test_resilient_offload_raises_when_pool_exhausted():
+    # 4 workers from a 4-node pool; every attempt loses a node until a
+    # spawn becomes impossible -> collective OffloadError.
+    out, _ = run_resilient(
+        kill_times=(0.02, 0.08, 0.2, 0.5), max_attempts=10, n_booster=4
+    )
+    assert "result" not in out
+    assert any("cannot spawn" in e for e in out["errors"])

@@ -1,0 +1,133 @@
+"""Unit tests for events and conditions."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkernel import Simulator
+from repro.simkernel.event import AllOf, AnyOf, Event, Timeout
+
+from tests.conftest import run_to_end
+
+
+def test_event_starts_pending(sim):
+    ev = sim.event("x")
+    assert not ev.triggered
+    assert not ev.processed
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_succeed_carries_value(sim):
+    ev = sim.event()
+    ev.succeed(123)
+    assert ev.triggered
+    assert ev.ok
+    assert ev.value == 123
+
+
+def test_succeed_twice_rejected(sim):
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_fail_requires_exception(sim):
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_fail_propagates_into_process(sim):
+    ev = sim.event()
+    caught = []
+
+    def waiter(sim, ev):
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter(sim, ev))
+    ev.fail(ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_timeout_fires_at_delay(sim):
+    def p(sim):
+        v = yield sim.timeout(2.5, value="done")
+        assert sim.now == 2.5
+        return v
+
+    assert run_to_end(sim, p(sim)) == "done"
+
+
+def test_timeout_negative_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_timeouts_ordered_fifo_at_same_time(sim):
+    order = []
+
+    def p(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abc":
+        sim.process(p(sim, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_all_of_waits_for_every_event(sim):
+    def p(sim):
+        evs = [sim.timeout(1.0, "x"), sim.timeout(3.0, "y")]
+        values = yield sim.all_of(evs)
+        assert sim.now == 3.0
+        return sorted(values.values())
+
+    assert run_to_end(sim, p(sim)) == ["x", "y"]
+
+
+def test_any_of_fires_on_first(sim):
+    def p(sim):
+        evs = [sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")]
+        values = yield sim.any_of(evs)
+        assert sim.now == 1.0
+        return list(values.values())
+
+    assert run_to_end(sim, p(sim)) == ["fast"]
+
+
+def test_all_of_empty_fires_immediately(sim):
+    def p(sim):
+        yield sim.all_of([])
+        return sim.now
+
+    assert run_to_end(sim, p(sim)) == 0.0
+
+
+def test_condition_rejects_foreign_events(sim):
+    other = Simulator()
+    with pytest.raises(SimulationError):
+        AllOf(sim, [sim.timeout(1), other.timeout(1)])
+
+
+def test_all_of_fails_when_member_fails(sim):
+    failures = []
+
+    def p(sim, ev):
+        try:
+            yield sim.all_of([ev, sim.timeout(10)])
+        except RuntimeError:
+            failures.append(sim.now)
+
+    ev = sim.event()
+    sim.process(p(sim, ev))
+    ev.fail(RuntimeError("member failed"))
+    sim.run(until=20)
+    assert failures == [0.0]

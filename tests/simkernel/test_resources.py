@@ -1,0 +1,316 @@
+"""Unit tests for resources, stores, and channels."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkernel import Channel, PriorityResource, Resource, Store
+
+from tests.conftest import run_to_end
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+
+def test_resource_capacity_enforced(sim):
+    res = Resource(sim, capacity=2)
+    done = []
+
+    def worker(sim, res, tag):
+        req = res.request()
+        yield req
+        yield sim.timeout(1.0)
+        res.release(req)
+        done.append((tag, sim.now))
+
+    for tag in range(5):
+        sim.process(worker(sim, res, tag))
+    sim.run()
+    times = [t for _, t in done]
+    assert times == [1.0, 1.0, 2.0, 2.0, 3.0]
+
+
+def test_resource_rejects_bad_capacity(sim):
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_release_without_hold_raises(sim):
+    res = Resource(sim)
+    req = res.request()  # granted immediately
+
+    class Fake:
+        pass
+
+    with pytest.raises(SimulationError):
+        res.release(Fake())
+
+
+def test_resource_utilization_full(sim):
+    res = Resource(sim, capacity=1)
+
+    def worker(sim, res):
+        req = res.request()
+        yield req
+        yield sim.timeout(4.0)
+        res.release(req)
+
+    sim.process(worker(sim, res))
+    sim.run()
+    assert res.utilization() == pytest.approx(1.0)
+
+
+def test_resource_utilization_half(sim):
+    res = Resource(sim, capacity=2)
+
+    def worker(sim, res):
+        req = res.request()
+        yield req
+        yield sim.timeout(4.0)
+        res.release(req)
+
+    sim.process(worker(sim, res))
+    sim.run()
+    assert res.utilization() == pytest.approx(0.5)
+
+
+def test_cancel_queued_request(sim):
+    res = Resource(sim, capacity=1)
+    hold = res.request()  # taken
+    queued = res.request()
+    res.cancel(queued)
+    res.release(hold)
+    assert res.count == 0
+    assert not queued.triggered
+
+
+def test_priority_resource_orders_waiters(sim):
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def worker(sim, res, prio, tag):
+        req = res.request(priority=prio)
+        yield req
+        yield sim.timeout(1.0)
+        res.release(req)
+        order.append(tag)
+
+    def spawner(sim):
+        sim.process(worker(sim, res, 0, "first"))  # grabs the slot
+        yield sim.timeout(0.1)
+        sim.process(worker(sim, res, 5, "low"))
+        sim.process(worker(sim, res, 1, "high"))
+
+    sim.process(spawner(sim))
+    sim.run()
+    assert order == ["first", "high", "low"]
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+
+def test_store_fifo(sim):
+    store = Store(sim)
+    got = []
+
+    def producer(sim, store):
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer(sim, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put(sim):
+    store = Store(sim)
+    got = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def producer(sim, store):
+        yield sim.timeout(2.0)
+        store.put("late")
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert got == [("late", 2.0)]
+
+
+def test_bounded_store_put_blocks(sim):
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer(sim, store):
+        yield store.put("a")
+        log.append(("put-a", sim.now))
+        yield store.put("b")
+        log.append(("put-b", sim.now))
+
+    def consumer(sim, store):
+        yield sim.timeout(3.0)
+        item = yield store.get()
+        log.append((f"got-{item}", sim.now))
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert ("put-a", 0.0) in log
+    assert ("put-b", 3.0) in log  # unblocked by the get
+
+
+def test_store_capacity_validation(sim):
+    with pytest.raises(SimulationError):
+        Store(sim, capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Channel (matched gets)
+# ---------------------------------------------------------------------------
+
+
+def test_channel_match_skips_nonmatching(sim):
+    ch = Channel(sim)
+    ch.put(1)
+    ch.put(2)
+    ch.put(3)
+
+    def p(sim, ch):
+        item = yield ch.get(match=lambda x: x % 2 == 0)
+        return item
+
+    assert run_to_end(sim, p(sim, ch)) == 2
+    assert list(ch.items) == [1, 3]
+
+
+def test_channel_matched_getter_waits(sim):
+    ch = Channel(sim)
+    got = []
+
+    def consumer(sim, ch):
+        item = yield ch.get(match=lambda x: x == "target")
+        got.append((item, sim.now))
+
+    def producer(sim, ch):
+        yield sim.timeout(1.0)
+        ch.put("noise")
+        yield sim.timeout(1.0)
+        ch.put("target")
+
+    sim.process(consumer(sim, ch))
+    sim.process(producer(sim, ch))
+    sim.run()
+    assert got == [("target", 2.0)]
+    assert list(ch.items) == ["noise"]
+
+
+def test_channel_fifo_within_match(sim):
+    ch = Channel(sim)
+    for i in range(4):
+        ch.put(("x", i))
+
+    def p(sim, ch):
+        a = yield ch.get(match=lambda m: m[0] == "x")
+        b = yield ch.get(match=lambda m: m[0] == "x")
+        return [a, b]
+
+    assert run_to_end(sim, p(sim, ch)) == [("x", 0), ("x", 1)]
+
+
+def test_channel_peek_match(sim):
+    ch = Channel(sim)
+    ch.put(10)
+    ch.put(25)
+    assert ch.peek_match(lambda x: x > 20) == 25
+    assert ch.peek_match(lambda x: x > 100) is None
+    assert len(ch) == 2  # peek does not remove
+
+
+def test_channel_matched_getters_have_priority(sim):
+    ch = Channel(sim)
+    results = {}
+
+    def selective(sim, ch):
+        item = yield ch.get(match=lambda x: x == "special")
+        results["selective"] = (item, sim.now)
+
+    def greedy(sim, ch):
+        item = yield ch.get()
+        results["greedy"] = (item, sim.now)
+
+    def producer(sim, ch):
+        yield sim.timeout(1.0)
+        ch.put("special")
+        yield sim.timeout(1.0)
+        ch.put("plain")
+
+    sim.process(selective(sim, ch))
+    sim.process(greedy(sim, ch))
+    sim.process(producer(sim, ch))
+    sim.run()
+    assert results["selective"] == ("special", 1.0)
+    assert results["greedy"] == ("plain", 2.0)
+
+
+def test_killed_getter_does_not_consume_items(sim):
+    """A process killed while blocked on a matched get must not eat a
+    later matching item (its registration is withdrawn)."""
+    ch = Channel(sim)
+    got = []
+
+    def victim(sim, ch):
+        yield ch.get(match=lambda x: x == "prize")
+
+    def survivor(sim, ch):
+        item = yield ch.get(match=lambda x: x == "prize")
+        got.append(item)
+
+    v = sim.process(victim(sim, ch))
+    sim.process(survivor(sim, ch))
+
+    def script(sim):
+        yield sim.timeout(1.0)
+        v.kill()
+        yield sim.timeout(1.0)
+        ch.put("prize")
+
+    sim.process(script(sim))
+    sim.run()
+    assert got == ["prize"]
+
+
+def test_killed_plain_getter_withdrawn(sim):
+    store = Store(sim)
+    got = []
+
+    def victim(sim, store):
+        yield store.get()
+
+    def survivor(sim, store):
+        item = yield store.get()
+        got.append(item)
+
+    v = sim.process(victim(sim, store))
+    sim.process(survivor(sim, store))
+
+    def script(sim):
+        yield sim.timeout(1.0)
+        v.kill()
+        yield sim.timeout(1.0)
+        store.put("only-item")
+
+    sim.process(script(sim))
+    sim.run()
+    assert got == ["only-item"]

@@ -1,0 +1,96 @@
+"""Unit tests for the simulator loop."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.simkernel import Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_run_until_stops_early(sim):
+    hits = []
+
+    def p(sim):
+        while True:
+            yield sim.timeout(1.0)
+            hits.append(sim.now)
+
+    sim.process(p(sim))
+    t = sim.run(until=3.5)
+    assert t == 3.5
+    assert hits == [1.0, 2.0, 3.0]
+
+
+def test_run_until_in_past_rejected(sim):
+    def p(sim):
+        yield sim.timeout(10.0)
+
+    sim.process(p(sim))
+    sim.run(until=5.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_deadlock_detection(sim):
+    def stuck(sim):
+        yield sim.event()
+
+    sim.process(stuck(sim))
+    with pytest.raises(DeadlockError) as info:
+        sim.run()
+    assert info.value.blocked == 1
+
+
+def test_deadlock_check_can_be_disabled(sim):
+    def stuck(sim):
+        yield sim.event()
+
+    sim.process(stuck(sim))
+    sim.run(check_deadlock=False)  # no exception
+
+
+def test_peek_reports_next_event_time(sim):
+    sim.timeout(7.0)
+    assert sim.peek() == 7.0
+    empty = Simulator()
+    assert empty.peek() == float("inf")
+
+
+def test_empty_run_advances_to_until(sim):
+    assert sim.run(until=100.0) == 100.0
+    assert sim.now == 100.0
+
+
+def test_determinism_same_seed():
+    def runner(seed):
+        s = Simulator(seed=seed)
+        draws = []
+
+        def p(s):
+            rng = s.rng.stream("noise")
+            for _ in range(5):
+                yield s.timeout(rng.random())
+                draws.append(s.now)
+
+        s.process(p(s))
+        s.run()
+        return draws
+
+    assert runner(7) == runner(7)
+    assert runner(7) != runner(8)
+
+
+def test_active_process_visible_during_execution(sim):
+    seen = []
+
+    def p(sim):
+        seen.append(sim.active_process)
+        yield sim.timeout(1.0)
+
+    proc = sim.process(p(sim))
+    sim.run()
+    assert seen == [proc]
+    assert sim.active_process is None

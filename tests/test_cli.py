@@ -1,0 +1,38 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 1
+    assert "usage" in capsys.readouterr().out
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "deep-sim" in out
+    assert "2013" in out
+
+
+def test_machine(capsys):
+    assert main(["machine", "--cluster", "2", "--booster", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Xeon Phi" in out
+    assert "EXTOLL torus" in out
+
+
+def test_positioning(capsys):
+    assert main(["positioning"]) == 0
+    out = capsys.readouterr().out
+    assert "DEEP System" in out
+    assert "BlueGene" in out
+
+
+def test_roofline(capsys):
+    assert main(["roofline"]) == 0
+    out = capsys.readouterr().out
+    assert "spmv" in out
+    assert "balance points" in out

@@ -1,0 +1,49 @@
+"""The machine presets in repro.config."""
+
+import pytest
+
+from repro.config import commodity_cluster, deep_prototype, deep_prototype_2013
+from repro.network.extoll import EXTOLL_GALIBIER, EXTOLL_TOURMALET
+from repro.network.infiniband import IB_FDR, IB_QDR
+
+
+def test_deep_prototype_shape():
+    cfg = deep_prototype()
+    assert cfg.n_cluster == 8
+    assert cfg.n_booster == 32
+    assert cfg.extoll is EXTOLL_TOURMALET
+    assert cfg.ib is IB_QDR
+
+
+def test_2013_prototype_uses_fpga_extoll():
+    cfg = deep_prototype_2013()
+    assert cfg.extoll is EXTOLL_GALIBIER
+    assert cfg.n_gateways == 1
+
+
+def test_commodity_cluster_uses_fdr():
+    cfg = commodity_cluster(12)
+    assert cfg.n_cluster == 12
+    assert cfg.ib is IB_FDR
+    assert cfg.n_booster == 1  # token partition only
+
+
+def test_presets_are_buildable():
+    from repro import DeepSystem
+
+    for cfg in (
+        deep_prototype(2, 4, 1),
+        deep_prototype_2013(2, 4, 1),
+        commodity_cluster(2),
+    ):
+        system = DeepSystem(cfg)
+        assert system.machine.total_peak_flops() > 0
+
+
+def test_galibier_is_strictly_slower():
+    new = deep_prototype(2, 4, 1)
+    old = deep_prototype_2013(2, 4, 1)
+    assert (
+        old.extoll.bandwidth_bytes_per_s < new.extoll.bandwidth_bytes_per_s
+    )
+    assert old.extoll.hop_latency_s > new.extoll.hop_latency_s

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation; a broken example is a broken promise, so
+each is executed end to end (stdout captured, Chrome-trace files to a
+temp dir).
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path, tmp_path, capsys, monkeypatch):
+    if path.name == "taskgraph_gantt.py":
+        monkeypatch.setattr(
+            sys, "argv", [str(path), str(tmp_path / "trace.json")]
+        )
+    else:
+        monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 50  # every example narrates its result
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 9
