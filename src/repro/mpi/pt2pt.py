@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Optional
 
 from repro.mpi.status import ANY_SOURCE, ANY_TAG
@@ -46,6 +47,7 @@ class PacketHeader:
     value: Any = None
 
 
+@lru_cache(maxsize=16384)
 def make_match(
     my_gpid: int,
     context_id: int,
@@ -56,6 +58,10 @@ def make_match(
 
     ``src_gpid=None`` means ``MPI_ANY_SOURCE``; ``tag=ANY_TAG`` matches
     any tag.  CTS/data packets never match an envelope receive.
+
+    The predicate is pure in its arguments, so repeated receives on the
+    same (rank, context, source, tag) — the common streaming pattern —
+    reuse one closure instead of allocating per call.
     """
 
     def match(msg) -> bool:

@@ -57,15 +57,18 @@ class Transport:
             raise CommunicatorError("transport needs at least one fabric")
         self.fabrics = list(fabrics)
         self.bridge = bridge
+        self._fabric_cache: dict[str, Fabric] = {}
 
     def _fabric_of(self, endpoint: str) -> Optional[Fabric]:
-        for fabric in self.fabrics:
-            try:
-                fabric.interface(endpoint)
-                return fabric
-            except RoutingError:
-                continue
-        return None
+        fabric = self._fabric_cache.get(endpoint)
+        if fabric is None:
+            for candidate in self.fabrics:
+                if candidate.has_interface(endpoint):
+                    # Cache positives only: spawn attaches endpoints
+                    # after the transport is built.
+                    self._fabric_cache[endpoint] = fabric = candidate
+                    break
+        return fabric
 
     def send_message(self, msg: Message):
         """Generator: deliver *msg* to its destination endpoint's inbox."""
@@ -150,10 +153,11 @@ class MPIProcess:
         dst_ep = self.world.endpoint_of(dst_gpid)
         my_rank = comm.rank
         seq = next(self._seq)
-        self.sim.trace.record(
-            "mpi.send", src_rank=my_rank, dest=dest, size=size_bytes,
-            tag=tag, context=comm.context_id,
-        )
+        if self.sim.trace.enabled:
+            self.sim.trace.record(
+                "mpi.send", src_rank=my_rank, dest=dest, size=size_bytes,
+                tag=tag, context=comm.context_id,
+            )
         if size_bytes <= self.world.eager_threshold:
             header = PacketHeader(
                 "eager", comm.context_id, self.gpid, dst_gpid, my_rank,

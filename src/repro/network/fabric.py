@@ -141,6 +141,12 @@ class Fabric:
         self._interfaces: dict[str, NetworkInterface] = {}
         self.records: list[TransferRecord] = []
         self.record_transfers = False
+        # (src, dst) -> (links, canonical order, latency, bottleneck bw).
+        # Static routes never change (failures are handled by checking
+        # the links' up flags per transfer), so this is computed once.
+        self._route_cache: dict[
+            tuple[str, str], tuple[list[Link], list[Link], float, float]
+        ] = {}
 
     # -- attachment ------------------------------------------------------
     def attach(self, node: "Node") -> NetworkInterface:
@@ -183,6 +189,10 @@ class Fabric:
             raise RoutingError(
                 f"no interface attached at {endpoint!r} on fabric {self.name!r}"
             ) from None
+
+    def has_interface(self, endpoint: str) -> bool:
+        """Whether an interface is attached at *endpoint*."""
+        return endpoint in self._interfaces
 
     # -- analytic helpers --------------------------------------------------
     def path_links(self, src: str, dst: str) -> list[Link]:
@@ -240,13 +250,25 @@ class Fabric:
         except KeyError:
             raise RoutingError(f"no link {u!r} -> {v!r} on fabric {self.name!r}") from None
 
+    def _route_info(
+        self, src: str, dst: str
+    ) -> tuple[list[Link], list[Link], float, float]:
+        """Memoized (links, canonical order, latency, bottleneck bw)."""
+        info = self._route_cache.get((src, dst))
+        if info is None:
+            links = self.path_links(src, dst)
+            ordered = sorted(links, key=lambda l: l.name)
+            latency = sum(l.spec.latency_s for l in links)
+            bottleneck = min(l.spec.bandwidth_bytes_per_s for l in links)
+            info = (links, ordered, latency, bottleneck)
+            self._route_cache[(src, dst)] = info
+        return info
+
     def ideal_transfer_time(self, src: str, dst: str, size_bytes: int) -> float:
         """Uncontended end-to-end time excluding host overheads."""
         if src == dst:
             return self.loopback_latency_s
-        links = self.path_links(src, dst)
-        latency = sum(l.spec.latency_s for l in links)
-        bottleneck = min(l.spec.bandwidth_bytes_per_s for l in links)
+        _, _, latency, bottleneck = self._route_info(src, dst)
         return latency + size_bytes / bottleneck
 
     # -- transfer ----------------------------------------------------------
@@ -264,17 +286,19 @@ class Fabric:
             yield self.sim.timeout(self.loopback_latency_s)
             return self._record(src, dst, size_bytes, start, hops=0, kind=kind)
 
-        links = (
-            self._pick_links(src, dst) if self.contention
-            else self.path_links(src, dst)
-        )
-        latency = sum(l.spec.latency_s for l in links)
-        bottleneck = min(l.spec.bandwidth_bytes_per_s for l in links)
-        serialization = size_bytes / bottleneck
-
         if not self.contention:
-            yield self.sim.timeout(latency + serialization)
+            links, _, latency, bottleneck = self._route_info(src, dst)
+            yield self.sim.timeout(latency + size_bytes / bottleneck)
             return self._record(src, dst, size_bytes, start, len(links), kind)
+
+        links, ordered, latency, bottleneck = self._route_info(src, dst)
+        if self.adaptive or not all(l.up for l in links):
+            # Dynamic choice: the cached static route does not apply.
+            links = self._pick_links(src, dst)
+            ordered = sorted(links, key=lambda l: l.name)
+            latency = sum(l.spec.latency_s for l in links)
+            bottleneck = min(l.spec.bandwidth_bytes_per_s for l in links)
+        serialization = size_bytes / bottleneck
 
         # Reserve the chosen path so concurrent adaptive picks see it.
         for link in links:
@@ -284,10 +308,19 @@ class Fabric:
                 yield from self._transfer_segmented(links, size_bytes)
                 return self._record(src, dst, size_bytes, start, len(links), kind)
 
-            ordered = sorted(links, key=lambda l: l.name)
-            requests = [l.channel.request() for l in ordered]
+            # Claim links in canonical order (preventing circular wait).
+            # Free links are grabbed without a Request allocation; only
+            # busy ones go through the queueing protocol.
+            handles = []
+            pending = []
+            for link in ordered:
+                h = link.channel.try_acquire()
+                if h is None:
+                    h = link.channel.request()
+                    pending.append(h)
+                handles.append((link, h))
             try:
-                for req in requests:
+                for req in pending:
                     yield req
                 duration = serialization
                 for link in links:
@@ -296,11 +329,11 @@ class Fabric:
                     link.transfers += 1
                 yield self.sim.timeout(duration)
             finally:
-                for link, req in zip(ordered, requests):
-                    if req.triggered:
-                        link.channel.release(req)
+                for link, h in handles:
+                    if h.triggered:
+                        link.channel.release(h)
                     else:
-                        link.channel.cancel(req)
+                        link.channel.cancel(h)
             yield self.sim.timeout(latency)
             return self._record(src, dst, size_bytes, start, len(links), kind)
         finally:
@@ -335,10 +368,11 @@ class Fabric:
         rec = TransferRecord(src, dst, size, start, self.sim.now, hops, kind)
         if self.record_transfers:
             self.records.append(rec)
-        self.sim.trace.record(
-            "net.transfer", fabric=self.name, src=src, dst=dst,
-            size=size, start=start, hops=hops, kind=kind,
-        )
+        if self.sim.trace.enabled:
+            self.sim.trace.record(
+                "net.transfer", fabric=self.name, src=src, dst=dst,
+                size=size, start=start, hops=hops, kind=kind,
+            )
         return rec
 
     # -- statistics ----------------------------------------------------------

@@ -95,8 +95,10 @@ class Link:
         responsible for adding the propagation latency — that part does
         not occupy the link.
         """
-        req = self.channel.request()
-        yield req
+        req = self.channel.try_acquire()
+        if req is None:
+            req = self.channel.request()
+            yield req
         try:
             duration = self.spec.serialization_time(size_bytes)
             duration += self._retransmission_penalty(size_bytes)

@@ -75,9 +75,11 @@ class SMFUGateway:
         per-message protocol handling (suppressed for the trailing
         segments of a segmented message).
         """
-        req = self.engine.request()
+        req = self.engine.try_acquire()
         try:
-            yield req
+            if req is None:
+                req = self.engine.request()
+                yield req
             duration = size_bytes / self.spec.bandwidth_bytes_per_s
             if overhead:
                 duration += self.spec.per_message_overhead_s
@@ -122,6 +124,7 @@ class ClusterBoosterBridge:
             raise ConfigurationError("gateways must share the same two fabrics")
         self.cluster_fabric = next(iter(cf))
         self.booster_fabric = next(iter(bf))
+        self._fabric_cache: dict[str, Fabric] = {}
 
     # -- gateway selection -------------------------------------------------
     def pick_gateway(self, src: str, dst: str) -> SMFUGateway:
@@ -132,13 +135,16 @@ class ClusterBoosterBridge:
         return self.gateways[idx]
 
     def _fabric_of(self, endpoint: str) -> Fabric:
-        for fabric in (self.cluster_fabric, self.booster_fabric):
-            try:
-                fabric.interface(endpoint)
-                return fabric
-            except RoutingError:
-                continue
-        raise RoutingError(f"endpoint {endpoint!r} is on neither fabric")
+        fabric = self._fabric_cache.get(endpoint)
+        if fabric is None:
+            for candidate in (self.cluster_fabric, self.booster_fabric):
+                if candidate.has_interface(endpoint):
+                    # Cache positives only: endpoints may attach later.
+                    self._fabric_cache[endpoint] = fabric = candidate
+                    break
+            else:
+                raise RoutingError(f"endpoint {endpoint!r} is on neither fabric")
+        return fabric
 
     # -- transfers -----------------------------------------------------------
     def transfer(self, src: str, dst: str, size_bytes: int, kind: str = "data"):
@@ -160,19 +166,27 @@ class ClusterBoosterBridge:
         seg = gw.spec.segment_bytes
         # Register the load immediately so concurrent dynamic picks
         # spread across gateways instead of all seeing an empty queue.
+        # Load drains as bytes clear the SMFU engine: the destination
+        # leg is the destination fabric's problem, not the gateway's —
+        # both the whole-message and the segmented path must agree on
+        # this or dynamic selection sees inconsistent queue depths.
         gw.queued_bytes += size_bytes
+        forwarded = [0]  # bytes that have cleared the engine so far
         try:
             if seg is not None and size_bytes > seg:
                 hops = yield from self._transfer_segmented(
-                    src_fabric, dst_fabric, gw, src, dst, size_bytes, kind
+                    src_fabric, dst_fabric, gw, src, dst, size_bytes, kind,
+                    forwarded,
                 )
                 return TransferRecord(
                     src, dst, size_bytes, start, sim.now, hops, kind
                 )
             rec1 = yield from src_fabric.transfer(src, gw.name, size_bytes, kind=kind)
             yield from gw.forward(size_bytes)
-        finally:
             gw.queued_bytes -= size_bytes
+            forwarded[0] = size_bytes
+        finally:
+            gw.queued_bytes -= size_bytes - forwarded[0]
         rec2 = yield from dst_fabric.transfer(gw.name, dst, size_bytes, kind=kind)
         return TransferRecord(
             src, dst, size_bytes, start, sim.now, rec1.hops + rec2.hops + 1, kind
@@ -181,10 +195,16 @@ class ClusterBoosterBridge:
     def _transfer_segmented(
         self, src_fabric, dst_fabric, gw: SMFUGateway,
         src: str, dst: str, size_bytes: int, kind: str,
+        forwarded: list,
     ):
         """Pipelined bridging: each segment runs leg1 -> SMFU -> leg2
         as its own process, so the three stages overlap across
-        segments (the fill cost is one segment per stage)."""
+        segments (the fill cost is one segment per stage).
+
+        *forwarded* (a one-element list shared with the caller) is
+        bumped as each segment clears the engine, so gateway load
+        drains segment by segment — and the caller's cleanup only
+        releases whatever never made it through."""
         sim = gw.sim
         seg = gw.spec.segment_bytes
         n_full, rem = divmod(size_bytes, seg)
@@ -194,6 +214,8 @@ class ClusterBoosterBridge:
         def one(nbytes: int, first: bool):
             r1 = yield from src_fabric.transfer(src, gw.name, nbytes, kind=kind)
             yield from gw.forward(nbytes, overhead=first)
+            gw.queued_bytes -= nbytes
+            forwarded[0] += nbytes
             r2 = yield from dst_fabric.transfer(gw.name, dst, nbytes, kind=kind)
             hops_holder.setdefault("hops", r1.hops + r2.hops + 1)
 

@@ -63,7 +63,16 @@ class CheckpointStats:
     work_s: float
     n_checkpoints: int
     n_failures: int
-    wasted_s: float
+
+    @property
+    def wasted_s(self) -> float:
+        """Non-productive time: checkpoints, lost work, restarts.
+
+        Derived, not stored: keeping a separate field invites 1-ulp
+        violations of ``elapsed == work + wasted`` (in IEEE 754,
+        ``work + (elapsed - work)`` need not round back to ``elapsed``).
+        """
+        return self.elapsed_s - self.work_s
 
     @property
     def efficiency(self) -> float:
@@ -118,5 +127,4 @@ def simulate_checkpointed_run(
         work_s=work_s,
         n_checkpoints=n_checkpoints,
         n_failures=n_failures,
-        wasted_s=elapsed - work_s,
     )

@@ -9,6 +9,7 @@ the event's value (or throwing its exception into them on failure).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -81,7 +82,10 @@ class Event:
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully with *value* after *delay*."""
-        self._set(True, value)
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
         self.sim._schedule(self, delay)
         return self
 
@@ -124,11 +128,21 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=name)
-        self.delay = delay
-        self._ok = True
+        # A Timeout is born triggered *and* scheduled, and this is the
+        # kernel's hottest allocation — so Event.__init__ and
+        # Simulator._schedule are inlined here (a fresh event cannot be
+        # scheduled twice, making the _scheduled check redundant).
+        self.sim = sim
+        self.name = name
+        self.callbacks = []
         self._value = value
-        self.sim._schedule(self, delay)
+        self._ok = True
+        self._scheduled = True
+        self._defused = False
+        self._abandon = None
+        self.delay = delay
+        sim._eid = eid = sim._eid + 1
+        heappush(sim._queue, (sim._now + delay, eid, self))
 
 
 class _Condition(Event):

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.errors import ProcessKilled, SimulationError
-from repro.simkernel.event import Event
+from repro.simkernel.event import Event, _PENDING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simkernel.simulator import Simulator
@@ -74,17 +74,63 @@ class Process(Event):
 
     # -- internal ------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        """Resume the generator with *event*'s outcome."""
-        if self.triggered:
+        """Resume the generator with *event*'s outcome.
+
+        This is the kernel's single hottest function (it runs once per
+        process resumption), so the body of :meth:`_advance` is copied
+        inline rather than called — keep the two in sync.
+        """
+        if self._value is not _PENDING:
             # Already finished (e.g. killed before its start event
             # fired): ignore stray resumptions.
             return
         self._target = None
-        if event._ok:
-            self._step(lambda: self.generator.send(event._value))
+        throwing = not event._ok
+        payload = event._value
+        sim = self.sim
+        generator = self.generator
+        while True:
+            prev = sim._active_process
+            sim._active_process = self
+            try:
+                if throwing:
+                    target = generator.throw(payload)
+                else:
+                    target = generator.send(payload)
+            except StopIteration as stop:
+                sim._active_process = prev
+                sim._live_processes -= 1
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                sim._active_process = prev
+                sim._live_processes -= 1
+                self.fail(exc)
+                return
+            sim._active_process = prev
+
+            if isinstance(target, Event) and target.sim is sim:
+                break
+            throwing = True
+            if isinstance(target, Event):
+                payload = SimulationError(
+                    f"process {self.name!r} yielded an event of a different simulator"
+                )
+            else:
+                payload = SimulationError(
+                    f"process {self.name!r} yielded {target!r}, which is not an Event"
+                )
+        self._target = target
+        callbacks = target.callbacks
+        if callbacks is None:
+            # Already processed: resume immediately (still via scheduler to
+            # keep resumption ordering deterministic).
+            relay = Event(sim, name="relay")
+            relay.callbacks.append(self._resume)
+            relay._set(target._ok, target._value)
+            sim._schedule(relay)
         else:
-            exc = event._value
-            self._step(lambda: self.generator.throw(exc))
+            callbacks.append(self._resume)
 
     def _resume_with_throw(self, exc: BaseException) -> None:
         # Detach from the current target so its firing is ignored.
@@ -99,40 +145,52 @@ class Process(Event):
             if target._abandon is not None and not target.triggered:
                 target._abandon()
         self._target = None
-        self._step(lambda: self.generator.throw(exc))
+        self._advance(True, exc)
 
-    def _step(self, advance) -> None:
+    def _advance(self, throwing: bool, payload: Any) -> None:
+        """Drive the generator one step and wire up the yielded event.
+
+        *throwing* selects ``generator.throw(payload)`` over
+        ``generator.send(payload)``.  An invalid yield loops back as a
+        throw instead of recursing.  :meth:`_resume` inlines this body
+        for speed — keep the two in sync.
+        """
         sim = self.sim
-        prev = sim._active_process
-        sim._active_process = self
-        try:
-            target = advance()
-        except StopIteration as stop:
+        generator = self.generator
+        while True:
+            prev = sim._active_process
+            sim._active_process = self
+            try:
+                if throwing:
+                    target = generator.throw(payload)
+                else:
+                    target = generator.send(payload)
+            except StopIteration as stop:
+                sim._active_process = prev
+                sim._live_processes -= 1
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                sim._active_process = prev
+                sim._live_processes -= 1
+                self.fail(exc)
+                return
             sim._active_process = prev
-            sim._live_processes -= 1
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:
-            sim._active_process = prev
-            sim._live_processes -= 1
-            self.fail(exc)
-            return
-        sim._active_process = prev
 
-        if not isinstance(target, Event):
-            exc = SimulationError(
-                f"process {self.name!r} yielded {target!r}, which is not an Event"
-            )
-            self._step(lambda: self.generator.throw(exc))
-            return
-        if target.sim is not sim:
-            exc = SimulationError(
-                f"process {self.name!r} yielded an event of a different simulator"
-            )
-            self._step(lambda: self.generator.throw(exc))
-            return
+            if isinstance(target, Event) and target.sim is sim:
+                break
+            throwing = True
+            if isinstance(target, Event):
+                payload = SimulationError(
+                    f"process {self.name!r} yielded an event of a different simulator"
+                )
+            else:
+                payload = SimulationError(
+                    f"process {self.name!r} yielded {target!r}, which is not an Event"
+                )
         self._target = target
-        if target.callbacks is None:
+        callbacks = target.callbacks
+        if callbacks is None:
             # Already processed: resume immediately (still via scheduler to
             # keep resumption ordering deterministic).
             relay = Event(sim, name="relay")
@@ -140,4 +198,4 @@ class Process(Event):
             relay._set(target._ok, target._value)
             sim._schedule(relay)
         else:
-            target.callbacks.append(self._resume)
+            callbacks.append(self._resume)

@@ -14,7 +14,9 @@
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
 from collections import deque
+from operator import itemgetter
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -22,6 +24,8 @@ from repro.simkernel.event import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simkernel.simulator import Simulator
+
+_time_of = itemgetter(0)
 
 
 class PreemptionError(SimulationError):
@@ -38,7 +42,7 @@ class Request(Event):
     __slots__ = ("resource", "priority", "_order")
 
     def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
-        super().__init__(resource.sim, name=f"req:{resource.name}")
+        super().__init__(resource.sim, name=resource.name)
         self.resource = resource
         self.priority = priority
         self._order = 0
@@ -47,8 +51,33 @@ class Request(Event):
         return (self.priority, self._order) < (other.priority, other._order)
 
 
+class _Slot:
+    """A slot handed out by :meth:`Resource.try_acquire`.
+
+    Behaves enough like a granted :class:`Request` for the common
+    acquire/release dance: it is always ``triggered`` (the grant was
+    immediate) and :meth:`Resource.release` accepts it.
+    """
+
+    __slots__ = ("resource",)
+
+    #: A fast-path grant is immediate by definition, so a uniform
+    #: ``if handle.triggered: release() else cancel()`` cleanup works
+    #: for Requests and slots alike.
+    triggered = True
+
+    def __init__(self, resource: "Resource") -> None:
+        self.resource = resource
+
+
 class Resource:
     """*capacity* interchangeable slots with FIFO waiters."""
+
+    __slots__ = (
+        "sim", "capacity", "name", "users", "queue",
+        "_busy_integral", "_last_change", "_created_at", "_history",
+        "grants", "waits",
+    )
 
     def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
@@ -58,15 +87,44 @@ class Resource:
         self.name = name
         self.users: list[Request] = []
         self.queue: deque[Request] = deque()
-        # Utilisation accounting: integral of busy slots over time.
+        # Utilisation accounting: integral of busy slots over time, plus
+        # breakpoints of the piecewise-constant busy count so windowed
+        # queries (``utilization(since=...)``) are exact.
+        now = sim.now
         self._busy_integral = 0.0
-        self._last_change = sim.now
+        self._last_change = now
+        self._created_at = now
+        self._history: list[tuple[float, float, int]] = [(now, 0.0, 0)]
+        #: Claims granted (immediately or after queueing).
+        self.grants = 0
+        #: Claims that found all slots busy and had to queue.
+        self.waits = 0
+        if sim.profile:
+            sim._profiled_resources.append(self)
 
     # -- accounting ------------------------------------------------------
     def _account(self) -> None:
-        now = self.sim.now
-        self._busy_integral += len(self.users) * (now - self._last_change)
-        self._last_change = now
+        now = self.sim._now
+        if now != self._last_change:
+            self._busy_integral += len(self.users) * (now - self._last_change)
+            self._last_change = now
+
+    def _mark(self) -> None:
+        """Record a busy-count breakpoint (call after users changed)."""
+        history = self._history
+        entry = (self._last_change, self._busy_integral, len(self.users))
+        if history[-1][0] == entry[0]:
+            history[-1] = entry
+        else:
+            history.append(entry)
+
+    def _integral_at(self, t: float) -> float:
+        """Busy-slot integral accumulated up to time *t* (t <= now)."""
+        history = self._history
+        if t <= history[0][0]:
+            return 0.0
+        t0, integral, count = history[bisect_right(history, t, key=_time_of) - 1]
+        return integral + count * (t - t0)
 
     def utilization(self, since: float = 0.0) -> float:
         """Mean fraction of slots busy over [since, now]."""
@@ -74,7 +132,9 @@ class Resource:
         elapsed = self.sim.now - since
         if elapsed <= 0:
             return 0.0
-        return self._busy_integral / (elapsed * self.capacity)
+        return (self._busy_integral - self._integral_at(since)) / (
+            elapsed * self.capacity
+        )
 
     @property
     def count(self) -> int:
@@ -82,15 +142,36 @@ class Resource:
         return len(self.users)
 
     # -- protocol --------------------------------------------------------
+    def try_acquire(self) -> Optional[_Slot]:
+        """Claim a free slot without allocating a :class:`Request`.
+
+        Returns a :class:`_Slot` handle (pass it to :meth:`release`)
+        when a slot is free, else ``None`` — callers then fall back to
+        :meth:`request`.  This is the uncontended fast path: no Request
+        event, no scheduler round-trip.
+        """
+        users = self.users
+        if len(users) < self.capacity:
+            self._account()
+            slot = _Slot(self)
+            users.append(slot)
+            self.grants += 1
+            self._mark()
+            return slot
+        return None
+
     def request(self, priority: float = 0.0) -> Request:
         """Claim a slot; yield the returned request to wait for it."""
         req = Request(self, priority)
         self._account()
         if len(self.users) < self.capacity:
             self.users.append(req)
+            self.grants += 1
             req.succeed(req)
         else:
+            self.waits += 1
             self._enqueue(req)
+        self._mark()
         return req
 
     def release(self, request: Request) -> None:
@@ -105,7 +186,9 @@ class Resource:
         nxt = self._dequeue()
         if nxt is not None:
             self.users.append(nxt)
+            self.grants += 1
             nxt.succeed(nxt)
+        self._mark()
 
     def cancel(self, request: Request) -> None:
         """Withdraw a queued (not yet granted) request."""
@@ -124,6 +207,8 @@ class Resource:
 
 class PriorityResource(Resource):
     """A resource whose waiters are served lowest-priority-value first."""
+
+    __slots__ = ("_heap", "_counter")
 
     def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
         super().__init__(sim, capacity, name)
@@ -152,6 +237,11 @@ class Store:
     ``capacity=None`` means unbounded (puts never block).
     """
 
+    __slots__ = (
+        "sim", "capacity", "name", "items", "_getters", "_putters",
+        "_put_name", "_get_name",
+    )
+
     def __init__(
         self, sim: "Simulator", capacity: Optional[int] = None, name: str = ""
     ) -> None:
@@ -163,13 +253,16 @@ class Store:
         self.items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
         self._putters: deque[tuple[Event, Any]] = deque()
+        # Event names are hot-path allocations; build them once.
+        self._put_name = f"put:{name}"
+        self._get_name = f"get:{name}"
 
     def __len__(self) -> int:
         return len(self.items)
 
     def put(self, item: Any) -> Event:
         """Insert *item*; the returned event fires when accepted."""
-        ev = Event(self.sim, name=f"put:{self.name}")
+        ev = Event(self.sim, name=self._put_name)
         if self._getters:
             getter = self._getters.popleft()
             getter.succeed(item)
@@ -183,7 +276,7 @@ class Store:
 
     def get(self) -> Event:
         """Remove the oldest item; the returned event fires with it."""
-        ev = Event(self.sim, name=f"get:{self.name}")
+        ev = Event(self.sim, name=self._get_name)
         if self.items:
             ev.succeed(self.items.popleft())
             self._admit_putter()
@@ -216,6 +309,8 @@ class Channel(Store):
     receive needs against the unexpected-message queue.
     """
 
+    __slots__ = ("_matched_getters",)
+
     def __init__(
         self, sim: "Simulator", capacity: Optional[int] = None, name: str = ""
     ) -> None:
@@ -223,7 +318,7 @@ class Channel(Store):
         self._matched_getters: deque[tuple[Event, Callable[[Any], bool]]] = deque()
 
     def put(self, item: Any) -> Event:
-        ev = Event(self.sim, name=f"put:{self.name}")
+        ev = Event(self.sim, name=self._put_name)
         # Matched getters have priority over FIFO getters so that a
         # selective receive posted earlier is not starved.
         for i, (gev, pred) in enumerate(self._matched_getters):
@@ -245,7 +340,7 @@ class Channel(Store):
     def get(self, match: Optional[Callable[[Any], bool]] = None) -> Event:
         if match is None:
             return super().get()
-        ev = Event(self.sim, name=f"get:{self.name}")
+        ev = Event(self.sim, name=self._get_name)
         for i, item in enumerate(self.items):
             if match(item):
                 del self.items[i]

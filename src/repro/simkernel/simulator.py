@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Iterable, Optional
 
 from repro.errors import DeadlockError, SimulationError
@@ -21,14 +21,29 @@ class Simulator:
         Seed for the simulator's named random streams (:attr:`rng`).
     trace:
         If true, record trace events via :attr:`trace`.
+    profile:
+        If true, resources created on this simulator register
+        themselves for contention statistics and kernel counters are
+        exposed via :meth:`profile_stats`.
     """
 
-    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+    __slots__ = (
+        "_now", "_queue", "_eid", "_active_process", "_live_processes",
+        "_events_processed", "_profiled_resources", "profile", "rng", "trace",
+    )
+
+    def __init__(
+        self, seed: int = 0, trace: bool = False, profile: bool = False
+    ) -> None:
         self._now = 0.0
         self._queue: list[tuple[float, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._live_processes = 0
+        self._events_processed = 0
+        #: Whether per-resource contention statistics are collected.
+        self.profile = bool(profile)
+        self._profiled_resources: list[Any] = []
         #: Named deterministic random streams.
         self.rng = RandomStreams(seed)
         #: Trace recorder (disabled unless ``trace=True``).
@@ -53,7 +68,23 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing *delay* seconds from now."""
-        return Timeout(self, delay, value=value)
+        # The kernel's hottest allocation: build the Timeout without a
+        # second Python frame (mirrors Timeout.__init__ exactly).
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        t = Timeout.__new__(Timeout)
+        t.sim = self
+        t.name = ""
+        t.callbacks = []
+        t._value = value
+        t._ok = True
+        t._scheduled = True
+        t._defused = False
+        t._abandon = None
+        t.delay = delay
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (self._now + delay, eid, t))
+        return t
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start a new process running *generator*."""
@@ -72,16 +103,23 @@ class Simulator:
         if event._scheduled:
             raise SimulationError(f"{event!r} scheduled twice")
         event._scheduled = True
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (self._now + delay, eid, event))
 
     # -- execution --------------------------------------------------------
     def step(self) -> None:
-        """Process the single next event."""
-        when, _, event = heapq.heappop(self._queue)
+        """Process the single next event.
+
+        Raises :class:`~repro.errors.SimulationError` when the queue is
+        empty — stepping an idle simulation is always a driver bug.
+        """
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heappop(self._queue)
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
         self._now = when
+        self._events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None  # mark processed before callbacks run
         if not callbacks and event._ok is False and not event._defused:
@@ -107,13 +145,79 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self._now = until
-                return self._now
-            self.step()
+        # The hot loop: step() inlined, with the queue bound locally and
+        # the until-check hoisted into a dedicated variant.
+        queue = self._queue
+        pop = heappop
+        processed = 0
+        try:
+            if until is None:
+                while queue:
+                    when, _, event = pop(queue)
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None  # mark processed first
+                    processed += 1
+                    if callbacks:
+                        # The overwhelmingly common case is one waiter.
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for callback in callbacks:
+                                callback(event)
+                    elif event._ok is False and not event._defused:
+                        raise event._value
+            else:
+                while queue:
+                    if queue[0][0] > until:
+                        self._now = until
+                        return until
+                    when, _, event = pop(queue)
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None  # mark processed first
+                    processed += 1
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                    elif event._ok is False and not event._defused:
+                        raise event._value
+        finally:
+            self._events_processed += processed
         if check_deadlock and self._live_processes > 0:
             raise DeadlockError(self._live_processes, self._now)
         if until is not None:
             self._now = until
         return self._now
+
+    # -- profiling --------------------------------------------------------
+    def profile_stats(self) -> dict:
+        """Kernel counters and per-resource contention statistics.
+
+        Requires ``Simulator(profile=True)``.  Resources created on a
+        profiling simulator register themselves at construction; each
+        reports how many claims were granted, how many had to queue,
+        and its lifetime utilization — enough to find the contended
+        resource behind a slow simulation without a tracer.
+        """
+        if not self.profile:
+            raise SimulationError("profile_stats() requires Simulator(profile=True)")
+        resources: dict[str, dict] = {}
+        for i, res in enumerate(self._profiled_resources):
+            key = res.name or f"resource#{i}"
+            if key in resources:
+                key = f"{key}#{i}"
+            resources[key] = {
+                "capacity": res.capacity,
+                "grants": res.grants,
+                "queued": res.waits,
+                "in_use": res.count,
+                "utilization": res.utilization(),
+            }
+        return {
+            "now": self._now,
+            "events_scheduled": self._eid,
+            "events_processed": self._events_processed,
+            "live_processes": self._live_processes,
+            "resources": resources,
+        }

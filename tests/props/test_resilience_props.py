@@ -1,6 +1,6 @@
 """Property-based tests of the resilience and I/O models."""
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.io import FileSystemSpec, ParallelFileSystem
@@ -15,6 +15,18 @@ from repro.simkernel import Simulator
     restart=st.floats(min_value=0.0, max_value=60.0),
     mtbf=st.floats(min_value=30.0, max_value=1e5),
     seed=st.integers(min_value=0, max_value=50),
+)
+# Historical falsifying example: a stored wasted_s drifted one ulp from
+# elapsed - work, breaking the accounting identity below.  wasted_s is
+# now derived, so the identity holds by construction — keep this input
+# pinned as the regression witness.
+@example(
+    work=465.0456406884317,
+    interval=4.689277886015185,
+    ckpt=8.0,
+    restart=0.0,
+    mtbf=30.0,
+    seed=0,
 )
 @settings(max_examples=40, deadline=None)
 def test_checkpointed_run_invariants(work, interval, ckpt, restart, mtbf, seed):
@@ -38,10 +50,12 @@ def test_checkpointed_run_invariants(work, interval, ckpt, restart, mtbf, seed):
     min_ckpts = math.ceil(work / interval)
     assert stats.n_checkpoints >= min_ckpts
     assert stats.elapsed_s >= work + min_ckpts * ckpt - 1e-6
-    # Efficiency is a proper fraction and wasted time is the difference.
+    # Efficiency is a proper fraction and wasted time is *exactly* the
+    # difference (wasted_s is derived, so the identity is exact — note
+    # work + (elapsed - work) == elapsed does NOT hold in floats).
     assert 0 < stats.efficiency <= 1
     assert stats.wasted_s >= 0
-    assert stats.elapsed_s == stats.work_s + stats.wasted_s
+    assert stats.elapsed_s - stats.work_s == stats.wasted_s
 
 
 @given(

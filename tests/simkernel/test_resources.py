@@ -314,3 +314,110 @@ def test_killed_plain_getter_withdrawn(sim):
     sim.process(script(sim))
     sim.run()
     assert got == ["only-item"]
+
+
+# ---------------------------------------------------------------------------
+# try_acquire (uncontended fast path)
+# ---------------------------------------------------------------------------
+
+
+def test_try_acquire_grants_free_slot(sim):
+    res = Resource(sim, capacity=2)
+    a = res.try_acquire()
+    b = res.try_acquire()
+    assert a is not None and b is not None
+    assert a.triggered and b.triggered  # uniform cleanup protocol
+    assert res.count == 2
+    assert res.try_acquire() is None  # full
+    res.release(a)
+    assert res.count == 1
+    res.release(b)
+    assert res.count == 0
+
+
+def test_try_acquire_respects_waiters(sim):
+    """A released slot goes to the FIFO queue, not a later try_acquire."""
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def holder(sim, res):
+        req = res.request()
+        yield req
+        yield sim.timeout(1.0)
+        res.release(req)
+
+    def waiter(sim, res):
+        req = res.request()
+        yield req
+        order.append(("waiter", sim.now))
+        res.release(req)
+
+    sim.process(holder(sim, res))
+    sim.process(waiter(sim, res))
+    sim.run(until=0.5)
+    assert res.try_acquire() is None  # occupied by holder
+    sim.run()
+    assert order == [("waiter", 1.0)]
+
+
+def test_try_acquire_interoperates_with_requests(sim):
+    """Slots and requests share capacity and release identically."""
+    res = Resource(sim, capacity=1)
+    tok = res.try_acquire()
+    req = res.request()  # queued behind the fast-path slot
+    assert not req.triggered
+    res.release(tok)
+    assert req.triggered
+    res.release(req)
+
+
+# ---------------------------------------------------------------------------
+# Windowed utilization
+# ---------------------------------------------------------------------------
+
+
+def test_utilization_windowed_does_not_exceed_one(sim):
+    """Regression: utilization(since > 0) used the full-history integral,
+    overstating (even above 1.0) when the resource was busy early."""
+    res = Resource(sim, capacity=1)
+
+    def worker(sim, res):
+        req = res.request()
+        yield req
+        yield sim.timeout(4.0)
+        res.release(req)
+        yield sim.timeout(6.0)  # idle tail
+
+    sim.process(worker(sim, res))
+    sim.run()
+    assert sim.now == 10.0
+    assert res.utilization() == pytest.approx(0.4)
+    # Window [2, 10]: busy 2 of 8 seconds.
+    assert res.utilization(since=2.0) == pytest.approx(0.25)
+    # Window [5, 10]: fully idle.
+    assert res.utilization(since=5.0) == 0.0
+    # Window [3.9999, 10] must stay within [0, 1].
+    assert 0.0 <= res.utilization(since=3.9999) <= 1.0
+
+
+def test_utilization_windowed_mid_busy(sim):
+    res = Resource(sim, capacity=2)
+
+    def worker(sim, res, hold):
+        req = res.request()
+        yield req
+        yield sim.timeout(hold)
+        res.release(req)
+
+    sim.process(worker(sim, res, 10.0))
+    sim.process(worker(sim, res, 4.0))
+    sim.run()
+    # [0,4]: 2 busy; [4,10]: 1 busy.  Window [4,10] -> 6/(6*2) = 0.5.
+    assert res.utilization(since=4.0) == pytest.approx(0.5)
+    # Window [2,10]: integral = 2*2 + 6*1 = 10 over 8s*2cap = 0.625.
+    assert res.utilization(since=2.0) == pytest.approx((2 * 2 + 6 * 1) / (8 * 2))
+
+
+def test_utilization_future_window_is_zero(sim):
+    res = Resource(sim)
+    assert res.utilization(since=5.0) == 0.0

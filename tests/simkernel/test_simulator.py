@@ -94,3 +94,63 @@ def test_active_process_visible_during_execution(sim):
     sim.run()
     assert seen == [proc]
     assert sim.active_process is None
+
+
+def test_step_on_empty_queue_raises(sim):
+    with pytest.raises(SimulationError, match="empty event queue"):
+        sim.step()
+
+
+def test_step_on_drained_queue_raises(sim):
+    def p(sim):
+        yield sim.timeout(1.0)
+
+    sim.process(p(sim))
+    sim.run()
+    with pytest.raises(SimulationError, match="empty event queue"):
+        sim.step()
+
+
+def test_profile_stats_requires_profile_mode(sim):
+    with pytest.raises(SimulationError):
+        sim.profile_stats()
+
+
+def test_profile_stats_counters():
+    from repro.simkernel import Resource
+
+    sim = Simulator(profile=True)
+    res = Resource(sim, capacity=1, name="engine")
+
+    def worker(sim, res):
+        req = res.request()
+        yield req
+        yield sim.timeout(2.0)
+        res.release(req)
+
+    sim.process(worker(sim, res))
+    sim.process(worker(sim, res))
+    sim.run()
+    stats = sim.profile_stats()
+    assert stats["now"] == 4.0
+    assert stats["events_processed"] > 0
+    assert stats["events_processed"] <= stats["events_scheduled"]
+    assert stats["live_processes"] == 0
+    engine = stats["resources"]["engine"]
+    assert engine["capacity"] == 1
+    assert engine["grants"] == 2  # both workers eventually got the slot
+    assert engine["queued"] == 1  # the second had to wait
+    assert engine["in_use"] == 0
+    assert engine["utilization"] == pytest.approx(1.0)
+
+
+def test_profile_stats_counts_try_acquire_grants():
+    from repro.simkernel import Resource
+
+    sim = Simulator(profile=True)
+    res = Resource(sim, capacity=2, name="links")
+    tok = res.try_acquire()
+    assert tok is not None
+    stats = sim.profile_stats()
+    assert stats["resources"]["links"]["grants"] == 1
+    assert stats["resources"]["links"]["in_use"] == 1
