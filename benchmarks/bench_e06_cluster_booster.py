@@ -23,7 +23,7 @@ from repro.deep import DeepSystem, MachineConfig
 from repro.deep.application import run_application
 from repro.units import mib
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import export_run, observe_kwargs, run_once
 
 INTENSITIES = [30.0, 150.0, 600.0]
 MODES = ["cluster-only", "accelerated", "cluster-booster", "advisor"]
@@ -37,8 +37,13 @@ def run_mode(mode: str, intensity: float):
         hscp_slab_bytes=mib(8),
         hscp_intensity=intensity,
     )
-    system = DeepSystem(MachineConfig(n_cluster=4, n_booster=16, n_gateways=2))
-    return run_application(system, app, mode=mode)
+    system = DeepSystem(
+        MachineConfig(n_cluster=4, n_booster=16, n_gateways=2),
+        **observe_kwargs(),
+    )
+    result = run_application(system, app, mode=mode)
+    export_run(system, f"e06_{mode}_{int(intensity)}")
+    return result
 
 
 def build():

@@ -16,13 +16,16 @@ import numpy as np
 from repro.analysis import Table
 from repro.deep import DeepSystem, MachineConfig
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import export_run, observe_kwargs, run_once
 
 SIZES = [1, 2, 4, 8, 16, 32, 64]
 
 
 def spawn_time(n_children: int) -> float:
-    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=64, n_gateways=2))
+    system = DeepSystem(
+        MachineConfig(n_cluster=2, n_booster=64, n_gateways=2),
+        **observe_kwargs(),
+    )
     times = {}
 
     def child(proc):
@@ -39,6 +42,7 @@ def spawn_time(n_children: int) -> float:
 
     system.launch(main)
     system.run()
+    export_run(system, f"e09_spawn_{n_children}")
     return max(times.values())
 
 

@@ -14,6 +14,9 @@ paper (see DESIGN.md §3 and EXPERIMENTS.md).  Each benchmark:
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 
@@ -21,3 +24,25 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Time one execution of *fn* (simulations are deterministic;
     repeating them only reruns identical event streams)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def observe_kwargs() -> dict:
+    """DeepSystem/Simulator kwargs turning observability on when the
+    ``REPRO_OBS_DIR`` environment variable is set (else empty = off,
+    preserving the hot path)."""
+    if os.environ.get("REPRO_OBS_DIR"):
+        return {"trace": True, "metrics": True, "profile": True}
+    return {}
+
+
+def export_run(system, name: str) -> None:
+    """Export trace + metrics of *system* into ``$REPRO_OBS_DIR`` and
+    print its contention report.  No-op unless the variable is set."""
+    obs_dir = os.environ.get("REPRO_OBS_DIR")
+    if not obs_dir:
+        return
+    out = Path(obs_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    system.write_trace(out / f"{name}.trace.json")
+    system.write_metrics(out / f"{name}.metrics.json")
+    print(system.contention_report())

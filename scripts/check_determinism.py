@@ -39,9 +39,14 @@ from repro.resilience.checkpoint import simulate_checkpointed_run  # noqa: E402
 from repro.simkernel.simulator import Simulator  # noqa: E402
 
 
-def run_scenario(seed: int = 7) -> dict:
-    """One bridged Cluster-Booster run; returns everything observable."""
-    sim = Simulator(seed=seed)
+def run_scenario(seed: int = 7, observe: bool = False) -> dict:
+    """One bridged Cluster-Booster run; returns everything observable.
+
+    With *observe* the run also records traces and metrics, and the
+    metrics dump joins the digest — observability must be deterministic
+    too, and must not perturb the simulated results.
+    """
+    sim = Simulator(seed=seed, trace=observe, metrics=observe)
     cns = [f"cn{i}" for i in range(4)]
     bns = [f"bn{i}" for i in range(4)]
     gw_names = ["bi0", "bi1"]
@@ -84,7 +89,18 @@ def run_scenario(seed: int = 7) -> dict:
     world.create_world(placements, main)
     end = sim.run()
 
+    observed = {}
+    if observe:
+        from repro.obs.export import metrics_dict
+
+        observed = {
+            "metrics": metrics_dict(sim.metrics, sim),
+            "n_trace_events": len(sim.trace.events),
+            "n_trace_spans": len(sim.trace.spans),
+        }
+
     return {
+        **observed,
         "end_time": end,
         "ib_bytes": ib.total_bytes(),
         "ex_bytes": ex.total_bytes(),
@@ -132,7 +148,27 @@ def main(argv=None) -> int:
             if first[key] != second[key]:
                 print(f"  {key}: {first[key]!r} != {second[key]!r}")
         return 1
-    print(f"deterministic: {d1}")
+    print(f"deterministic (observability off): {d1}")
+
+    # With tracing + metrics on: deterministic too, and the simulated
+    # results must be identical to the plain run (observability is
+    # read-only).
+    obs1 = run_scenario(args.seed, observe=True)
+    obs2 = run_scenario(args.seed, observe=True)
+    od1, od2 = digest(obs1), digest(obs2)
+    if od1 != od2:
+        print("DETERMINISM VIOLATION with observability enabled")
+        for key in obs1:
+            if obs1[key] != obs2[key]:
+                print(f"  {key}: differs between runs")
+        return 1
+    perturbed = [k for k in first if obs1.get(k) != first[k]]
+    if perturbed:
+        print(f"OBSERVABILITY PERTURBED THE SIMULATION: {perturbed}")
+        for key in perturbed:
+            print(f"  {key}: {first[key]!r} != {obs1[key]!r}")
+        return 1
+    print(f"deterministic (observability on):  {od1}")
     return 0
 
 

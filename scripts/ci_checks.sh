@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: unit/integration tests, determinism (with and
+# without observability), and a tiny kernel-hot-path bench smoke run.
+#
+#     bash scripts/ci_checks.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo "== determinism check =="
+python scripts/check_determinism.py
+
+echo "== kernel hot-path smoke (tiny) =="
+python benchmarks/bench_kernel_hotpath.py --tiny --out "$(mktemp)"
+
+echo "== ci checks passed =="

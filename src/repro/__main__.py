@@ -52,20 +52,29 @@ def cmd_machine(args: argparse.Namespace) -> int:
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    """Run the quickstart scenario."""
+    """Run the quickstart scenario.
+
+    With ``--trace-out``/``--metrics-out``/``--report`` the scenario
+    runs inline with observability enabled and writes the exports.
+    """
     import runpy
     from pathlib import Path
 
+    observing = bool(args.trace_out or args.metrics_out or args.report)
     quickstart = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
-    if quickstart.exists():
+    if quickstart.exists() and not observing:
         runpy.run_path(str(quickstart), run_name="__main__")
         return 0
-    # Installed without the examples tree: inline fallback.
+    # Observability requested (or installed without the examples tree):
+    # run the quickstart scenario inline so we hold the DeepSystem.
     from repro import DeepSystem, MachineConfig
     from repro.apps import stencil_graph
     from repro.deep import OFFLOAD_WORKER_COMMAND, offload_graph, offload_worker
 
-    system = DeepSystem(MachineConfig(n_cluster=4, n_booster=8, n_gateways=2))
+    system = DeepSystem(
+        MachineConfig(n_cluster=4, n_booster=8, n_gateways=2),
+        trace=observing, metrics=observing, profile=observing,
+    )
     system.register_command(OFFLOAD_WORKER_COMMAND, offload_worker)
     out = {}
 
@@ -82,6 +91,14 @@ def cmd_demo(args: argparse.Namespace) -> int:
     r = out["result"]
     print(f"offloaded {r.n_tasks} tasks to 8 booster nodes in "
           f"{r.elapsed_s * 1e3:.2f} ms (simulated)")
+    if args.trace_out:
+        system.write_trace(args.trace_out)
+        print(f"wrote Chrome trace to {args.trace_out}")
+    if args.metrics_out:
+        system.write_metrics(args.metrics_out)
+        print(f"wrote metrics dump to {args.metrics_out}")
+    if args.report:
+        print(system.contention_report())
     return 0
 
 
@@ -138,7 +155,19 @@ def main(argv=None) -> int:
     p_machine.add_argument("--cluster", type=int, default=8)
     p_machine.add_argument("--booster", type=int, default=16)
     p_machine.add_argument("--gateways", type=int, default=2)
-    sub.add_parser("demo", help="run the quickstart scenario")
+    p_demo = sub.add_parser("demo", help="run the quickstart scenario")
+    p_demo.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome/Perfetto trace of the run to PATH",
+    )
+    p_demo.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a metrics dump to PATH (.json = JSON, else text)",
+    )
+    p_demo.add_argument(
+        "--report", action="store_true",
+        help="print the hottest-links/engines contention report",
+    )
     sub.add_parser("positioning", help="print the slide-18 map")
     sub.add_parser("roofline", help="print the roofline table")
 

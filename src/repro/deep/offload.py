@@ -332,6 +332,7 @@ def execute_partition(
     data_sends: list[Request] = []
     staged_in: set[int] = set()
     flops_done = 0.0
+    m_tasks = sim.metrics.counter("ompss.tasks_run")
 
     def run_task(task: Task):
         nonlocal flops_done
@@ -355,6 +356,7 @@ def execute_partition(
                     staged_in.add(d)
                     yield from stage_link.occupy(needed[d][1])
                     yield sim.timeout(stage_latency_s)
+        t_exec = sim.now
         if task.duration_s is not None:
             yield sim.timeout(task.duration_s)
         elif processor is not None:
@@ -364,6 +366,13 @@ def execute_partition(
         if task.fn is not None:
             task.result = task.fn()
         flops_done += task.flops
+        m_tasks.add(1)
+        tr = sim.trace
+        if tr:
+            tr.record_span(
+                "ompss", task.name, t_exec, sim.now,
+                task_id=task.task_id, rank=rank,
+            )
         sends = outgoing.get(task.task_id, {})
         if sends and stage_link is not None:
             # Sending side: device -> host staging before injection.

@@ -41,9 +41,15 @@ class DeepSystem:
         startup: StartupModel = StartupModel(),
         procs_per_booster_node: int = 1,
         trace: bool = False,
+        metrics: bool = False,
+        profile: bool = False,
+        max_trace_events: Optional[int] = None,
     ) -> None:
         self.config = config or MachineConfig()
-        self.sim = Simulator(seed=seed, trace=trace)
+        self.sim = Simulator(
+            seed=seed, trace=trace, metrics=metrics, profile=profile,
+            max_trace_events=max_trace_events,
+        )
         self.machine = Machine(self.sim, self.config)
 
         # Resource management --------------------------------------------
@@ -160,3 +166,22 @@ class DeepSystem:
     def booster_utilization(self) -> float:
         """Fraction of booster nodes allocated, averaged over time."""
         return self.booster_partition.utilization()
+
+    # -- observability exports ---------------------------------------------
+    def write_trace(self, path) -> None:
+        """Write the whole-simulation Chrome/Perfetto trace to *path*."""
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(path, self.sim.trace)
+
+    def write_metrics(self, path) -> None:
+        """Write a metrics dump (``.json`` = JSON, else text) to *path*."""
+        from repro.obs.export import write_metrics
+
+        write_metrics(path, self.sim.metrics, self.sim)
+
+    def contention_report(self, top: int = 5) -> str:
+        """Hottest links / gateways / engines, as a text report."""
+        from repro.obs.report import system_report
+
+        return system_report(self, top=top)

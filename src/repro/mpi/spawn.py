@@ -120,6 +120,7 @@ def comm_spawn(
     world = proc.world
     if maxprocs < 1:
         raise SpawnError(f"maxprocs must be >= 1, got {maxprocs}")
+    t0 = world.sim.now
 
     # Step 1: agree on what to spawn (cheap bcast of the arguments).
     command, maxprocs = yield from coll.bcast(
@@ -187,6 +188,15 @@ def comm_spawn(
     if isinstance(desc, tuple) and desc and desc[0] == "__spawn_error__":
         raise SpawnError(desc[1])
     if comm.rank == root:
+        now = world.sim.now
+        world._m_spawns.add(1)
+        world._h_spawn.observe(now - t0)
+        tr = world.sim.trace
+        if tr:
+            tr.record_span(
+                "mpi", f"spawn:{command}", t0, now,
+                command=command, n=maxprocs,
+            )
         return parent_view
     view = Intercommunicator(
         world, proc, comm.group, Group(desc.child_gpids), desc.inter_ctx

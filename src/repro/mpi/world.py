@@ -153,8 +153,12 @@ class MPIProcess:
         dst_ep = self.world.endpoint_of(dst_gpid)
         my_rank = comm.rank
         seq = next(self._seq)
-        if self.sim.trace.enabled:
-            self.sim.trace.record(
+        world = self.world
+        world._m_sent.add(1)
+        world._m_sent_bytes.add(size_bytes)
+        tr = self.sim.trace
+        if tr:
+            tr.record(
                 "mpi.send", src_rank=my_rank, dest=dest, size=size_bytes,
                 tag=tag, context=comm.context_id,
             )
@@ -200,6 +204,7 @@ class MPIProcess:
         msg = yield self._inbox.get(
             make_match(self.gpid, comm.context_id, src_gpid, tag)
         )
+        self.world._m_matched.add(1)
         header: PacketHeader = msg.payload
         overhead = self.world.transport.recv_overhead(self.endpoint)
         if overhead > 0:
@@ -328,6 +333,13 @@ class MPIWorld:
         self.sim = sim
         self.transport = Transport(fabrics, bridge)
         self.eager_threshold = int(eager_threshold)
+        # Metric handles (no-ops unless the simulator enables metrics).
+        m = sim.metrics
+        self._m_sent = m.counter("mpi.msgs_sent")
+        self._m_sent_bytes = m.counter("mpi.bytes_sent")
+        self._m_matched = m.counter("mpi.msgs_matched")
+        self._m_spawns = m.counter("mpi.spawns")
+        self._h_spawn = m.histogram("spawn.latency_s")
         self._gpid_counter = itertools.count()
         self._context_counter = itertools.count(1)
         self._context_agreements: dict[Any, int] = {}

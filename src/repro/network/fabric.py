@@ -141,6 +141,12 @@ class Fabric:
         self._interfaces: dict[str, NetworkInterface] = {}
         self.records: list[TransferRecord] = []
         self.record_transfers = False
+        # Metric handles (no-ops unless the simulator enables metrics).
+        m = sim.metrics
+        self._m_transfers = m.counter("net.transfers")
+        self._m_bytes = m.counter("net.bytes")
+        self._m_link_busy = m.counter("link.busy_s")
+        self._h_transfer = m.histogram("net.transfer_s")
         # (src, dst) -> (links, canonical order, latency, bottleneck bw).
         # Static routes never change (failures are handled by checking
         # the links' up flags per transfer), so this is computed once.
@@ -327,6 +333,8 @@ class Fabric:
                     duration += link._retransmission_penalty(size_bytes)
                     link.bytes_carried += size_bytes
                     link.transfers += 1
+                # Every link on the path is held for the whole duration.
+                self._m_link_busy.add(duration * len(links))
                 yield self.sim.timeout(duration)
             finally:
                 for link, h in handles:
@@ -365,13 +373,22 @@ class Fabric:
     def _record(
         self, src: str, dst: str, size: int, start: float, hops: int, kind: str
     ) -> TransferRecord:
-        rec = TransferRecord(src, dst, size, start, self.sim.now, hops, kind)
+        now = self.sim.now
+        rec = TransferRecord(src, dst, size, start, now, hops, kind)
         if self.record_transfers:
             self.records.append(rec)
-        if self.sim.trace.enabled:
-            self.sim.trace.record(
+        self._m_transfers.add(1)
+        self._m_bytes.add(size)
+        self._h_transfer.observe(now - start)
+        tr = self.sim.trace
+        if tr:
+            tr.record(
                 "net.transfer", fabric=self.name, src=src, dst=dst,
                 size=size, start=start, hops=hops, kind=kind,
+            )
+            tr.record_span(
+                f"net.{self.name}", f"{kind}:{src}->{dst}", start, now,
+                size=size, hops=hops,
             )
         return rec
 

@@ -68,7 +68,7 @@ class Link:
 
     __slots__ = (
         "sim", "spec", "name", "channel", "bytes_carried", "transfers",
-        "pending_flows", "up",
+        "pending_flows", "up", "_m_busy",
     )
 
     def __init__(self, sim: "Simulator", spec: LinkSpec, name: str) -> None:
@@ -77,6 +77,7 @@ class Link:
         self.name = name
         #: Single-occupancy serialization resource.
         self.channel = Resource(sim, capacity=1, name=f"link:{name}")
+        self._m_busy = sim.metrics.counter("link.busy_s")
         self.bytes_carried = 0
         self.transfers = 0
         #: Transfers routed over this link and not yet finished —
@@ -102,6 +103,7 @@ class Link:
         try:
             duration = self.spec.serialization_time(size_bytes)
             duration += self._retransmission_penalty(size_bytes)
+            self._m_busy.add(duration)
             yield self.sim.timeout(duration)
             self.bytes_carried += size_bytes
             self.transfers += 1

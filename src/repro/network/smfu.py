@@ -65,6 +65,9 @@ class SMFUGateway:
         self.queued_bytes = 0
         self.forwarded_messages = 0
         self.forwarded_bytes = 0
+        m = sim.metrics
+        self._m_bytes = m.counter("smfu.bytes_forwarded")
+        self._m_msgs = m.counter("smfu.msgs_forwarded")
 
     def forward(self, size_bytes: int, overhead: bool = True):
         """Generator: store-and-forward *size_bytes* through the engine.
@@ -91,6 +94,9 @@ class SMFUGateway:
                 self.engine.cancel(req)
         self.forwarded_messages += 1 if overhead else 0
         self.forwarded_bytes += size_bytes
+        if overhead:
+            self._m_msgs.add(1)
+        self._m_bytes.add(size_bytes)
 
     def utilization(self, since: float = 0.0) -> float:
         return self.engine.utilization(since)
@@ -178,6 +184,7 @@ class ClusterBoosterBridge:
                     src_fabric, dst_fabric, gw, src, dst, size_bytes, kind,
                     forwarded,
                 )
+                self._record_span(gw, src, dst, size_bytes, start)
                 return TransferRecord(
                     src, dst, size_bytes, start, sim.now, hops, kind
                 )
@@ -188,9 +195,20 @@ class ClusterBoosterBridge:
         finally:
             gw.queued_bytes -= size_bytes - forwarded[0]
         rec2 = yield from dst_fabric.transfer(gw.name, dst, size_bytes, kind=kind)
+        self._record_span(gw, src, dst, size_bytes, start)
         return TransferRecord(
             src, dst, size_bytes, start, sim.now, rec1.hops + rec2.hops + 1, kind
         )
+
+    def _record_span(
+        self, gw: SMFUGateway, src: str, dst: str, size_bytes: int, start: float
+    ) -> None:
+        tr = gw.sim.trace
+        if tr:
+            tr.record_span(
+                "net.smfu", f"{gw.name}:{src}->{dst}", start, gw.sim.now,
+                size=size_bytes, gateway=gw.name,
+            )
 
     def _transfer_segmented(
         self, src_fabric, dst_fabric, gw: SMFUGateway,

@@ -1,0 +1,66 @@
+"""Observability: spans, metrics and exporters for the whole stack.
+
+The three pieces (DESIGN rationale in ``docs/OBSERVABILITY.md``):
+
+* **spans** — nested intervals in simulated time, recorded by
+  :class:`~repro.simkernel.trace.TraceRecorder` (``sim.trace.span``)
+  and carried per subsystem category;
+* **metrics** — a :class:`MetricsRegistry` of named counters, gauges
+  and fixed-bucket histograms (``sim.metrics``), with free no-op
+  handles when disabled;
+* **exporters** — Chrome/Perfetto traces, JSONL event streams, flat
+  metrics dumps, and the hottest-links/engines contention report.
+
+Quick use::
+
+    sim = Simulator(trace=True, metrics=True, profile=True)
+    ... run a model ...
+    write_chrome_trace("trace.json", sim.trace)
+    write_metrics("metrics.json", sim.metrics, sim)
+    print(contention_report(sim, fabrics=[ib, extoll], gateways=gws))
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+    log_buckets,
+)
+from repro.obs.export import (
+    assign_lanes,
+    chrome_trace,
+    iter_jsonl,
+    metrics_dict,
+    render_metrics_text,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from repro.obs.report import contention_report, system_report
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetrics",
+    "assign_lanes",
+    "chrome_trace",
+    "contention_report",
+    "iter_jsonl",
+    "log_buckets",
+    "metrics_dict",
+    "render_metrics_text",
+    "system_report",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+]

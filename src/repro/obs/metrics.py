@@ -1,0 +1,238 @@
+"""Metrics registry: named counters, gauges and histograms.
+
+Model code asks the registry for a handle **once** (at construction
+time) and bumps it on the hot path::
+
+    self._m_bytes = sim.metrics.counter("smfu.bytes_forwarded")
+    ...
+    self._m_bytes.add(size_bytes)          # one attribute call
+
+When metrics are disabled the registry is the shared
+:data:`NULL_METRICS` singleton whose handles are stateless no-ops, so
+instrumented code pays exactly one no-op method call per increment and
+needs no ``if enabled`` branches of its own.
+
+Histogram buckets are **fixed log-scale edges** computed from integer
+exponents (no accumulation, no data-dependent resizing), so two runs
+of the same simulation produce bit-identical dumps — the determinism
+check diffs them (``scripts/check_determinism.py``).
+
+Naming convention (see ``docs/OBSERVABILITY.md``): dotted
+``subsystem.quantity[_unit]`` — e.g. ``smfu.bytes_forwarded``,
+``mpi.msgs_matched``, ``link.busy_s``, ``spawn.latency_s``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def log_buckets(
+    lo_exp: int = -9, hi_exp: int = 3, per_decade: int = 2
+) -> tuple[float, ...]:
+    """Deterministic log-scale bucket edges from integer exponents.
+
+    Returns edges spanning ``10**lo_exp .. 10**hi_exp`` with
+    *per_decade* edges per decade.  All edges derive from exact
+    integer exponents (``10.0 ** (k / per_decade)``), never from data,
+    so the layout is identical across runs and platforms.
+    """
+    if hi_exp <= lo_exp:
+        raise ConfigurationError(f"need hi_exp > lo_exp, got {lo_exp}..{hi_exp}")
+    if per_decade < 1:
+        raise ConfigurationError(f"per_decade must be >= 1, got {per_decade}")
+    n = (hi_exp - lo_exp) * per_decade
+    return tuple(10.0 ** (lo_exp + k / per_decade) for k in range(n + 1))
+
+
+#: Default latency buckets: 1 ns .. 1000 s, two edges per decade.
+DEFAULT_TIME_BUCKETS = log_buckets(-9, 3, 2)
+#: Default size buckets: 1 B .. 1 GiB-ish, one edge per decade.
+DEFAULT_SIZE_BUCKETS = log_buckets(0, 9, 1)
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: float = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A named value that can move both ways (e.g. queue depth)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def add(self, n: float = 1) -> None:
+        self.value += n
+
+
+class Histogram:
+    """Fixed-bucket histogram; bucket *i* counts ``edges[i-1] < v <= edges[i]``.
+
+    Observations above the last edge land in the overflow bucket
+    (reported with edge ``inf``); observations at or below ``edges[0]``
+    land in the first bucket.
+    """
+
+    __slots__ = ("name", "edges", "counts", "total", "count")
+    kind = "histogram"
+
+    def __init__(self, name: str, edges: Sequence[float]) -> None:
+        if list(edges) != sorted(edges) or len(edges) < 1:
+            raise ConfigurationError(f"histogram {name!r} needs sorted edges")
+        self.name = name
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(self.edges) + 1)  # +1 overflow
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, v: float) -> None:
+        self.counts[bisect_left(self.edges, v)] += 1
+        self.total += v
+        self.count += 1
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """(upper-edge, count) pairs including the overflow bucket."""
+        uppers = list(self.edges) + [float("inf")]
+        return list(zip(uppers, self.counts))
+
+
+class _NullHandle:
+    """Shared no-op stand-in for every metric type when disabled."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+    total = 0.0
+    count = 0
+
+    def add(self, n: float = 1) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def observe(self, v: float) -> None:
+        pass
+
+    def buckets(self) -> list:
+        return []
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            self._metrics[name] = metric = factory()
+        elif metric.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {metric.kind}, not {kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name), "gauge")
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get(
+            name,
+            lambda: Histogram(name, edges or DEFAULT_TIME_BUCKETS),
+            "histogram",
+        )
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str):
+        """The registered metric, or ``None``."""
+        return self._metrics.get(name)
+
+    def as_dict(self) -> dict:
+        """Stable (name-sorted) plain-data dump for JSON export."""
+        counters, gauges, histograms = {}, {}, {}
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            if m.kind == "counter":
+                counters[name] = m.value
+            elif m.kind == "gauge":
+                gauges[name] = m.value
+            else:
+                histograms[name] = {
+                    "count": m.count,
+                    "sum": m.total,
+                    "buckets": [[edge, c] for edge, c in m.buckets()],
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def render_text(self) -> str:
+        """Flat ``name value`` lines (histograms expand per bucket)."""
+        lines = []
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            if m.kind in ("counter", "gauge"):
+                lines.append(f"{name} {m.value}")
+            else:
+                lines.append(f"{name}_count {m.count}")
+                lines.append(f"{name}_sum {m.total}")
+                for edge, c in m.buckets():
+                    lines.append(f"{name}_bucket{{le={edge:g}}} {c}")
+        return "\n".join(lines)
+
+
+class NullMetrics(MetricsRegistry):
+    """Disabled registry: every handle is the shared no-op singleton."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str):
+        return _NULL_HANDLE
+
+    def gauge(self, name: str):
+        return _NULL_HANDLE
+
+    def histogram(self, name: str, edges=None):
+        return _NULL_HANDLE
+
+
+#: The shared disabled registry (safe to share: handles are stateless).
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,72 @@
+"""Contention reports: where did the simulated time go?
+
+Summarises the hottest links, SMFU engines and profiled resources of a
+finished run as a small text report — the automatic companion every
+experiment driver and ``python -m repro demo --report`` prints.
+Sources, in order of preference:
+
+* ``Simulator(profile=True)`` — exact per-resource grant/queue
+  statistics via :meth:`~repro.simkernel.simulator.Simulator.profile_stats`;
+* fabric byte counters (:meth:`~repro.network.fabric.Fabric.hottest_links`);
+* SMFU gateway forwarding counters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.fabric import Fabric
+    from repro.network.smfu import SMFUGateway
+    from repro.simkernel.simulator import Simulator
+
+
+def contention_report(
+    sim: "Simulator",
+    fabrics: Sequence["Fabric"] = (),
+    gateways: Sequence["SMFUGateway"] = (),
+    top: int = 5,
+) -> str:
+    """Human-readable hottest-links/engines report for one run."""
+    lines = [f"contention report @ t={sim.now:.6g}s"]
+
+    for fabric in fabrics:
+        hottest = [(n, b) for n, b in fabric.hottest_links(top) if b > 0]
+        lines.append(f"  fabric {fabric.name}: {fabric.total_bytes()} bytes carried")
+        for name, nbytes in hottest:
+            lines.append(f"    {name:<40} {nbytes:>14} B")
+
+    for gw in gateways:
+        lines.append(
+            f"  smfu {gw.name}: {gw.forwarded_bytes} B / "
+            f"{gw.forwarded_messages} msgs forwarded, "
+            f"engine util {gw.utilization():.1%}"
+        )
+
+    if sim.profile:
+        stats = sim.profile_stats()
+        ranked = sorted(
+            stats["resources"].items(),
+            key=lambda kv: (kv[1]["queued"], kv[1]["utilization"]),
+            reverse=True,
+        )
+        busy = [(k, v) for k, v in ranked if v["grants"] or v["queued"]]
+        lines.append(
+            f"  kernel: {stats['events_processed']} events processed, "
+            f"{len(stats['resources'])} resources profiled"
+        )
+        for name, res in busy[:top]:
+            lines.append(
+                f"    {name:<40} grants={res['grants']:<8} "
+                f"queued={res['queued']:<6} util={res['utilization']:.1%}"
+            )
+    return "\n".join(lines)
+
+
+def system_report(system, top: int = 5) -> str:
+    """Contention report for a :class:`~repro.deep.system.DeepSystem`."""
+    machine = system.machine
+    gateways = list(machine.bridge.gateways) if machine.bridge else []
+    return contention_report(
+        system.sim, fabrics=machine.fabrics, gateways=gateways, top=top
+    )

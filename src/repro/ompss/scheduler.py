@@ -165,6 +165,8 @@ class DataflowScheduler:
             return ScheduleResult(0.0, 0.0, 0, self.policy, 0.0)
         bank = CoreBank(sim, processor.spec.n_cores, name=processor.name)
         priorities = self._priorities(graph, processor)
+        m_tasks = sim.metrics.counter("ompss.tasks_run")
+        h_task = sim.metrics.histogram("ompss.task_s")
         done_events: dict[int, Event] = {
             t.task_id: Event(sim, name=f"done:{t.name}") for t in graph.tasks
         }
@@ -184,10 +186,18 @@ class DataflowScheduler:
             finally:
                 bank.release(k)
             task.end_time = sim.now
-            sim.trace.record(
-                "ompss.task", name=task.name, task_id=task.task_id,
-                start=task.start_time, end=task.end_time, cores=k,
-            )
+            m_tasks.add(1)
+            h_task.observe(task.end_time - task.start_time)
+            tr = sim.trace
+            if tr:
+                tr.record(
+                    "ompss.task", name=task.name, task_id=task.task_id,
+                    start=task.start_time, end=task.end_time, cores=k,
+                )
+                tr.record_span(
+                    "ompss", task.name, task.start_time, task.end_time,
+                    task_id=task.task_id, cores=k,
+                )
             done_events[task.task_id].succeed()
 
         drivers = [

@@ -48,17 +48,25 @@ def schedule_trace(result: "ScheduleResult", graph: "TaskGraph") -> list[TraceIn
 def concurrency_profile(
     intervals: Sequence[TraceInterval], samples: int = 50
 ) -> list[tuple[float, int]]:
-    """(time, #running-tasks) sampled over the makespan."""
+    """Exact (time, #running-tasks) profile over the makespan.
+
+    One entry per distinct interval endpoint: the count of tasks
+    running (``start <= t < end``) from that breakpoint until the next
+    one.  Unlike uniform sampling this never misses a short task and
+    always ends at zero.  *samples* is accepted for backwards
+    compatibility and ignored — the sweep is exact.
+    """
+    del samples  # kept for API compatibility; the sweep is exact
     if not intervals:
         return []
-    t0 = min(iv.start for iv in intervals)
-    t1 = max(iv.end for iv in intervals)
-    if t1 <= t0:
-        return [(t0, len(intervals))]
+    deltas: dict[float, int] = {}
+    for iv in intervals:
+        deltas[iv.start] = deltas.get(iv.start, 0) + 1
+        deltas[iv.end] = deltas.get(iv.end, 0) - 1
     out = []
-    for i in range(samples):
-        t = t0 + (t1 - t0) * i / (samples - 1)
-        running = sum(1 for iv in intervals if iv.start <= t < iv.end)
+    running = 0
+    for t in sorted(deltas):
+        running += deltas[t]
         out.append((t, running))
     return out
 
@@ -109,26 +117,20 @@ def to_chrome_trace(
     different rows, like a real per-worker timeline.  Serialise with
     ``json.dump({"traceEvents": events}, fh)``.
     """
-    lanes: list[float] = []  # end time of the last task per lane
-    events = []
-    for iv in sorted(intervals, key=lambda iv: (iv.start, iv.task_id)):
-        lane = next(
-            (i for i, end in enumerate(lanes) if end <= iv.start + 1e-15), None
-        )
-        if lane is None:
-            lane = len(lanes)
-            lanes.append(0.0)
-        lanes[lane] = iv.end
-        events.append(
-            {
-                "name": iv.name,
-                "cat": "task",
-                "ph": "X",
-                "ts": iv.start * 1e6,   # microseconds
-                "dur": iv.duration * 1e6,
-                "pid": process_name,
-                "tid": lane,
-                "args": {"task_id": iv.task_id},
-            }
-        )
-    return events
+    from repro.obs.export import assign_lanes
+
+    ordered = sorted(intervals, key=lambda iv: (iv.start, iv.task_id))
+    lanes = assign_lanes([(iv.start, iv.end) for iv in ordered])
+    return [
+        {
+            "name": iv.name,
+            "cat": "task",
+            "ph": "X",
+            "ts": iv.start * 1e6,   # microseconds
+            "dur": iv.duration * 1e6,
+            "pid": process_name,
+            "tid": lane,
+            "args": {"task_id": iv.task_id},
+        }
+        for iv, lane in zip(ordered, lanes)
+    ]

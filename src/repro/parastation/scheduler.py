@@ -58,6 +58,9 @@ class Scheduler:
         self.ledger = UsageLedger()
         self._wakeup = None  # event used to re-run scheduling
         self._booster_waiters: list = []  # events of blocked claims
+        m = sim.metrics
+        self._m_jobs = m.counter("jobs.completed")
+        self._h_wait = m.histogram("job.wait_s")
 
     # -- submission ------------------------------------------------------
     def submit(self, spec: JobSpec, after: Optional[list[Job]] = None) -> Job:
@@ -206,6 +209,15 @@ class Scheduler:
             job.booster_nodes = []
         self.completed.append(job)
         self.ledger.record_job(job)
+        self._m_jobs.add(1)
+        if job.start_time is not None:
+            self._h_wait.observe(job.start_time - job.submit_time)
+            tr = self.sim.trace
+            if tr:
+                tr.record_span(
+                    "parastation", job.spec.name, job.start_time, job.end_time,
+                    job_id=job.job_id, state=job.state.name,
+                )
         self._schedule_pass()
         self._kick()
 

@@ -34,7 +34,7 @@ from repro.simkernel.resources import (
     Store,
 )
 from repro.simkernel.rng import RandomStreams
-from repro.simkernel.trace import TraceEvent, TraceRecorder
+from repro.simkernel.trace import SpanRecord, TraceEvent, TraceRecorder
 
 __all__ = [
     "AllOf",
@@ -47,6 +47,7 @@ __all__ = [
     "RandomStreams",
     "Resource",
     "Simulator",
+    "SpanRecord",
     "Store",
     "Timeout",
     "TraceEvent",

@@ -6,6 +6,7 @@ from heapq import heappop, heappush
 from typing import Any, Iterable, Optional
 
 from repro.errors import DeadlockError, SimulationError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.simkernel.event import AllOf, AnyOf, Event, Timeout
 from repro.simkernel.process import Process, ProcessGenerator
 from repro.simkernel.rng import RandomStreams
@@ -20,20 +21,35 @@ class Simulator:
     seed:
         Seed for the simulator's named random streams (:attr:`rng`).
     trace:
-        If true, record trace events via :attr:`trace`.
+        If true, record trace events and spans via :attr:`trace`.
     profile:
         If true, resources created on this simulator register
         themselves for contention statistics and kernel counters are
         exposed via :meth:`profile_stats`.
+    metrics:
+        If true, :attr:`metrics` is a live
+        :class:`~repro.obs.metrics.MetricsRegistry` that instrumented
+        subsystems increment; the default is the shared no-op registry
+        (free handles, nothing recorded).  An existing registry may
+        also be passed in directly.
+    max_trace_events:
+        Ring-buffer bound handed to the :class:`TraceRecorder`
+        (``None`` = unbounded; see there).
     """
 
     __slots__ = (
         "_now", "_queue", "_eid", "_active_process", "_live_processes",
         "_events_processed", "_profiled_resources", "profile", "rng", "trace",
+        "metrics",
     )
 
     def __init__(
-        self, seed: int = 0, trace: bool = False, profile: bool = False
+        self,
+        seed: int = 0,
+        trace: bool = False,
+        profile: bool = False,
+        metrics: Any = False,
+        max_trace_events: Optional[int] = None,
     ) -> None:
         self._now = 0.0
         self._queue: list[tuple[float, int, Event]] = []
@@ -47,8 +63,14 @@ class Simulator:
         #: Named deterministic random streams.
         self.rng = RandomStreams(seed)
         #: Trace recorder (disabled unless ``trace=True``).
-        self.trace = TraceRecorder(enabled=trace)
+        self.trace = TraceRecorder(enabled=trace, max_events=max_trace_events)
         self.trace.bind_clock(lambda: self._now)
+        self.trace.bind_active(lambda: self._active_process)
+        #: Metrics registry (the shared no-op unless ``metrics`` is set).
+        if isinstance(metrics, MetricsRegistry):
+            self.metrics = metrics
+        else:
+            self.metrics = MetricsRegistry() if metrics else NULL_METRICS
 
     # -- clock ----------------------------------------------------------
     @property
@@ -150,6 +172,7 @@ class Simulator:
         queue = self._queue
         pop = heappop
         processed = 0
+        run_start = self._now
         try:
             if until is None:
                 while queue:
@@ -184,6 +207,11 @@ class Simulator:
                         raise event._value
         finally:
             self._events_processed += processed
+            tr = self.trace
+            if tr:
+                tr.record_span(
+                    "kernel", "run", run_start, self._now, events=processed
+                )
         if check_deadlock and self._live_processes > 0:
             raise DeadlockError(self._live_processes, self._now)
         if until is not None:

@@ -1,12 +1,37 @@
 """Lightweight structured tracing for simulations.
 
-Model code calls ``sim.trace.record(category, **fields)``; analysis code
-filters the recorded :class:`TraceEvent` list.  Tracing is off by
-default and costs one attribute check per call when disabled.
+Model code calls ``sim.trace.record(category, **fields)`` for point
+events and ``with sim.trace.span(category, name):`` for intervals;
+analysis code filters the recorded :class:`TraceEvent` /
+:class:`SpanRecord` lists or exports them via :mod:`repro.obs.export`.
+
+Tracing is off by default.  The recorder is **truthy iff enabled**, so
+the one idiom every call site uses is::
+
+    tr = sim.trace
+    if tr:
+        tr.record("net.transfer", src=src, dst=dst, size=size)
+
+which costs a single truthiness check when disabled — no field dicts
+are ever built.
+
+Memory is unbounded by default (``max_events=None``): every event and
+span of the run is kept, which is what the exporters want for one
+simulation.  Long sweeps with tracing on should pass ``max_events`` to
+turn both buffers into rings that keep the *newest* entries and count
+the rest in :attr:`TraceRecorder.dropped_events` /
+:attr:`TraceRecorder.dropped_spans`.
+
+Spans nest: each simulated process carries its own open-span stack, so
+a span opened inside another span *of the same process* records it as
+its parent even when other processes interleave.  Cross-process
+parentage (e.g. a transfer process serving an offload) is expressed by
+passing ``parent=`` explicitly.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
@@ -23,33 +48,219 @@ class TraceEvent:
         return self.fields[key]
 
 
-class TraceRecorder:
-    """Collects :class:`TraceEvent` objects when enabled."""
+@dataclass(slots=True)
+class SpanRecord:
+    """One completed interval on the simulated timeline.
 
-    def __init__(self, enabled: bool = False) -> None:
+    ``category`` names the subsystem (one exporter lane group each:
+    ``kernel``, ``net.infiniband``, ``net.extoll``, ``net.smfu``,
+    ``mpi``, ``ompss``, ``parastation``); ``name`` the operation.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    category: str
+    name: str
+    start: float
+    end: float
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """Context manager for one live span."""
+
+    __slots__ = ("_recorder", "_key", "span_id", "parent_id",
+                 "category", "name", "start", "fields")
+
+    def __init__(self, recorder, key, span_id, parent_id,
+                 category, name, start, fields) -> None:
+        self._recorder = recorder
+        self._key = key
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.category = category
+        self.name = name
+        self.start = start
+        self.fields = fields
+
+    def __enter__(self) -> "_OpenSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._recorder._close_span(self)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` and :class:`SpanRecord` objects.
+
+    Truthiness mirrors :attr:`enabled`; guard hot call sites with
+    ``if sim.trace:``.
+    """
+
+    def __init__(
+        self, enabled: bool = False, max_events: Optional[int] = None
+    ) -> None:
         self.enabled = enabled
-        self.events: list[TraceEvent] = []
+        #: Ring size for each buffer; ``None`` (the default) = unbounded.
+        self.max_events = max_events
+        self.events: deque[TraceEvent] = deque()
+        self.spans: deque[SpanRecord] = deque()
+        #: Oldest entries evicted because the ring was full.
+        self.dropped_events = 0
+        self.dropped_spans = 0
         self._clock: Optional[Callable[[], float]] = None
+        self._active: Optional[Callable[[], Any]] = None
+        self._span_ids = 0
+        # Per-process open-span stacks (key = active process or None).
+        self._open: dict[Any, list[_OpenSpan]] = {}
+
+    def __bool__(self) -> bool:
+        return self.enabled
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the time source (done by the simulator)."""
         self._clock = clock
 
+    def bind_active(self, active: Callable[[], Any]) -> None:
+        """Attach the active-process source used for span nesting."""
+        self._active = active
+
+    def _now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    # -- point events ---------------------------------------------------
     def record(self, category: str, *, time: Optional[float] = None, **fields: Any) -> None:
         """Record an event in *category* with arbitrary *fields*."""
         if not self.enabled:
             return
         if time is None:
             time = self._clock() if self._clock is not None else 0.0
-        self.events.append(TraceEvent(time, category, fields))
+        events = self.events
+        if self.max_events is not None and len(events) >= self.max_events:
+            events.popleft()
+            self.dropped_events += 1
+        events.append(TraceEvent(time, category, fields))
 
+    # -- spans ----------------------------------------------------------
+    def span(
+        self,
+        category: str,
+        name: Optional[str] = None,
+        *,
+        parent: Optional[int] = None,
+        **fields: Any,
+    ):
+        """Open a nested span; use as a context manager.
+
+        Records a :class:`SpanRecord` from enter to exit in simulated
+        time.  The parent is the innermost span currently open in the
+        same simulated process, unless *parent* (a span id) overrides
+        it.  Returns a shared no-op when tracing is disabled.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        key = self._active() if self._active is not None else None
+        stack = self._open.get(key)
+        if parent is None and stack:
+            parent = stack[-1].span_id
+        self._span_ids += 1
+        open_span = _OpenSpan(
+            self, key, self._span_ids, parent, category,
+            name or category, self._now(), fields,
+        )
+        if stack is None:
+            self._open[key] = [open_span]
+        else:
+            stack.append(open_span)
+        return open_span
+
+    def _close_span(self, open_span: _OpenSpan) -> None:
+        stack = self._open.get(open_span._key)
+        if stack is not None:
+            # Identity removal tolerates out-of-order closes.
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] is open_span:
+                    del stack[i]
+                    break
+            if not stack:
+                del self._open[open_span._key]
+        self._append_span(SpanRecord(
+            open_span.span_id, open_span.parent_id, open_span.category,
+            open_span.name, open_span.start, self._now(), open_span.fields,
+        ))
+
+    def record_span(
+        self,
+        category: str,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        parent: Optional[int] = None,
+        **fields: Any,
+    ) -> None:
+        """Record an already-finished interval as a span.
+
+        The natural call for generator code that knows its start time:
+        one call at completion, no context-manager bookkeeping across
+        yields.  Parents to the innermost open span of the current
+        process when *parent* is not given.
+        """
+        if not self.enabled:
+            return
+        if parent is None and self._active is not None:
+            stack = self._open.get(self._active())
+            if stack:
+                parent = stack[-1].span_id
+        self._span_ids += 1
+        self._append_span(
+            SpanRecord(self._span_ids, parent, category, name, start, end, fields)
+        )
+
+    def _append_span(self, span: SpanRecord) -> None:
+        spans = self.spans
+        if self.max_events is not None and len(spans) >= self.max_events:
+            spans.popleft()
+            self.dropped_spans += 1
+        spans.append(span)
+
+    # -- queries --------------------------------------------------------
     def select(self, category: str) -> Iterator[TraceEvent]:
         """All recorded events of one category, in time order."""
         return (ev for ev in self.events if ev.category == category)
 
+    def select_spans(self, category: str) -> Iterator[SpanRecord]:
+        """All recorded spans of one category, in completion order."""
+        return (sp for sp in self.spans if sp.category == category)
+
     def clear(self) -> None:
-        """Forget all recorded events."""
+        """Forget all recorded events and spans."""
         self.events.clear()
+        self.spans.clear()
+        self.dropped_events = 0
+        self.dropped_spans = 0
 
     def __len__(self) -> int:
         return len(self.events)

@@ -1,0 +1,144 @@
+"""The metrics registry: counters, gauges, histograms, null stubs."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    log_buckets,
+)
+
+
+class TestLogBuckets:
+    def test_edges_are_exact_powers(self):
+        edges = log_buckets(-3, 3, 1)
+        assert edges == tuple(10.0 ** e for e in range(-3, 4))
+
+    def test_per_decade_subdivision(self):
+        edges = log_buckets(0, 1, 2)
+        assert edges == (1.0, 10.0 ** 0.5, 10.0)
+
+    def test_deterministic_across_calls(self):
+        assert log_buckets(-9, 3, 2) == DEFAULT_TIME_BUCKETS
+        assert log_buckets(0, 9, 1) == DEFAULT_SIZE_BUCKETS
+
+    def test_bad_ranges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            log_buckets(3, 3)
+        with pytest.raises(ConfigurationError):
+            log_buckets(0, 3, per_decade=0)
+
+
+class TestHistogram:
+    def test_observation_on_edge_lands_in_lower_bucket(self):
+        h = Histogram("h", [1.0, 10.0, 100.0])
+        h.observe(10.0)       # exactly an edge: bucket "le=10"
+        assert h.buckets() == [(1.0, 0), (10.0, 1), (100.0, 0),
+                               (math.inf, 0)]
+
+    def test_just_above_edge_goes_to_next_bucket(self):
+        h = Histogram("h", [1.0, 10.0])
+        h.observe(10.0000001)
+        assert h.counts == [0, 0, 1]
+
+    def test_below_first_edge_is_first_bucket(self):
+        h = Histogram("h", [1.0, 10.0])
+        h.observe(0.0)
+        h.observe(-5.0)
+        assert h.counts[0] == 2
+
+    def test_overflow_bucket(self):
+        h = Histogram("h", [1.0, 10.0])
+        h.observe(11.0)
+        assert h.buckets()[-1] == (math.inf, 1)
+
+    def test_sum_and_count(self):
+        h = Histogram("h", [1.0])
+        for v in (0.5, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(5.5)
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", [10.0, 1.0])
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_handle(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        assert len(m) == 1
+
+    def test_kind_conflict_raises(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(ConfigurationError):
+            m.histogram("x")
+
+    def test_counter_gauge_semantics(self):
+        m = MetricsRegistry()
+        c = m.counter("c")
+        c.add()
+        c.add(4)
+        g = m.gauge("g")
+        g.set(7)
+        g.add(-2)
+        assert c.value == 5
+        assert g.value == 5
+
+    def test_as_dict_sorted_and_complete(self):
+        m = MetricsRegistry()
+        m.counter("z.last").add(1)
+        m.counter("a.first").add(2)
+        m.histogram("h", edges=[1.0]).observe(0.5)
+        d = m.as_dict()
+        assert list(d["counters"]) == ["a.first", "z.last"]
+        assert d["histograms"]["h"]["count"] == 1
+        assert d["histograms"]["h"]["buckets"] == [[1.0, 1], [math.inf, 0]]
+
+    def test_render_text_flat_lines(self):
+        m = MetricsRegistry()
+        m.counter("net.bytes").add(42)
+        m.histogram("lat", edges=[1.0]).observe(2.0)
+        text = m.render_text()
+        assert "net.bytes 42" in text
+        assert "lat_count 1" in text
+        assert "lat_sum 2.0" in text
+        assert "lat_bucket{le=inf} 1" in text
+
+    def test_contains_and_get(self):
+        m = MetricsRegistry()
+        m.counter("a")
+        assert "a" in m
+        assert "b" not in m
+        assert m.get("b") is None
+
+
+class TestNullMetrics:
+    def test_shared_stateless_handle(self):
+        h1 = NULL_METRICS.counter("anything")
+        h2 = NULL_METRICS.histogram("else")
+        assert h1 is h2
+        h1.add(100)
+        h2.observe(3.0)
+        assert h1.value == 0
+        assert h2.count == 0
+
+    def test_disabled_flag(self):
+        assert not NULL_METRICS.enabled
+        assert MetricsRegistry().enabled
+        assert isinstance(NULL_METRICS, NullMetrics)
+
+    def test_registers_nothing(self):
+        n = NullMetrics()
+        n.counter("a")
+        n.gauge("b")
+        assert len(n) == 0

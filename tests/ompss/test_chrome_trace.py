@@ -2,7 +2,11 @@
 
 import json
 
-from repro.ompss.tracing import TraceInterval, to_chrome_trace
+from repro.ompss.tracing import (
+    TraceInterval,
+    concurrency_profile,
+    to_chrome_trace,
+)
 
 
 def make(start, end, i=0, name="t"):
@@ -40,3 +44,50 @@ def test_serial_tasks_share_a_lane():
 
 def test_empty_trace():
     assert to_chrome_trace([]) == []
+
+
+def test_identical_start_tasks_get_distinct_lanes():
+    events = to_chrome_trace([make(0.0, 1.0, 1), make(0.0, 1.0, 2)])
+    assert len({e["tid"] for e in events}) == 2
+
+
+def test_zero_duration_task_renders():
+    (ev,) = to_chrome_trace([make(1.0, 1.0, 1)])
+    assert ev["dur"] == 0.0
+    assert ev["ts"] == 1.0e6
+
+
+# -- concurrency_profile: exact breakpoint sweep -------------------------
+
+
+def test_profile_counts_overlap_exactly():
+    profile = dict(concurrency_profile([make(0, 2, 1), make(1, 3, 2)]))
+    assert profile[0] == 1
+    assert profile[1] == 2
+    assert profile[2] == 1
+    assert profile[3] == 0
+
+
+def test_profile_catches_short_tasks_between_samples():
+    # A 1e-6-long task inside a 100 s window: uniform sampling at the
+    # old default (50 samples) would never see it.
+    short = make(50.0, 50.000001, 2)
+    profile = dict(concurrency_profile([make(0.0, 100.0, 1), short]))
+    assert profile[50.0] == 2
+    assert profile[50.000001] == 1
+
+
+def test_profile_ends_at_zero():
+    profile = concurrency_profile([make(0, 1, 1), make(0.5, 2, 2)])
+    assert profile[-1] == (2, 0)
+
+
+def test_profile_samples_param_ignored():
+    intervals = [make(0, 1, 1)]
+    assert concurrency_profile(intervals, samples=3) == concurrency_profile(
+        intervals, samples=500
+    )
+
+
+def test_profile_empty():
+    assert concurrency_profile([]) == []

@@ -36,3 +36,20 @@ def test_roofline(capsys):
     out = capsys.readouterr().out
     assert "spmv" in out
     assert "balance points" in out
+
+
+def test_demo_with_observability_exports(capsys, tmp_path):
+    import json
+
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    assert main([
+        "demo", "--trace-out", str(trace),
+        "--metrics-out", str(metrics), "--report",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "contention report" in out
+    doc = json.loads(trace.read_text())
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+    dump = json.loads(metrics.read_text())
+    assert dump["counters"]["smfu.bytes_forwarded"] > 0

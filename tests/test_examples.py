@@ -22,6 +22,12 @@ def test_example_runs(path, tmp_path, capsys, monkeypatch):
         monkeypatch.setattr(
             sys, "argv", [str(path), str(tmp_path / "trace.json")]
         )
+    elif path.name == "trace_offload.py":
+        monkeypatch.setattr(
+            sys, "argv",
+            [str(path), str(tmp_path / "trace.json"),
+             str(tmp_path / "metrics.json")],
+        )
     else:
         monkeypatch.setattr(sys, "argv", [str(path)])
     runpy.run_path(str(path), run_name="__main__")
