@@ -17,7 +17,7 @@ from repro.analysis import (
 )
 from repro.analysis.scaling import exaflop_year
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import export_metrics_only, run_once
 
 
 def build_projection():
@@ -26,8 +26,27 @@ def build_projection():
     return rows, tm
 
 
+def export_projection(rows, tm) -> None:
+    """E1 is purely analytic (no simulator), so the REPRO_OBS_DIR
+    artifact is a gauge dump of the projection's headline numbers."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.gauge("e01.exaflop_year").set(exaflop_year())
+    registry.gauge("e01.meuer_decade_factor").set(meuers_law(10))
+    registry.gauge("e01.moore_decade_factor").set(moores_law(10))
+    registry.gauge("e01.single_thread_2000_2004").set(
+        tm.single_thread_factor(2000, 2004)
+    )
+    registry.gauge("e01.single_thread_2008_2012").set(
+        tm.single_thread_factor(2008, 2012)
+    )
+    export_metrics_only(registry, "e01_scaling_laws")
+
+
 def test_e01_scaling_laws(benchmark):
     rows, tm = run_once(benchmark, build_projection)
+    export_projection(rows, tm)
 
     table = Table(
         ["year", "Meuer trend (flop/s)", "Moore-only (flop/s)", "gap (=parallelism)"],

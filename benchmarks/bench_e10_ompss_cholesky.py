@@ -22,7 +22,7 @@ from repro.hardware.catalog import XEON_PHI_KNC
 from repro.ompss import DataflowScheduler
 from repro.simkernel import Simulator
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import export_sim, observe_kwargs, run_once
 
 NT = 10
 TILE = 256
@@ -32,7 +32,7 @@ CORES = [1, 2, 4, 8, 16, 30, 60]
 def run_dataflow(n_cores: int, policy: str = "critical-path"):
     import dataclasses
 
-    sim = Simulator()
+    sim = Simulator(**observe_kwargs())
     spec = dataclasses.replace(XEON_PHI_KNC, n_cores=n_cores)
     proc = Processor(sim, spec)
     graph = cholesky_graph(NT, tile_size=TILE)
@@ -43,6 +43,7 @@ def run_dataflow(n_cores: int, policy: str = "critical-path"):
 
     driver = sim.process(p(sim))
     sim.run()
+    export_sim(sim, f"e10_dataflow_{policy.replace('-', '_')}_{n_cores}c")
     return driver.value
 
 

@@ -15,7 +15,7 @@ import pytest
 from repro.analysis import Table, format_series
 from repro.deep import DeepSystem, MachineConfig
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import export_run, observe_kwargs, run_once
 
 GATEWAYS = [1, 2, 4]
 
@@ -42,7 +42,8 @@ def aggregate_throughput(n_gateways: int, selection: str = "static"):
         MachineConfig(
             n_cluster=8, n_booster=16, n_gateways=n_gateways,
             gateway_selection=selection,
-        )
+        ),
+        **observe_kwargs(),
     )
     bridge = system.machine.bridge
     sim = system.sim
@@ -54,12 +55,17 @@ def aggregate_throughput(n_gateways: int, selection: str = "static"):
     for i in range(8):
         sim.process(sender(sim, i))
     sim.run()
+    export_run(system, f"e11_throughput_{selection}_{n_gateways}gw")
     return 8 * size / sim.now
 
 
 def build():
-    lat_system = DeepSystem(MachineConfig(n_cluster=4, n_booster=8, n_gateways=1))
+    lat_system = DeepSystem(
+        MachineConfig(n_cluster=4, n_booster=8, n_gateways=1),
+        **observe_kwargs(),
+    )
     lat = bridged_latency(lat_system)
+    export_run(lat_system, "e11_bridged_latency")
     ib_lat = lat_system.machine.ib_fabric.ideal_transfer_time("cn0", "cn1", 8)
     ex_lat = lat_system.machine.extoll_fabric.ideal_transfer_time("bn0", "bn1", 8)
 

@@ -24,7 +24,7 @@ from repro.deep import (
 )
 from repro.units import gbyte_per_s, mib
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import export_run, observe_kwargs, run_once
 
 
 def run_offload(
@@ -32,10 +32,12 @@ def run_offload(
     eager_threshold=32 * 1024,
     transform_rate=None,
     intensity=100.0,
+    tag="",
 ):
     system = DeepSystem(
         MachineConfig(n_cluster=2, n_booster=8, n_gateways=2),
         eager_threshold=eager_threshold,
+        **observe_kwargs(),
     )
     system.register_command(OFFLOAD_WORKER_COMMAND, offload_worker)
     out = {}
@@ -56,21 +58,29 @@ def run_offload(
 
     system.launch(main)
     system.run()
+    if tag:
+        export_run(system, f"e12_{tag}")
     return out["result"]
 
 
 def build():
-    strategies = {s: run_offload(strategy=s) for s in ("block", "cyclic", "locality")}
+    strategies = {
+        s: run_offload(strategy=s, tag=f"strategy_{s}")
+        for s in ("block", "cyclic", "locality")
+    }
     thresholds = {
-        t: run_offload(eager_threshold=t).elapsed_s
+        t: run_offload(eager_threshold=t, tag=f"eager_{t}").elapsed_s
         for t in (1 << 10, 32 << 10, 1 << 20)
     }
     transform = {
-        "off": run_offload().elapsed_s,
-        "on": run_offload(transform_rate=gbyte_per_s(2.0)).elapsed_s,
+        "off": run_offload(tag="transform_off").elapsed_s,
+        "on": run_offload(
+            transform_rate=gbyte_per_s(2.0), tag="transform_on"
+        ).elapsed_s,
     }
     intensities = {
-        i: run_offload(intensity=i).elapsed_s for i in (10.0, 100.0, 1000.0)
+        i: run_offload(intensity=i, tag=f"intensity_{int(i)}").elapsed_s
+        for i in (10.0, 100.0, 1000.0)
     }
     return strategies, thresholds, transform, intensities
 

@@ -36,8 +36,9 @@ def observe_kwargs() -> dict:
 
 
 def export_run(system, name: str) -> None:
-    """Export trace + metrics of *system* into ``$REPRO_OBS_DIR`` and
-    print its contention report.  No-op unless the variable is set."""
+    """Export trace + metrics + blame of *system* into
+    ``$REPRO_OBS_DIR`` and print its contention report.  No-op unless
+    the variable is set."""
     obs_dir = os.environ.get("REPRO_OBS_DIR")
     if not obs_dir:
         return
@@ -45,4 +46,41 @@ def export_run(system, name: str) -> None:
     out.mkdir(parents=True, exist_ok=True)
     system.write_trace(out / f"{name}.trace.json")
     system.write_metrics(out / f"{name}.metrics.json")
+    system.write_blame(out / f"{name}.blame.json")
     print(system.contention_report())
+
+
+def export_sim(sim, name: str, fabrics=(), gateways=()) -> None:
+    """Like :func:`export_run` for a bare :class:`Simulator` (drivers
+    that assemble their own fabrics instead of a DeepSystem)."""
+    obs_dir = os.environ.get("REPRO_OBS_DIR")
+    if not obs_dir:
+        return
+    import json
+
+    from repro.obs.critpath import CausalGraph
+    from repro.obs.export import write_chrome_trace, write_metrics
+    from repro.obs.report import contention_report
+
+    out = Path(obs_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    write_chrome_trace(out / f"{name}.trace.json", sim.trace)
+    write_metrics(out / f"{name}.metrics.json", sim.metrics, sim)
+    blame = CausalGraph.from_trace(sim.trace).blame()
+    with (out / f"{name}.blame.json").open("w") as fh:
+        json.dump(blame.as_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(contention_report(sim, fabrics=fabrics, gateways=gateways, blame=blame))
+
+
+def export_metrics_only(metrics, name: str) -> None:
+    """Export a bare :class:`MetricsRegistry` (analytic drivers with no
+    simulator) into ``$REPRO_OBS_DIR``."""
+    obs_dir = os.environ.get("REPRO_OBS_DIR")
+    if not obs_dir:
+        return
+    from repro.obs.export import write_metrics
+
+    out = Path(obs_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    write_metrics(out / f"{name}.metrics.json", metrics)

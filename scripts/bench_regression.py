@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Performance-regression gate for the kernel hot paths.
+
+Runs the ``bench_kernel_hotpath`` micro-suite fresh and compares it
+against the committed reference, ``benchmarks/baseline_kernel.json``.
+The gate fails (exit 1) when
+
+* any throughput metric (``*_per_s``) drops more than ``--threshold``
+  (default 15%) below the baseline, or any wall-time metric
+  (``*_wall_s``) grows more than the threshold above it; or
+* the *simulated* invariants (final times, failure/checkpoint counts)
+  differ from the baseline — a speedup that changes simulated results
+  is a bug, not an optimization.
+
+Speedups never fail the gate; refresh the baseline deliberately with
+``python benchmarks/bench_kernel_hotpath.py --save-baseline`` after a
+real improvement.
+
+Usage::
+
+    python scripts/bench_regression.py              # full sizes, 5 repeats
+    python scripts/bench_regression.py --tiny       # CI smoke (invariants only)
+    python scripts/bench_regression.py --threshold 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.bench_kernel_hotpath import BASELINE_PATH, run_suite  # noqa: E402
+
+
+def compare(results: dict, invariants: dict, baseline: dict,
+            threshold: float, tiny: bool) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures: list[str] = []
+
+    # Timing is only comparable at matching workload sizes; the tiny
+    # smoke run still validates the simulated invariants below.
+    if baseline.get("tiny") == tiny:
+        for key, base_v in baseline["results"].items():
+            now_v = results.get(key)
+            if now_v is None or not base_v:
+                continue
+            if key.endswith("_wall_s"):
+                ratio = base_v / now_v  # >1 = faster
+            else:
+                ratio = now_v / base_v
+            verdict = "ok" if ratio >= 1.0 - threshold else "REGRESSION"
+            print(f"  {key:32s} {ratio:6.3f}x vs baseline  [{verdict}]")
+            if ratio < 1.0 - threshold:
+                failures.append(
+                    f"{key}: {ratio:.3f}x of baseline "
+                    f"(allowed >= {1.0 - threshold:.2f}x)"
+                )
+    else:
+        print(
+            f"  (baseline is tiny={baseline.get('tiny')}, run is tiny={tiny}: "
+            "skipping timing comparison, checking invariants only)"
+        )
+
+    if baseline.get("tiny") == tiny:
+        base_inv = baseline.get("invariants", {})
+        if invariants != base_inv:
+            diffs = [k for k in base_inv if invariants.get(k) != base_inv[k]]
+            failures.append(
+                f"simulated invariants differ from baseline: {diffs or 'keys'}"
+            )
+        else:
+            print("  simulated invariants match baseline")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="maximum tolerated fractional slowdown (default 0.15)",
+    )
+    ap.add_argument(
+        "--tiny", action="store_true",
+        help="tiny smoke workloads (timing skipped unless baseline is tiny)",
+    )
+    ap.add_argument(
+        "--repeats", type=int, default=5,
+        help="best-of-N repeats per benchmark (default 5)",
+    )
+    args = ap.parse_args(argv)
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; nothing to gate against")
+        return 0
+    baseline = json.loads(BASELINE_PATH.read_text())
+
+    print(f"running hot-path suite (tiny={args.tiny}, repeats={args.repeats}) ...")
+    results, invariants = run_suite(tiny=args.tiny, repeats=args.repeats)
+    print(f"comparing against baseline {baseline.get('label')!r} "
+          f"(threshold {args.threshold:.0%}):")
+    failures = compare(results, invariants, baseline, args.threshold, args.tiny)
+
+    if failures:
+        print("\nBENCH REGRESSION GATE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -91,12 +91,18 @@ def run_scenario(seed: int = 7, observe: bool = False) -> dict:
 
     observed = {}
     if observe:
+        from repro.obs.critpath import CausalGraph
         from repro.obs.export import metrics_dict
 
+        blame = CausalGraph.from_trace(sim.trace).blame()
         observed = {
             "metrics": metrics_dict(sim.metrics, sim),
             "n_trace_events": len(sim.trace.events),
             "n_trace_spans": len(sim.trace.spans),
+            "n_trace_wakes": len(sim.trace.wakes),
+            "n_trace_counters": len(sim.trace.counters),
+            # Causal analysis must be as deterministic as the run.
+            "blame": blame.as_dict(),
         }
 
     return {

@@ -17,4 +17,11 @@ python scripts/check_determinism.py
 echo "== kernel hot-path smoke (tiny) =="
 python benchmarks/bench_kernel_hotpath.py --tiny --out "$(mktemp)"
 
+echo "== bench regression gate =="
+python scripts/bench_regression.py --repeats 3
+
+echo "== critical-path smoke =="
+python -m repro demo --blame --what-if extoll.bw=2 --what-if spawn.latency=0.25 \
+    --report --report-top 3 > "$(mktemp)"
+
 echo "== ci checks passed =="

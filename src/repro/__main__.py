@@ -54,13 +54,17 @@ def cmd_machine(args: argparse.Namespace) -> int:
 def cmd_demo(args: argparse.Namespace) -> int:
     """Run the quickstart scenario.
 
-    With ``--trace-out``/``--metrics-out``/``--report`` the scenario
-    runs inline with observability enabled and writes the exports.
+    With ``--trace-out``/``--metrics-out``/``--report``/``--blame``/
+    ``--what-if`` the scenario runs inline with observability enabled
+    and writes the exports / prints the analyses.
     """
     import runpy
     from pathlib import Path
 
-    observing = bool(args.trace_out or args.metrics_out or args.report)
+    observing = bool(
+        args.trace_out or args.metrics_out or args.report
+        or args.blame or args.what_if or args.counters_out
+    )
     quickstart = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
     if quickstart.exists() and not observing:
         runpy.run_path(str(quickstart), run_name="__main__")
@@ -97,8 +101,23 @@ def cmd_demo(args: argparse.Namespace) -> int:
     if args.metrics_out:
         system.write_metrics(args.metrics_out)
         print(f"wrote metrics dump to {args.metrics_out}")
+    if args.counters_out:
+        from repro.obs.timeline import write_counters_csv
+
+        step = max(system.now / 200.0, 1e-9)
+        write_counters_csv(args.counters_out, system.sim.trace, step)
+        print(f"wrote counter timelines to {args.counters_out}")
+    if args.blame:
+        print(system.blame_report().render())
+    for spec in args.what_if or ():
+        key, _, factor = spec.partition("=")
+        try:
+            print(system.what_if(key, float(factor)).render())
+        except ValueError as exc:
+            print(f"what-if {spec!r}: {exc}", file=sys.stderr)
+            return 2
     if args.report:
-        print(system.contention_report())
+        print(system.contention_report(top=args.report_top))
     return 0
 
 
@@ -167,6 +186,23 @@ def main(argv=None) -> int:
     p_demo.add_argument(
         "--report", action="store_true",
         help="print the hottest-links/engines contention report",
+    )
+    p_demo.add_argument(
+        "--report-top", type=int, default=5, metavar="N",
+        help="number of entries per contention-report ranking (default 5)",
+    )
+    p_demo.add_argument(
+        "--blame", action="store_true",
+        help="print the critical-path blame table",
+    )
+    p_demo.add_argument(
+        "--what-if", action="append", default=[], metavar="KEY=FACTOR",
+        help="project the makespan under a scaling, e.g. extoll.bw=2 "
+             "or spawn.latency=0.25 (repeatable)",
+    )
+    p_demo.add_argument(
+        "--counters-out", default=None, metavar="PATH",
+        help="write counter timelines (fixed-step CSV) to PATH",
     )
     sub.add_parser("positioning", help="print the slide-18 map")
     sub.add_parser("roofline", help="print the roofline table")

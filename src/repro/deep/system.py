@@ -185,3 +185,41 @@ class DeepSystem:
         from repro.obs.report import system_report
 
         return system_report(self, top=top)
+
+    # -- causal analysis ---------------------------------------------------
+    def causal_graph(self):
+        """The run's :class:`~repro.obs.critpath.CausalGraph`.
+
+        Requires the system to have been created with ``trace=True``.
+        """
+        from repro.obs.critpath import CausalGraph
+
+        if not self.sim.trace.enabled:
+            raise ConfigurationError(
+                "causal analysis needs a traced run; create the system "
+                "with trace=True"
+            )
+        return CausalGraph.from_trace(self.sim.trace)
+
+    def critical_path(self):
+        """The makespan-critical chain of the finished run."""
+        return self.causal_graph().critical_path()
+
+    def blame_report(self):
+        """Per-subsystem critical-path attribution
+        (:class:`~repro.obs.critpath.BlameReport`)."""
+        return self.causal_graph().blame()
+
+    def what_if(self, key: str, factor: float):
+        """Projected makespan under a scaling such as
+        ``what_if("extoll.bw", 2.0)`` — see
+        :data:`~repro.obs.critpath.WHAT_IF_KEYS`."""
+        return self.causal_graph().what_if(key, factor)
+
+    def write_blame(self, path) -> None:
+        """Write ``blame_report().as_dict()`` as JSON to *path*."""
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(self.blame_report().as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")

@@ -142,7 +142,14 @@ class Processor:
                     yield req
             finally:
                 self._alloc_lock.release(lock)
+            start = self.sim.now
             yield self.sim.timeout(self.kernel_time(flops, traffic_bytes, n_cores))
+            tr = self.sim.trace
+            if tr:
+                tr.record_span(
+                    "compute", self.name, start, self.sim.now,
+                    flops=flops, cores=n_cores,
+                )
         finally:
             for req in requests:
                 if req.triggered:

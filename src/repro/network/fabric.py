@@ -307,8 +307,12 @@ class Fabric:
         serialization = size_bytes / bottleneck
 
         # Reserve the chosen path so concurrent adaptive picks see it.
+        tr = self.sim.trace
         for link in links:
             link.pending_flows += 1
+        if tr.enabled:
+            for link in links:
+                tr.record_counter("link.flows:" + link.name, link.pending_flows)
         try:
             if self.mtu_bytes is not None and size_bytes > self.mtu_bytes:
                 yield from self._transfer_segmented(links, size_bytes)
@@ -347,6 +351,9 @@ class Fabric:
         finally:
             for link in links:
                 link.pending_flows -= 1
+            if tr.enabled:
+                for link in links:
+                    tr.record_counter("link.flows:" + link.name, link.pending_flows)
 
     def _transfer_segmented(self, links: list[Link], size_bytes: int):
         """Store-and-forward MTU segments pipelining across the path.

@@ -78,11 +78,16 @@ class SMFUGateway:
         per-message protocol handling (suppressed for the trailing
         segments of a segmented message).
         """
+        tr = self.sim.trace
         req = self.engine.try_acquire()
         try:
             if req is None:
                 req = self.engine.request()
                 yield req
+            if tr.enabled:
+                tr.record_counter(
+                    "smfu.busy_engines:" + self.name, len(self.engine.users)
+                )
             duration = size_bytes / self.spec.bandwidth_bytes_per_s
             if overhead:
                 duration += self.spec.per_message_overhead_s
@@ -92,6 +97,10 @@ class SMFUGateway:
                 self.engine.release(req)
             else:
                 self.engine.cancel(req)
+            if tr.enabled:
+                tr.record_counter(
+                    "smfu.busy_engines:" + self.name, len(self.engine.users)
+                )
         self.forwarded_messages += 1 if overhead else 0
         self.forwarded_bytes += size_bytes
         if overhead:
@@ -100,6 +109,12 @@ class SMFUGateway:
 
     def utilization(self, since: float = 0.0) -> float:
         return self.engine.utilization(since)
+
+    def _note_load(self) -> None:
+        """Record a ``queued_bytes`` change point (counter timelines)."""
+        tr = self.sim.trace
+        if tr.enabled:
+            tr.record_counter("smfu.queued_bytes:" + self.name, self.queued_bytes)
 
 
 class ClusterBoosterBridge:
@@ -177,6 +192,7 @@ class ClusterBoosterBridge:
         # both the whole-message and the segmented path must agree on
         # this or dynamic selection sees inconsistent queue depths.
         gw.queued_bytes += size_bytes
+        gw._note_load()
         forwarded = [0]  # bytes that have cleared the engine so far
         try:
             if seg is not None and size_bytes > seg:
@@ -191,9 +207,12 @@ class ClusterBoosterBridge:
             rec1 = yield from src_fabric.transfer(src, gw.name, size_bytes, kind=kind)
             yield from gw.forward(size_bytes)
             gw.queued_bytes -= size_bytes
+            gw._note_load()
             forwarded[0] = size_bytes
         finally:
-            gw.queued_bytes -= size_bytes - forwarded[0]
+            if forwarded[0] != size_bytes:
+                gw.queued_bytes -= size_bytes - forwarded[0]
+                gw._note_load()
         rec2 = yield from dst_fabric.transfer(gw.name, dst, size_bytes, kind=kind)
         self._record_span(gw, src, dst, size_bytes, start)
         return TransferRecord(
@@ -233,6 +252,7 @@ class ClusterBoosterBridge:
             r1 = yield from src_fabric.transfer(src, gw.name, nbytes, kind=kind)
             yield from gw.forward(nbytes, overhead=first)
             gw.queued_bytes -= nbytes
+            gw._note_load()
             forwarded[0] += nbytes
             r2 = yield from dst_fabric.transfer(gw.name, dst, nbytes, kind=kind)
             hops_holder.setdefault("hops", r1.hops + r2.hops + 1)

@@ -9,7 +9,10 @@ The three pieces (DESIGN rationale in ``docs/OBSERVABILITY.md``):
   and fixed-bucket histograms (``sim.metrics``), with free no-op
   handles when disabled;
 * **exporters** — Chrome/Perfetto traces, JSONL event streams, flat
-  metrics dumps, and the hottest-links/engines contention report.
+  metrics dumps, and the hottest-links/engines contention report;
+* **causal analysis** — :class:`CausalGraph` critical paths, blame
+  reports and what-if projections (:mod:`repro.obs.critpath`), plus
+  counter timelines (:mod:`repro.obs.timeline`).
 
 Quick use::
 
@@ -18,6 +21,9 @@ Quick use::
     write_chrome_trace("trace.json", sim.trace)
     write_metrics("metrics.json", sim.metrics, sim)
     print(contention_report(sim, fabrics=[ib, extoll], gateways=gws))
+    graph = CausalGraph.from_trace(sim.trace)
+    print(graph.blame().render())
+    print(graph.what_if("extoll.bw", 2.0).render())
 """
 
 from repro.obs.metrics import (
@@ -41,9 +47,27 @@ from repro.obs.export import (
     write_jsonl,
     write_metrics,
 )
-from repro.obs.report import contention_report, system_report
+from repro.obs.critpath import (
+    BlameReport,
+    CausalGraph,
+    Segment,
+    Step,
+    WHAT_IF_KEYS,
+    WhatIfResult,
+    classify,
+    resolve_what_if,
+)
+from repro.obs.report import contention_report, link_blame, system_report
+from repro.obs.timeline import (
+    chrome_counter_events,
+    counter_series,
+    resample,
+    write_counters_csv,
+)
 
 __all__ = [
+    "BlameReport",
+    "CausalGraph",
     "Counter",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
@@ -52,15 +76,26 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRICS",
     "NullMetrics",
+    "Segment",
+    "Step",
+    "WHAT_IF_KEYS",
+    "WhatIfResult",
     "assign_lanes",
+    "chrome_counter_events",
     "chrome_trace",
+    "classify",
     "contention_report",
+    "counter_series",
     "iter_jsonl",
+    "link_blame",
     "log_buckets",
     "metrics_dict",
     "render_metrics_text",
+    "resample",
+    "resolve_what_if",
     "system_report",
     "write_chrome_trace",
+    "write_counters_csv",
     "write_jsonl",
     "write_metrics",
 ]

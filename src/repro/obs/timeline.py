@@ -1,0 +1,121 @@
+"""Counter timelines: gauge series resampled onto a fixed-step grid.
+
+Instrumented call sites record *change points* — ``(time, name,
+value)`` triples — through :meth:`TraceRecorder.record_counter`
+whenever a gauge moves (link flows, resource queue depths, SMFU queued
+bytes, busy engines).  Recording change points instead of running a
+sampler process keeps observation free of simulation side effects: no
+extra events, no altered deadlock detection, bit-identical schedules.
+
+This module turns those change points into analysis artifacts:
+
+* :func:`counter_series` — per-counter step functions;
+* :func:`resample` — sample-and-hold values on a fixed-step grid
+  (what plotting and CSV want);
+* :func:`chrome_counter_events` — Chrome/Perfetto ``"C"`` (counter)
+  phase events that render as counter tracks next to the span lanes;
+* :func:`write_counters_csv` — wide-format CSV dump.
+"""
+
+from __future__ import annotations
+
+import csv
+from bisect import bisect_right
+from collections import defaultdict
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.trace import TraceRecorder
+
+
+def counter_series(
+    trace: "TraceRecorder",
+) -> dict[str, list[tuple[float, float]]]:
+    """Group recorded change points into per-counter ``(time, value)``
+    series, time-ordered (recording order is already chronological)."""
+    series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+    for t, name, value in trace.counters:
+        series[name].append((t, value))
+    return dict(series)
+
+
+def resample(
+    points: list[tuple[float, float]],
+    step: float,
+    t_end: Optional[float] = None,
+    t_start: float = 0.0,
+) -> list[tuple[float, float]]:
+    """Sample-and-hold *points* onto a ``step``-spaced grid.
+
+    The value at grid time ``t`` is the last change point at or before
+    ``t`` (0.0 before the first).  The grid spans ``t_start`` to
+    ``t_end`` inclusive (default: the last change point's time).
+    """
+    if step <= 0:
+        raise ValueError(f"step must be > 0, got {step!r}")
+    if t_end is None:
+        t_end = points[-1][0] if points else t_start
+    times = [p[0] for p in points]
+    out: list[tuple[float, float]] = []
+    n = int((t_end - t_start) / step) + 1 if t_end >= t_start else 0
+    for k in range(n):
+        t = t_start + k * step
+        i = bisect_right(times, t) - 1
+        out.append((t, points[i][1] if i >= 0 else 0.0))
+    return out
+
+
+def chrome_counter_events(
+    trace: "TraceRecorder",
+    pid: int = 0,
+    step: Optional[float] = None,
+) -> list[dict]:
+    """Chrome trace-event ``"C"`` phase entries for every counter.
+
+    With *step* set, series are resampled onto the fixed grid first
+    (bounding the event count for long runs); otherwise every change
+    point is emitted.  Times are exported in microseconds to match
+    :mod:`repro.obs.export`.
+    """
+    events: list[dict] = []
+    t_end = max((t for t, _, _ in trace.counters), default=0.0)
+    for name, points in sorted(counter_series(trace).items()):
+        if step is not None:
+            points = resample(points, step, t_end=t_end)
+        for t, value in points:
+            events.append({
+                "name": name,
+                "ph": "C",
+                "ts": t * 1e6,
+                "pid": pid,
+                "args": {"value": value},
+            })
+    return events
+
+
+def write_counters_csv(
+    path,
+    trace: "TraceRecorder",
+    step: float,
+    names: Optional[Iterable[str]] = None,
+) -> None:
+    """Dump all (or *names*) counters as one wide CSV on a fixed grid.
+
+    Columns: ``time_s`` then one column per counter; values are
+    sample-and-hold.
+    """
+    series = counter_series(trace)
+    if names is not None:
+        series = {n: series[n] for n in names if n in series}
+    cols = sorted(series)
+    t_end = max((pts[-1][0] for pts in series.values()), default=0.0)
+    sampled = {n: resample(series[n], step, t_end=t_end) for n in cols}
+    n_rows = int(t_end / step) + 1 if cols else 0
+    with Path(path).open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s"] + cols)
+        for k in range(n_rows):
+            row = [f"{k * step:.9g}"]
+            row.extend(f"{sampled[n][k][1]:.9g}" for n in cols)
+            writer.writerow(row)

@@ -34,7 +34,7 @@ class Event:
 
     __slots__ = (
         "sim", "name", "callbacks", "_value", "_ok", "_scheduled",
-        "_defused", "_abandon",
+        "_defused", "_abandon", "_cause",
     )
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
@@ -86,6 +86,13 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
+        tr = self.sim.trace
+        if tr.enabled:
+            # Causal tagging: remember which process triggered this
+            # event (and when), so the resumed waiter can record a wake
+            # edge.  The ``_cause`` slot is deliberately left unset on
+            # untraced runs — readers use ``getattr(ev, "_cause", None)``.
+            self._cause = tr.wake_cause()
         self.sim._schedule(self, delay)
         return self
 
@@ -94,12 +101,17 @@ class Event:
         if not isinstance(exc, BaseException):
             raise TypeError(f"fail() requires an exception, got {exc!r}")
         self._set(False, exc)
+        tr = self.sim.trace
+        if tr.enabled:
+            self._cause = tr.wake_cause()
         self.sim._schedule(self, delay)
         return self
 
     def trigger(self, event: "Event") -> None:
         """Copy another event's outcome onto this one (callback helper)."""
         self._set(event._ok, event._value)
+        if self.sim.trace.enabled:
+            self._cause = getattr(event, "_cause", None)
         self.sim._schedule(self)
 
     def _set(self, ok: Optional[bool], value: Any) -> None:
@@ -177,10 +189,18 @@ class _Condition(Event):
             # member is itself deliberate (keeps kill() quiet).
             self._defused = event._defused
             self.fail(event._value)
+            if self.sim.trace.enabled:
+                # _check runs in the event loop, so succeed/fail saw no
+                # active process; the real cause is the firing member.
+                self._cause = getattr(event, "_cause", None)
             return
         self._count += 1
         if self._satisfied():
             self.succeed(self._collect())
+            if self.sim.trace.enabled:
+                # The last-arriving member completed the condition: a
+                # fork-join's causal parent is its slowest branch.
+                self._cause = getattr(event, "_cause", None)
 
     def _satisfied(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -88,6 +88,13 @@ class Process(Event):
         throwing = not event._ok
         payload = event._value
         sim = self.sim
+        tr = sim.trace
+        if tr.enabled:
+            # Wake edge: *event* carries the (pid, t_trigger) of whoever
+            # triggered it; record the cross-process resumption.
+            cause = getattr(event, "_cause", None)
+            if cause is not None:
+                tr.record_wake(cause, self)
         generator = self.generator
         while True:
             prev = sim._active_process
@@ -98,14 +105,16 @@ class Process(Event):
                 else:
                     target = generator.send(payload)
             except StopIteration as stop:
-                sim._active_process = prev
                 sim._live_processes -= 1
+                # succeed() before restoring the active process: the
+                # finish-wake of anyone awaiting us is caused by *us*.
                 self.succeed(stop.value)
+                sim._active_process = prev
                 return
             except BaseException as exc:
-                sim._active_process = prev
                 sim._live_processes -= 1
                 self.fail(exc)
+                sim._active_process = prev
                 return
             sim._active_process = prev
 
@@ -128,6 +137,9 @@ class Process(Event):
             relay = Event(sim, name="relay")
             relay.callbacks.append(self._resume)
             relay._set(target._ok, target._value)
+            # No _cause on relays: the target finished before we asked,
+            # so this process never blocked — a wake edge would carry a
+            # stale trigger time and corrupt critical-path walks.
             sim._schedule(relay)
         else:
             callbacks.append(self._resume)
@@ -166,14 +178,16 @@ class Process(Event):
                 else:
                     target = generator.send(payload)
             except StopIteration as stop:
-                sim._active_process = prev
                 sim._live_processes -= 1
+                # succeed() before restoring the active process: the
+                # finish-wake of anyone awaiting us is caused by *us*.
                 self.succeed(stop.value)
+                sim._active_process = prev
                 return
             except BaseException as exc:
-                sim._active_process = prev
                 sim._live_processes -= 1
                 self.fail(exc)
+                sim._active_process = prev
                 return
             sim._active_process = prev
 
@@ -196,6 +210,7 @@ class Process(Event):
             relay = Event(sim, name="relay")
             relay.callbacks.append(self._resume)
             relay._set(target._ok, target._value)
+            # No _cause on relays: see _resume.
             sim._schedule(relay)
         else:
             callbacks.append(self._resume)

@@ -171,6 +171,11 @@ class Resource:
         else:
             self.waits += 1
             self._enqueue(req)
+            # Contended path only: queue-depth change points feed the
+            # counter timelines (repro.obs.timeline).
+            tr = self.sim.trace
+            if tr.enabled and self.name:
+                tr.record_counter("queue:" + self.name, self._qlen())
         self._mark()
         return req
 
@@ -188,6 +193,9 @@ class Resource:
             self.users.append(nxt)
             self.grants += 1
             nxt.succeed(nxt)
+            tr = self.sim.trace
+            if tr.enabled and self.name:
+                tr.record_counter("queue:" + self.name, self._qlen())
         self._mark()
 
     def cancel(self, request: Request) -> None:
@@ -196,6 +204,9 @@ class Resource:
             self.queue.remove(request)
         except ValueError:
             raise SimulationError("cancel() of a request not in queue") from None
+        tr = self.sim.trace
+        if tr.enabled and self.name:
+            tr.record_counter("queue:" + self.name, self._qlen())
 
     # -- queue policy (overridden by PriorityResource) --------------------
     def _enqueue(self, req: Request) -> None:
@@ -203,6 +214,9 @@ class Resource:
 
     def _dequeue(self) -> Optional[Request]:
         return self.queue.popleft() if self.queue else None
+
+    def _qlen(self) -> int:
+        return len(self.queue)
 
 
 class PriorityResource(Resource):
@@ -229,6 +243,12 @@ class PriorityResource(Resource):
             heapq.heapify(self._heap)
         except ValueError:
             raise SimulationError("cancel() of a request not in queue") from None
+        tr = self.sim.trace
+        if tr.enabled and self.name:
+            tr.record_counter("queue:" + self.name, self._qlen())
+
+    def _qlen(self) -> int:
+        return len(self._heap)
 
 
 class Store:

@@ -27,6 +27,24 @@ a span opened inside another span *of the same process* records it as
 its parent even when other processes interleave.  Cross-process
 parentage (e.g. a transfer process serving an offload) is expressed by
 passing ``parent=`` explicitly.
+
+Beyond spans and events the recorder captures two more series that
+turn a trace into a *causal* record (both cost nothing when disabled):
+
+* **wake edges** (:attr:`TraceRecorder.wakes`) — the kernel tags every
+  event trigger with the process that caused it and, when the woken
+  process resumes, records ``(t_wake, t_trigger, src_pid, dst_pid)``.
+  Completed runs therefore yield a causal DAG over per-process
+  timelines, which :mod:`repro.obs.critpath` walks for critical-path
+  blame and what-if projections.
+* **counter samples** (:attr:`TraceRecorder.counters`) — gauge-style
+  ``(time, name, value)`` change points (link queue depths, SMFU
+  queued bytes, busy engines) that :mod:`repro.obs.timeline` resamples
+  into fixed-step timelines and Chrome counter tracks.
+
+Processes are identified by small integer pids assigned on first
+contact (deterministic for deterministic runs); ``proc_names`` maps
+them back to process names for reports.
 """
 
 from __future__ import annotations
@@ -55,6 +73,9 @@ class SpanRecord:
     ``category`` names the subsystem (one exporter lane group each:
     ``kernel``, ``net.infiniband``, ``net.extoll``, ``net.smfu``,
     ``mpi``, ``ompss``, ``parastation``); ``name`` the operation.
+    ``proc`` is the recorder-assigned pid of the simulated process the
+    span was recorded in (``None`` when recorded outside any process),
+    the key causal analysis sequences same-process spans by.
     """
 
     span_id: int
@@ -63,6 +84,7 @@ class SpanRecord:
     name: str
     start: float
     end: float
+    proc: Optional[int] = None
     fields: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -127,14 +149,27 @@ class TraceRecorder:
         self.max_events = max_events
         self.events: deque[TraceEvent] = deque()
         self.spans: deque[SpanRecord] = deque()
+        #: Wake edges ``(t_wake, t_trigger, src_pid, dst_pid)``: process
+        #: ``dst`` was resumed at ``t_wake`` by an event triggered by
+        #: process ``src`` at ``t_trigger`` (recorded by the kernel).
+        self.wakes: deque[tuple[float, float, int, int]] = deque()
+        #: Gauge change points ``(time, name, value)`` for counter
+        #: timelines (see :mod:`repro.obs.timeline`).
+        self.counters: deque[tuple[float, str, float]] = deque()
         #: Oldest entries evicted because the ring was full.
         self.dropped_events = 0
         self.dropped_spans = 0
+        self.dropped_wakes = 0
+        self.dropped_counters = 0
         self._clock: Optional[Callable[[], float]] = None
         self._active: Optional[Callable[[], Any]] = None
         self._span_ids = 0
         # Per-process open-span stacks (key = active process or None).
         self._open: dict[Any, list[_OpenSpan]] = {}
+        # Process -> small-int pid, assigned on first contact.
+        self._pids: dict[Any, int] = {}
+        #: pid -> process name (for reports; pid 0.. in contact order).
+        self.proc_names: dict[int, str] = {}
 
     def __bool__(self) -> bool:
         return self.enabled
@@ -149,6 +184,54 @@ class TraceRecorder:
 
     def _now(self) -> float:
         return self._clock() if self._clock is not None else 0.0
+
+    # -- process identities & wake edges --------------------------------
+    def pid_of(self, proc: Any) -> int:
+        """Stable small-int id for *proc* (``None`` = outside-process)."""
+        pid = self._pids.get(proc)
+        if pid is None:
+            self._pids[proc] = pid = len(self._pids)
+            if proc is None:
+                self.proc_names[pid] = "<kernel>"
+            else:
+                self.proc_names[pid] = getattr(proc, "name", "") or f"proc{pid}"
+        return pid
+
+    def wake_cause(self) -> Optional[tuple[int, float]]:
+        """``(pid, now)`` of the triggering process, or ``None``.
+
+        Called by :meth:`Event.succeed`/``fail`` (when enabled) to tag
+        the event with who triggered it; ``None`` when the trigger
+        happened outside any process (kernel callbacks, drivers).
+        """
+        proc = self._active() if self._active is not None else None
+        if proc is None:
+            return None
+        return (self.pid_of(proc), self._now())
+
+    def record_wake(self, cause: tuple[int, float], target: Any) -> None:
+        """Record that *target* was resumed by an event caused by *cause*.
+
+        *cause* is the ``(src_pid, t_trigger)`` pair captured at trigger
+        time; the wake time is now.  Called once per cross-process
+        resumption by :meth:`Process._resume` when tracing is enabled.
+        """
+        wakes = self.wakes
+        if self.max_events is not None and len(wakes) >= self.max_events:
+            wakes.popleft()
+            self.dropped_wakes += 1
+        wakes.append((self._now(), cause[1], cause[0], self.pid_of(target)))
+
+    # -- counter samples ------------------------------------------------
+    def record_counter(self, name: str, value: float) -> None:
+        """Record a gauge change point (call sites guard on truthiness)."""
+        if not self.enabled:
+            return
+        counters = self.counters
+        if self.max_events is not None and len(counters) >= self.max_events:
+            counters.popleft()
+            self.dropped_counters += 1
+        counters.append((self._now(), name, value))
 
     # -- point events ---------------------------------------------------
     def record(self, category: str, *, time: Optional[float] = None, **fields: Any) -> None:
@@ -208,7 +291,8 @@ class TraceRecorder:
                 del self._open[open_span._key]
         self._append_span(SpanRecord(
             open_span.span_id, open_span.parent_id, open_span.category,
-            open_span.name, open_span.start, self._now(), open_span.fields,
+            open_span.name, open_span.start, self._now(),
+            self.pid_of(open_span._key), open_span.fields,
         ))
 
     def record_span(
@@ -230,14 +314,16 @@ class TraceRecorder:
         """
         if not self.enabled:
             return
-        if parent is None and self._active is not None:
-            stack = self._open.get(self._active())
+        proc = self._active() if self._active is not None else None
+        if parent is None and proc is not None:
+            stack = self._open.get(proc)
             if stack:
                 parent = stack[-1].span_id
         self._span_ids += 1
-        self._append_span(
-            SpanRecord(self._span_ids, parent, category, name, start, end, fields)
-        )
+        self._append_span(SpanRecord(
+            self._span_ids, parent, category, name, start, end,
+            self.pid_of(proc), fields,
+        ))
 
     def _append_span(self, span: SpanRecord) -> None:
         spans = self.spans
@@ -256,11 +342,15 @@ class TraceRecorder:
         return (sp for sp in self.spans if sp.category == category)
 
     def clear(self) -> None:
-        """Forget all recorded events and spans."""
+        """Forget all recorded events, spans, wakes and counters."""
         self.events.clear()
         self.spans.clear()
+        self.wakes.clear()
+        self.counters.clear()
         self.dropped_events = 0
         self.dropped_spans = 0
+        self.dropped_wakes = 0
+        self.dropped_counters = 0
 
     def __len__(self) -> int:
         return len(self.events)
