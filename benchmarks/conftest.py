@@ -10,14 +10,23 @@ paper (see DESIGN.md §3 and EXPERIMENTS.md).  Each benchmark:
   reproduction artifact;
 * asserts the figure's qualitative *shape* (who wins, crossovers,
   growth laws), so a regression in the models fails the suite.
+
+The ``REPRO_OBS_DIR`` export helpers delegate to
+:mod:`repro.sweep.obsglue` — the same code path the sweep engine's
+workers use — so bench exports are written atomically and flow through
+the content-addressed result cache when a bench scenario runs under
+``python -m repro sweep``.
 """
 
 from __future__ import annotations
 
-import os
-from pathlib import Path
-
-import pytest
+from repro.sweep.obsglue import (  # noqa: F401  (re-exported for benches)
+    observe_kwargs,
+    obs_dir,
+)
+from repro.sweep.obsglue import export_metrics_only as _export_metrics_only
+from repro.sweep.obsglue import export_sim as _export_sim
+from repro.sweep.obsglue import export_system as _export_system
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -26,61 +35,20 @@ def run_once(benchmark, fn, *args, **kwargs):
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 
-def observe_kwargs() -> dict:
-    """DeepSystem/Simulator kwargs turning observability on when the
-    ``REPRO_OBS_DIR`` environment variable is set (else empty = off,
-    preserving the hot path)."""
-    if os.environ.get("REPRO_OBS_DIR"):
-        return {"trace": True, "metrics": True, "profile": True}
-    return {}
-
-
 def export_run(system, name: str) -> None:
     """Export trace + metrics + blame of *system* into
     ``$REPRO_OBS_DIR`` and print its contention report.  No-op unless
     the variable is set."""
-    obs_dir = os.environ.get("REPRO_OBS_DIR")
-    if not obs_dir:
-        return
-    out = Path(obs_dir)
-    out.mkdir(parents=True, exist_ok=True)
-    system.write_trace(out / f"{name}.trace.json")
-    system.write_metrics(out / f"{name}.metrics.json")
-    system.write_blame(out / f"{name}.blame.json")
-    print(system.contention_report())
+    _export_system(system, name, report=True)
 
 
 def export_sim(sim, name: str, fabrics=(), gateways=()) -> None:
     """Like :func:`export_run` for a bare :class:`Simulator` (drivers
     that assemble their own fabrics instead of a DeepSystem)."""
-    obs_dir = os.environ.get("REPRO_OBS_DIR")
-    if not obs_dir:
-        return
-    import json
-
-    from repro.obs.critpath import CausalGraph
-    from repro.obs.export import write_chrome_trace, write_metrics
-    from repro.obs.report import contention_report
-
-    out = Path(obs_dir)
-    out.mkdir(parents=True, exist_ok=True)
-    write_chrome_trace(out / f"{name}.trace.json", sim.trace)
-    write_metrics(out / f"{name}.metrics.json", sim.metrics, sim)
-    blame = CausalGraph.from_trace(sim.trace).blame()
-    with (out / f"{name}.blame.json").open("w") as fh:
-        json.dump(blame.as_dict(), fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(contention_report(sim, fabrics=fabrics, gateways=gateways, blame=blame))
+    _export_sim(sim, name, fabrics=fabrics, gateways=gateways, report=True)
 
 
 def export_metrics_only(metrics, name: str) -> None:
     """Export a bare :class:`MetricsRegistry` (analytic drivers with no
     simulator) into ``$REPRO_OBS_DIR``."""
-    obs_dir = os.environ.get("REPRO_OBS_DIR")
-    if not obs_dir:
-        return
-    from repro.obs.export import write_metrics
-
-    out = Path(obs_dir)
-    out.mkdir(parents=True, exist_ok=True)
-    write_metrics(out / f"{name}.metrics.json", metrics)
+    _export_metrics_only(metrics, name)

@@ -20,6 +20,9 @@ python benchmarks/bench_kernel_hotpath.py --tiny --out "$(mktemp)"
 echo "== bench regression gate =="
 python scripts/bench_regression.py --repeats 3
 
+echo "== sweep smoke (cold + warm, cache-served) =="
+python -m repro sweep --smoke
+
 echo "== critical-path smoke =="
 python -m repro demo --blame --what-if extoll.bw=2 --what-if spawn.latency=0.25 \
     --report --report-top 3 > "$(mktemp)"

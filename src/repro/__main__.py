@@ -5,6 +5,8 @@ Commands:
 * ``info``      — version, layer map, experiment list;
 * ``machine``   — build a DEEP machine and print its inventory;
 * ``demo``      — run the quickstart scenario end to end;
+* ``sweep``     — fan experiment x seed jobs across cores with a
+  content-addressed result cache (see docs/SWEEP.md);
 * ``positioning`` — print the slide-18 map;
 * ``roofline``  — print the Xeon-vs-KNC roofline table.
 """
@@ -12,6 +14,8 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 
@@ -121,6 +125,116 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_seeds(spec: str) -> list[int]:
+    """``"0,1,5"`` or ``"0:8"`` (half-open range) -> seed list."""
+    if ":" in spec:
+        lo, _, hi = spec.partition(":")
+        seeds = list(range(int(lo or 0), int(hi)))
+    else:
+        seeds = [int(s) for s in spec.split(",") if s != ""]
+    if not seeds:
+        raise ValueError(f"empty seed spec {spec!r}")
+    return seeds
+
+
+def _parse_overrides(pairs: list[str]) -> dict:
+    """``["mtbf_s=300", "pingpong.rounds=5"]`` -> SweepSpec overrides.
+
+    A bare ``field=value`` applies to every experiment that has the
+    field; ``experiment.field=value`` targets one experiment.  Values
+    are parsed as JSON, falling back to a plain string.
+    """
+    overrides: dict[str, dict] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise ValueError(f"--set expects KEY=VALUE, got {pair!r}")
+        try:
+            value = json.loads(raw)
+        except ValueError:
+            value = raw
+        exp, _, fld = key.rpartition(".")
+        overrides.setdefault(exp or "*", {})[fld] = value
+    return overrides
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run an experiment x seed sweep through the cache + process pool."""
+    from repro.sweep import (
+        EXPERIMENTS,
+        ResultCache,
+        SweepSpec,
+        run_smoke,
+        run_sweep,
+    )
+    from repro.sweep.digests import code_version
+
+    if args.list:
+        from repro.analysis import Table
+
+        table = Table(
+            ["experiment", "headline", "defaults", "title"],
+            title="sweepable experiments",
+        )
+        for name in sorted(EXPERIMENTS):
+            e = EXPERIMENTS[name]
+            defaults = ", ".join(f"{k}={v}" for k, v in sorted(e.defaults.items()))
+            table.add_row(name, e.headline, defaults, e.title)
+        table.print()
+        return 0
+    if args.smoke:
+        return run_smoke(jobs=args.jobs or 2, cache_root=args.cache_dir)
+
+    try:
+        seeds = _parse_seeds(args.seeds)
+        overrides = _parse_overrides(args.set or [])
+        spec = SweepSpec(
+            experiments=[e.strip() for e in args.experiments.split(",")],
+            seeds=seeds,
+            overrides=overrides,
+        )
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get(
+            "REPRO_SWEEP_CACHE", ".sweep_cache"
+        )
+        cache = ResultCache(cache_dir)
+    obs_dir = args.obs_dir or os.environ.get("REPRO_OBS_DIR") or None
+    jobs = args.jobs or os.cpu_count() or 1
+
+    def progress(done, total, result):
+        source = "cache" if result.cached else f"{result.wall_s:6.2f}s"
+        print(
+            f"[{done:3d}/{total}] {result.job.label:40s} {source}",
+            file=sys.stderr,
+        )
+
+    report = run_sweep(
+        spec,
+        jobs=jobs,
+        cache=cache,
+        refresh=args.refresh,
+        obs_dir=obs_dir,
+        progress=progress if not args.quiet else None,
+        isolate=args.isolate,
+    )
+    report.summary_table().print()
+    print(
+        f"sweep digest {report.digest()[:16]}…  code {code_version()[:12]}…  "
+        f"{report.n_cached} cached / {report.n_ran} simulated"
+    )
+    if args.summary_out:
+        from repro.fsutil import atomic_write_json
+
+        atomic_write_json(args.summary_out, report.as_dict())
+        print(f"wrote summary to {args.summary_out}")
+    return 0
+
+
 def cmd_positioning(args: argparse.Namespace) -> int:
     """Print the slide-18 positioning map."""
     from repro.analysis import Table, positioning_map
@@ -204,6 +318,64 @@ def main(argv=None) -> int:
         "--counters-out", default=None, metavar="PATH",
         help="write counter timelines (fixed-step CSV) to PATH",
     )
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run experiment x seed sweeps across cores with a result cache",
+    )
+    p_sweep.add_argument(
+        "--experiments", "-e", default="all", metavar="NAMES",
+        help="comma-separated experiment names, or 'all' (default)",
+    )
+    p_sweep.add_argument(
+        "--seeds", "-s", default="0", metavar="SPEC",
+        help="seed list '0,1,5' or half-open range '0:8' (default '0')",
+    )
+    p_sweep.add_argument(
+        "--jobs", "-j", type=int, default=0, metavar="N",
+        help="worker processes (default: all cores; 1 = serial)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="result cache root (default $REPRO_SWEEP_CACHE or .sweep_cache)",
+    )
+    p_sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache entirely",
+    )
+    p_sweep.add_argument(
+        "--refresh", action="store_true",
+        help="ignore cache hits; re-simulate and overwrite entries",
+    )
+    p_sweep.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="config override: 'field=value' (all experiments with the "
+             "field) or 'experiment.field=value' (repeatable)",
+    )
+    p_sweep.add_argument(
+        "--obs-dir", default=None, metavar="PATH",
+        help="materialise per-job observability exports here "
+             "(default $REPRO_OBS_DIR)",
+    )
+    p_sweep.add_argument(
+        "--summary-out", default=None, metavar="PATH",
+        help="write the full JSON sweep report to PATH",
+    )
+    p_sweep.add_argument(
+        "--isolate", action="store_true",
+        help="fresh worker process per job (max_tasks_per_child=1)",
+    )
+    p_sweep.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress per-job progress lines",
+    )
+    p_sweep.add_argument(
+        "--list", action="store_true",
+        help="list sweepable experiments and exit",
+    )
+    p_sweep.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke: cold + warm 2x2 sweep; warm must be >=95%% cached",
+    )
     sub.add_parser("positioning", help="print the slide-18 map")
     sub.add_parser("roofline", help="print the roofline table")
 
@@ -212,6 +384,7 @@ def main(argv=None) -> int:
         "info": cmd_info,
         "machine": cmd_machine,
         "demo": cmd_demo,
+        "sweep": cmd_sweep,
         "positioning": cmd_positioning,
         "roofline": cmd_roofline,
     }

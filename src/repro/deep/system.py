@@ -217,9 +217,8 @@ class DeepSystem:
         return self.causal_graph().what_if(key, factor)
 
     def write_blame(self, path) -> None:
-        """Write ``blame_report().as_dict()`` as JSON to *path*."""
-        import json
+        """Write ``blame_report().as_dict()`` as JSON to *path*
+        (atomic, parent directories created)."""
+        from repro.fsutil import atomic_write_json
 
-        with open(path, "w") as fh:
-            json.dump(self.blame_report().as_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        atomic_write_json(path, self.blame_report().as_dict())

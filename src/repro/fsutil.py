@@ -1,0 +1,74 @@
+"""Atomic filesystem writes for exports and cache entries.
+
+Every on-disk artifact the simulator produces (traces, metrics dumps,
+blame reports, sweep-cache results) is written through these helpers:
+the parent directory is created on demand and the content lands under a
+temporary name first, promoted with :func:`os.replace` only once fully
+flushed.  Readers therefore never observe a torn file — a crash mid-write
+leaves at worst a stale ``*.tmp*`` orphan, never a half-written artifact.
+This is what makes the content-addressed sweep cache safe to share
+between concurrent worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def ensure_parent(path: PathLike) -> Path:
+    """Create *path*'s parent directory (if missing); return the Path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    return p
+
+
+@contextmanager
+def atomic_open(path: PathLike, mode: str = "w") -> Iterator[Any]:
+    """Context manager: open a temp file beside *path*, rename on success.
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem atomic rename.  On any
+    exception the temp file is removed and *path* is left untouched.
+    """
+    p = ensure_parent(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(p.parent), prefix=p.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, p)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # pragma: no cover - already renamed or gone
+            pass
+        raise
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Atomically write *text* to *path* (parents created)."""
+    with atomic_open(path, "w") as fh:
+        fh.write(text)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Atomically write *data* to *path* (parents created)."""
+    with atomic_open(path, "wb") as fh:
+        fh.write(data)
+
+
+def atomic_write_json(path: PathLike, obj: Any, indent: int = 2) -> None:
+    """Atomically write *obj* as sorted-key JSON (trailing newline)."""
+    with atomic_open(path, "w") as fh:
+        json.dump(obj, fh, indent=indent, sort_keys=True)
+        fh.write("\n")

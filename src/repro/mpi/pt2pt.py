@@ -47,6 +47,26 @@ class PacketHeader:
     value: Any = None
 
 
+def packet_key(msg) -> Optional[tuple]:
+    """The exact-match index key of an incoming packet, or ``None``.
+
+    Installed as the inbox :attr:`~repro.simkernel.resources.Channel.key_of`
+    so waiting receives are served by dict lookup instead of a predicate
+    scan.  Envelope packets (eager/RTS) key on their matching tuple
+    (destination, context, source, tag); protocol packets (CTS/data) key
+    on (destination, kind, source, seq).  The contract with the
+    predicates below: ``pred(msg)`` is true iff ``pred.exact_key ==
+    packet_key(msg)`` for every predicate that advertises an
+    ``exact_key``.
+    """
+    h = msg.payload
+    if not isinstance(h, PacketHeader):
+        return None
+    if h.kind in ("eager", "rts"):
+        return ("env", h.dst_gpid, h.context_id, h.src_gpid, h.tag)
+    return ("seq", h.dst_gpid, h.kind, h.src_gpid, h.seq)
+
+
 @lru_cache(maxsize=16384)
 def make_match(
     my_gpid: int,
@@ -61,7 +81,10 @@ def make_match(
 
     The predicate is pure in its arguments, so repeated receives on the
     same (rank, context, source, tag) — the common streaming pattern —
-    reuse one closure instead of allocating per call.
+    reuse one closure instead of allocating per call.  Wildcard-free
+    predicates carry an ``exact_key`` equal to :func:`packet_key` of
+    the (unique) envelope they accept, enabling the channel's keyed
+    waiter index; wildcard receives stay on the predicate-scan path.
     """
 
     def match(msg) -> bool:
@@ -76,11 +99,17 @@ def make_match(
             return False
         return True
 
+    if src_gpid is not None and tag != ANY_TAG:
+        match.exact_key = ("env", my_gpid, context_id, src_gpid, tag)
     return match
 
 
 def make_seq_match(my_gpid: int, kind: str, src_gpid: int, seq: int):
-    """Predicate matching a protocol packet (CTS or data) by sequence."""
+    """Predicate matching a protocol packet (CTS or data) by sequence.
+
+    Always exact — the predicate carries the :func:`packet_key` it
+    accepts, so a parked CTS/data wait costs O(1) to wake.
+    """
 
     def match(msg) -> bool:
         h: PacketHeader = msg.payload
@@ -92,4 +121,5 @@ def make_seq_match(my_gpid: int, kind: str, src_gpid: int, seq: int):
             and h.seq == seq
         )
 
+    match.exact_key = ("seq", my_gpid, kind, src_gpid, seq)
     return match

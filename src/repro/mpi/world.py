@@ -29,6 +29,7 @@ from repro.mpi.pt2pt import (
     PacketHeader,
     make_match,
     make_seq_match,
+    packet_key,
 )
 from repro.mpi.request import Request
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
@@ -115,6 +116,10 @@ class MPIProcess:
         self.node = node
         self._seq = itertools.count()
         self._inbox = world.transport.inbox_of(endpoint)
+        # Enable the inbox's keyed waiter index: exact receives are then
+        # served by dict lookup instead of a predicate scan (idempotent;
+        # several MPIProcesses may share an endpoint across worlds).
+        self._inbox.key_of = packet_key
         #: Set by the world before the entry function runs.
         self.comm_world: Optional["Communicator"] = None
         #: Intercommunicator to the spawning parents, if this process

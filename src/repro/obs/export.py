@@ -15,6 +15,8 @@ import json
 import warnings
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro.fsutil import atomic_open
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.metrics import MetricsRegistry
     from repro.simkernel.simulator import Simulator
@@ -147,8 +149,12 @@ def chrome_trace(
 
 
 def write_chrome_trace(path, trace: "TraceRecorder", **kwargs) -> None:
-    """Write :func:`chrome_trace` output as JSON to *path*."""
-    with open(path, "w") as fh:
+    """Write :func:`chrome_trace` output as JSON to *path*.
+
+    Parent directories are created and the write is atomic (temp file +
+    rename), so a crash never leaves a torn trace behind.
+    """
+    with atomic_open(path) as fh:
         json.dump(chrome_trace(trace, **kwargs), fh)
 
 
@@ -176,8 +182,8 @@ def iter_jsonl(trace: "TraceRecorder"):
 
 
 def write_jsonl(path, trace: "TraceRecorder") -> None:
-    """Write the JSONL event stream to *path*."""
-    with open(path, "w") as fh:
+    """Write the JSONL event stream to *path* (atomic, parents created)."""
+    with atomic_open(path) as fh:
         for line in iter_jsonl(trace):
             fh.write(line + "\n")
 
@@ -224,9 +230,12 @@ def render_metrics_text(
 def write_metrics(
     path, metrics: "MetricsRegistry", sim: Optional["Simulator"] = None
 ) -> None:
-    """Write a metrics dump; ``.json`` suffix selects JSON, else text."""
+    """Write a metrics dump; ``.json`` suffix selects JSON, else text.
+
+    Atomic (temp file + rename) with parents created on demand.
+    """
     text_mode = not str(path).endswith(".json")
-    with open(path, "w") as fh:
+    with atomic_open(path) as fh:
         if text_mode:
             fh.write(render_metrics_text(metrics, sim) + "\n")
         else:

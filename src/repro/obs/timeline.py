@@ -112,7 +112,9 @@ def write_counters_csv(
     t_end = max((pts[-1][0] for pts in series.values()), default=0.0)
     sampled = {n: resample(series[n], step, t_end=t_end) for n in cols}
     n_rows = int(t_end / step) + 1 if cols else 0
-    with Path(path).open("w", newline="") as fh:
+    from repro.fsutil import atomic_open
+
+    with atomic_open(path, "w") as fh:
         writer = csv.writer(fh)
         writer.writerow(["time_s"] + cols)
         for k in range(n_rows):

@@ -327,26 +327,72 @@ class Channel(Store):
     searching the buffered items first and otherwise parking the getter
     until a matching item is put.  This is exactly the semantics an MPI
     receive needs against the unexpected-message queue.
+
+    **Waiter indexing.**  ``put()`` must find the oldest-posted matching
+    getter.  A naive scan over all parked predicates is O(waiters) per
+    put — hot once many receives are posted.  When the channel has a
+    :attr:`key_of` function (item -> hashable key) and a predicate
+    advertises an ``exact_key`` attribute (the single key it accepts,
+    see :func:`repro.mpi.pt2pt.make_match`), the getter is parked in a
+    per-key bucket and served by one dict lookup.  Predicates without a
+    key (wildcard receives) fall back to a FIFO scan; posting order
+    across both structures is preserved via a monotone sequence number,
+    so matching semantics — and simulated results — are bit-identical
+    to the linear scan.
     """
 
-    __slots__ = ("_matched_getters",)
+    __slots__ = ("_matched_getters", "_keyed_getters", "_match_seq", "key_of")
 
     def __init__(
-        self, sim: "Simulator", capacity: Optional[int] = None, name: str = ""
+        self,
+        sim: "Simulator",
+        capacity: Optional[int] = None,
+        name: str = "",
+        key_of: Optional[Callable[[Any], Any]] = None,
     ) -> None:
         super().__init__(sim, capacity, name)
-        self._matched_getters: deque[tuple[Event, Callable[[Any], bool]]] = deque()
+        #: Wildcard getters, FIFO by posting seq: (seq, Event, predicate).
+        self._matched_getters: deque[tuple[int, Event, Callable[[Any], bool]]] = (
+            deque()
+        )
+        #: Exact-key getters: key -> FIFO deque of (seq, Event).
+        self._keyed_getters: dict[Any, deque[tuple[int, Event]]] = {}
+        self._match_seq = 0
+        #: Optional item -> key function enabling the keyed index.  May
+        #: also be assigned after construction (the MPI layer does).
+        self.key_of = key_of
 
     def put(self, item: Any) -> Event:
         ev = Event(self.sim, name=self._put_name)
         # Matched getters have priority over FIFO getters so that a
-        # selective receive posted earlier is not starved.
-        for i, (gev, pred) in enumerate(self._matched_getters):
-            if pred(item):
-                del self._matched_getters[i]
-                gev.succeed(item)
-                ev.succeed()
-                return ev
+        # selective receive posted earlier is not starved.  Among the
+        # matched getters the oldest-posted match wins (MPI posting
+        # order): compare the keyed-bucket head against the wildcard
+        # scan by sequence number.
+        keyed: Optional[tuple[int, Event]] = None
+        if self._keyed_getters and self.key_of is not None:
+            bucket = self._keyed_getters.get(self.key_of(item))
+            if bucket:
+                keyed = bucket[0]
+        if self._matched_getters:
+            cutoff = keyed[0] if keyed is not None else None
+            for i, (seq, gev, pred) in enumerate(self._matched_getters):
+                if cutoff is not None and seq > cutoff:
+                    break  # the keyed getter is older than any further wildcard
+                if pred(item):
+                    del self._matched_getters[i]
+                    gev.succeed(item)
+                    ev.succeed()
+                    return ev
+        if keyed is not None:
+            key = self.key_of(item)
+            bucket = self._keyed_getters[key]
+            _, gev = bucket.popleft()
+            if not bucket:
+                del self._keyed_getters[key]
+            gev.succeed(item)
+            ev.succeed()
+            return ev
         if self._getters:
             self._getters.popleft().succeed(item)
             ev.succeed()
@@ -367,9 +413,17 @@ class Channel(Store):
                 ev.succeed(item)
                 self._admit_putter()
                 return ev
-        entry = (ev, match)
-        self._matched_getters.append(entry)
-        ev._abandon = lambda: self._discard_matched(entry)
+        self._match_seq += 1
+        seq = self._match_seq
+        key = getattr(match, "exact_key", None)
+        if key is not None and self.key_of is not None:
+            entry = (seq, ev)
+            self._keyed_getters.setdefault(key, deque()).append(entry)
+            ev._abandon = lambda: self._discard_keyed(key, entry)
+        else:
+            entry = (seq, ev, match)
+            self._matched_getters.append(entry)
+            ev._abandon = lambda: self._discard_matched(entry)
         return ev
 
     def _discard_matched(self, entry) -> None:
@@ -377,6 +431,17 @@ class Channel(Store):
             self._matched_getters.remove(entry)
         except ValueError:  # pragma: no cover - already served
             pass
+
+    def _discard_keyed(self, key, entry) -> None:
+        bucket = self._keyed_getters.get(key)
+        if bucket is None:
+            return  # pragma: no cover - already served
+        try:
+            bucket.remove(entry)
+        except ValueError:  # pragma: no cover - already served
+            return
+        if not bucket:
+            del self._keyed_getters[key]
 
     def peek_match(self, match: Callable[[Any], bool]) -> Optional[Any]:
         """Return (without removing) the oldest buffered matching item."""

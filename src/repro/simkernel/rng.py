@@ -13,6 +13,19 @@ import zlib
 
 import numpy as np
 
+from repro.errors import SimulationError
+
+
+class RNGStreamCollisionError(SimulationError):
+    """Two distinct stream names hash to the same spawn key.
+
+    The spawn key is ``crc32(name)``, so distinct names *can* collide
+    (e.g. ``"plumless"``/``"buckeroo"``) — silently handing both
+    components the **same** random stream and correlating draws that
+    must be independent.  Creation fails loudly instead; rename one of
+    the streams.
+    """
+
 
 class RandomStreams:
     """A family of named, independently-seeded numpy generators."""
@@ -20,17 +33,35 @@ class RandomStreams:
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: dict[str, np.random.Generator] = {}
+        #: spawn key -> stream name, for collision detection.  The
+        #: crc32 mixing is kept (existing seeds stay bit-identical);
+        #: colliding *distinct* names now raise instead of silently
+        #: sharing one stream.
+        self._spawn_keys: dict[int, str] = {}
 
     def stream(self, name: str) -> np.random.Generator:
-        """Return (creating if needed) the generator for *name*."""
+        """Return (creating if needed) the generator for *name*.
+
+        Raises :class:`RNGStreamCollisionError` if *name* is new but
+        its crc32 spawn key is already taken by a different name.
+        """
         gen = self._streams.get(name)
         if gen is None:
             # Mix the stream name into the seed deterministically.
+            key = zlib.crc32(name.encode())
+            owner = self._spawn_keys.get(key)
+            if owner is not None and owner != name:
+                raise RNGStreamCollisionError(
+                    f"RNG stream name {name!r} collides with existing "
+                    f"stream {owner!r} (crc32 spawn key {key:#010x}); "
+                    f"the two would share one random stream — rename one"
+                )
             mixed = np.random.SeedSequence(
-                entropy=self.seed, spawn_key=(zlib.crc32(name.encode()),)
+                entropy=self.seed, spawn_key=(key,)
             )
             gen = np.random.default_rng(mixed)
             self._streams[name] = gen
+            self._spawn_keys[key] = name
         return gen
 
     def __contains__(self, name: str) -> bool:
@@ -39,3 +70,4 @@ class RandomStreams:
     def reset(self) -> None:
         """Drop all streams; next access recreates them from scratch."""
         self._streams.clear()
+        self._spawn_keys.clear()

@@ -1,0 +1,132 @@
+"""Content-addressed on-disk result cache.
+
+Layout (one directory per job digest, fanned out on the first two hex
+characters to keep directories small)::
+
+    <root>/v1/objects/ab/abcdef.../result.json      # payload + meta
+    <root>/v1/objects/ab/abcdef.../artifacts/...    # obs exports (optional)
+
+``result.json`` is written **last** and atomically (temp file +
+``os.replace``), so an entry is visible only once complete: readers
+never see a half-written result, and two workers racing on the same
+digest both write identical content (the digest pins the inputs, the
+simulator is deterministic) — last rename wins harmlessly.
+
+Invalidation is purely by key: the digest embeds the config and the
+code version, so changed configs or changed simulator sources simply
+miss.  Stale entries are garbage, never wrong answers; ``prune()``
+removes them wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.fsutil import atomic_write_bytes, atomic_write_json
+
+#: Bump when the entry format changes (old trees are then ignored).
+CACHE_FORMAT = "v1"
+
+
+class ResultCache:
+    """A content-addressed store of sweep-job results."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.objects = self.root / CACHE_FORMAT / "objects"
+        #: Hit/miss/store counters for progress reporting.
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- paths -----------------------------------------------------------
+    def entry_dir(self, digest: str) -> Path:
+        return self.objects / digest[:2] / digest
+
+    def _result_path(self, digest: str) -> Path:
+        return self.entry_dir(digest) / "result.json"
+
+    # -- protocol --------------------------------------------------------
+    def get(self, digest: str) -> Optional[tuple[dict, dict]]:
+        """Return ``(payload, meta)`` for *digest*, or ``None`` on miss.
+
+        A corrupt entry (interrupted legacy write, manual tampering) is
+        treated as a miss — the job simply re-runs and overwrites it.
+        """
+        path = self._result_path(digest)
+        try:
+            doc = json.loads(path.read_text())
+            payload, meta = doc["payload"], doc.get("meta", {})
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload, meta
+
+    def put(
+        self,
+        digest: str,
+        payload: dict,
+        meta: Optional[dict] = None,
+        artifacts: Optional[Iterable[Path]] = None,
+    ) -> Path:
+        """Store *payload* (and optional artifact files) under *digest*.
+
+        *artifacts* are copied into the entry's ``artifacts/`` directory
+        first; ``result.json`` lands last so the entry only becomes
+        visible complete.  Returns the entry directory.
+        """
+        entry = self.entry_dir(digest)
+        names: list[str] = []
+        for src in artifacts or ():
+            src = Path(src)
+            atomic_write_bytes(entry / "artifacts" / src.name, src.read_bytes())
+            names.append(src.name)
+        doc = {
+            "payload": payload,
+            "meta": {
+                **(meta or {}),
+                "artifacts": sorted(names),
+                "created_unix": time.time(),
+            },
+        }
+        atomic_write_json(self._result_path(digest), doc)
+        self.stores += 1
+        return entry
+
+    def has(self, digest: str) -> bool:
+        return self._result_path(digest).exists()
+
+    def artifact_paths(self, digest: str) -> list[Path]:
+        """The stored artifact files of an entry (empty if none)."""
+        adir = self.entry_dir(digest) / "artifacts"
+        return sorted(adir.iterdir()) if adir.is_dir() else []
+
+    def export_artifacts(self, digest: str, dest_dir) -> list[Path]:
+        """Copy an entry's artifacts into *dest_dir*; returns new paths."""
+        out = []
+        for src in self.artifact_paths(digest):
+            dst = Path(dest_dir) / src.name
+            atomic_write_bytes(dst, src.read_bytes())
+            out.append(dst)
+        return out
+
+    # -- maintenance -----------------------------------------------------
+    def entries(self) -> list[str]:
+        """All complete entry digests currently stored."""
+        if not self.objects.is_dir():
+            return []
+        return sorted(
+            p.parent.name for p in self.objects.glob("*/*/result.json")
+        )
+
+    def prune(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        digests = self.entries()
+        for digest in digests:
+            shutil.rmtree(self.entry_dir(digest), ignore_errors=True)
+        return len(digests)

@@ -1,0 +1,409 @@
+"""The sharded sweep engine.
+
+Expands a :class:`SweepSpec` into ``(experiment, config, seed)`` jobs,
+serves what it can from the content-addressed :class:`ResultCache`, and
+fans the misses out across a process pool.  Every job runs in its own
+worker process with a fresh interpreter state (``spawn`` start method)
+and — when observability is requested — its own private staging
+directory for exports, which the engine promotes into the cache entry
+and then materialises into the user's ``REPRO_OBS_DIR``.
+
+Determinism: the simulator promises bit-identical results for identical
+``(config, seed)`` regardless of which process runs them, so a fanned
+sweep's :meth:`SweepReport.digest` matches serial execution exactly,
+and a warm re-run is served entirely from the cache.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sweep import digests
+from repro.sweep.cache import ResultCache
+from repro.sweep.experiments import (
+    effective_config,
+    experiment_names,
+    get_experiment,
+)
+from repro.sweep.obsglue import OBS_DIR_ENV
+
+#: Start method for worker processes.  ``spawn`` gives per-job isolation
+#: (no inherited simulator state, no forked locks); override with
+#: ``REPRO_SWEEP_START_METHOD=fork`` to trade isolation for startup cost.
+START_METHOD_ENV = "REPRO_SWEEP_START_METHOD"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One fully-resolved unit of sweep work."""
+
+    experiment: str
+    config: dict
+    seed: int
+    digest: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.experiment} seed={self.seed}"
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: the deterministic payload plus run metadata."""
+
+    job: Job
+    #: Pure simulated results (``{"metrics": ...}``) — bit-identical
+    #: whether computed fresh, in a worker, or served from the cache.
+    payload: dict
+    cached: bool
+    wall_s: float
+    artifacts: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """What to sweep: experiments x seeds, with config overrides."""
+
+    experiments: Sequence[str]
+    seeds: Sequence[int]
+    #: ``{experiment: {field: value}}``; the key ``"*"`` applies to
+    #: every experiment that has the field.
+    overrides: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+
+    def resolve(self) -> list[Job]:
+        """Expand into concrete jobs with digests (experiment-major,
+        seed-minor order — the canonical serial order)."""
+        names = list(self.experiments)
+        if names == ["all"]:
+            names = experiment_names()
+        jobs = []
+        code = digests.code_version()
+        for name in names:
+            exp = get_experiment(name)
+            # "*" overrides apply where the field exists; per-experiment
+            # overrides must name real fields (effective_config raises).
+            merged = {
+                k: v
+                for k, v in self.overrides.get("*", {}).items()
+                if k in exp.defaults
+            }
+            merged.update(self.overrides.get(name, {}))
+            config = digests.canonical(effective_config(name, merged))
+            for seed in self.seeds:
+                jobs.append(
+                    Job(
+                        experiment=name,
+                        config=config,
+                        seed=int(seed),
+                        digest=digests.job_digest(name, config, int(seed), code),
+                    )
+                )
+        return jobs
+
+
+@dataclass
+class SweepReport:
+    """All job results of one sweep invocation."""
+
+    results: list[JobResult]
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def n_ran(self) -> int:
+        return len(self.results) - self.n_cached
+
+    def digest(self) -> str:
+        """Digest of every job's deterministic payload (order-free).
+
+        Identical for serial and fanned execution, and for cold and
+        warm (cache-served) sweeps — the determinism gate of the CI
+        smoke run.
+        """
+        import hashlib
+
+        doc = sorted(
+            (r.job.digest, digests.canonical_json(r.payload))
+            for r in self.results
+        )
+        blob = digests.canonical_json([list(pair) for pair in doc])
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def as_dict(self) -> dict:
+        return {
+            "digest": self.digest(),
+            "n_jobs": len(self.results),
+            "n_cached": self.n_cached,
+            "n_ran": self.n_ran,
+            "jobs": [
+                {
+                    "experiment": r.job.experiment,
+                    "seed": r.job.seed,
+                    "config": r.job.config,
+                    "digest": r.job.digest,
+                    "cached": r.cached,
+                    "wall_s": r.wall_s,
+                    "payload": r.payload,
+                }
+                for r in self.results
+            ],
+        }
+
+    def summary_table(self):
+        """Merged per-job summary as a :class:`repro.analysis.Table`."""
+        from repro.analysis import Table
+
+        table = Table(
+            ["experiment", "seed", "source", "wall [ms]", "headline", "value"],
+            title=f"sweep summary — {len(self.results)} jobs, "
+            f"{self.n_cached} cached / {self.n_ran} simulated",
+        )
+        for r in self.results:
+            headline = get_experiment(r.job.experiment).headline
+            value = r.payload.get("metrics", {}).get(headline)
+            table.add_row(
+                r.job.experiment,
+                r.job.seed,
+                "cache" if r.cached else "run",
+                r.wall_s * 1e3,
+                headline,
+                value,
+            )
+        return table
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def execute_job(
+    experiment: str, config: dict, seed: int, staging_dir: Optional[str] = None
+) -> dict:
+    """Run one job in this process and return its payload.
+
+    With *staging_dir*, observability exports are redirected there for
+    the duration of the job (``REPRO_OBS_DIR`` is saved/restored), so
+    concurrent jobs never interleave artifacts.
+    """
+    exp = get_experiment(experiment)
+    saved = os.environ.get(OBS_DIR_ENV)
+    try:
+        if staging_dir is not None:
+            os.environ[OBS_DIR_ENV] = staging_dir
+        else:
+            os.environ.pop(OBS_DIR_ENV, None)
+        metrics = exp.fn(dict(config), int(seed))
+    finally:
+        if saved is None:
+            os.environ.pop(OBS_DIR_ENV, None)
+        else:
+            os.environ[OBS_DIR_ENV] = saved
+    return {"metrics": digests.canonical(metrics)}
+
+
+def _pool_main(task: tuple) -> tuple:
+    """Top-level pool entry point (must be picklable)."""
+    index, experiment, config, seed, staging_dir = task
+    t0 = time.perf_counter()
+    payload = execute_job(experiment, config, seed, staging_dir)
+    return index, payload, time.perf_counter() - t0
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+ProgressFn = Callable[[int, int, JobResult], None]
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    refresh: bool = False,
+    obs_dir: Optional[Path] = None,
+    progress: Optional[ProgressFn] = None,
+    isolate: bool = False,
+) -> SweepReport:
+    """Run (or fetch) every job of *spec*; returns a :class:`SweepReport`.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` runs everything inline (serial).
+    cache:
+        Content-addressed result cache (``None`` disables caching).
+    refresh:
+        Ignore cache hits and overwrite entries with fresh runs.
+    obs_dir:
+        Materialise each job's observability exports here (cache hits
+        re-export the stored artifacts; misses run with observability
+        enabled and their artifacts enter the cache).
+    progress:
+        ``fn(done, total, result)`` called as each job settles.
+    isolate:
+        Give every job a brand-new worker process
+        (``max_tasks_per_child=1``) instead of reusing pool workers.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    job_list = spec.resolve()
+    want_obs = obs_dir is not None
+    if want_obs:
+        obs_dir = Path(obs_dir)
+        obs_dir.mkdir(parents=True, exist_ok=True)
+
+    results: dict[int, JobResult] = {}
+    done = 0
+
+    def settle(index: int, result: JobResult) -> None:
+        nonlocal done
+        results[index] = result
+        done += 1
+        if progress is not None:
+            progress(done, len(job_list), result)
+
+    # -- pass 1: cache lookups -----------------------------------------
+    to_run: list[tuple[int, Job]] = []
+    for i, job in enumerate(job_list):
+        hit = None if (cache is None or refresh) else cache.get(job.digest)
+        if hit is not None:
+            payload, meta = hit
+            # An entry recorded without artifacts cannot serve an
+            # observability-requesting sweep; re-run and upgrade it.
+            if want_obs and not meta.get("artifacts"):
+                to_run.append((i, job))
+                continue
+            artifacts = []
+            if want_obs:
+                artifacts = [
+                    p.name for p in cache.export_artifacts(job.digest, obs_dir)
+                ]
+            settle(i, JobResult(job, payload, True, 0.0, artifacts))
+        else:
+            to_run.append((i, job))
+
+    # -- pass 2: execute misses ----------------------------------------
+    staging_root = (
+        Path(tempfile.mkdtemp(prefix="repro-sweep-obs-")) if want_obs else None
+    )
+
+    def staging_for(index: int) -> Optional[str]:
+        if staging_root is None:
+            return None
+        d = staging_root / f"job{index}"
+        d.mkdir(parents=True, exist_ok=True)
+        return str(d)
+
+    def finish_run(index: int, job: Job, payload: dict, wall: float) -> None:
+        staged: list[Path] = []
+        if staging_root is not None:
+            staged = sorted((staging_root / f"job{index}").glob("*"))
+        if cache is not None:
+            cache.put(
+                job.digest, payload,
+                meta={"wall_s": wall, "experiment": job.experiment},
+                artifacts=staged,
+            )
+        if want_obs:
+            for src in staged:
+                shutil.copy2(src, obs_dir / src.name)
+        settle(index, JobResult(job, payload, False, wall, [p.name for p in staged]))
+
+    try:
+        if jobs == 1 or len(to_run) <= 1:
+            for index, job in to_run:
+                t0 = time.perf_counter()
+                payload = execute_job(
+                    job.experiment, job.config, job.seed, staging_for(index)
+                )
+                finish_run(index, job, payload, time.perf_counter() - t0)
+        else:
+            method = os.environ.get(START_METHOD_ENV, "spawn")
+            ctx = get_context(method)
+            pool_kwargs: dict[str, Any] = {}
+            if isolate:
+                pool_kwargs["max_tasks_per_child"] = 1
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(to_run)), mp_context=ctx, **pool_kwargs
+            ) as pool:
+                by_index = dict(to_run)
+                pending = {
+                    pool.submit(
+                        _pool_main,
+                        (i, job.experiment, job.config, job.seed, staging_for(i)),
+                    )
+                    for i, job in to_run
+                }
+                while pending:
+                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        index, payload, wall = fut.result()
+                        finish_run(index, by_index[index], payload, wall)
+    finally:
+        if staging_root is not None:
+            shutil.rmtree(staging_root, ignore_errors=True)
+
+    return SweepReport([results[i] for i in range(len(job_list))])
+
+
+# ---------------------------------------------------------------------------
+# CI smoke
+# ---------------------------------------------------------------------------
+
+#: The two cheapest experiments carry the CI smoke run.
+SMOKE_EXPERIMENTS = ("pingpong", "checkpoint_resilience")
+SMOKE_SEEDS = (0, 1)
+
+
+def run_smoke(jobs: int = 2, cache_root=None, echo=print) -> int:
+    """Cold + warm smoke sweep; returns a process exit code.
+
+    Runs 2 experiments x 2 seeds twice against one cache: the cold pass
+    simulates everything, the warm pass must be served >= 95% from the
+    cache with a bit-identical sweep digest.
+    """
+    spec = SweepSpec(experiments=list(SMOKE_EXPERIMENTS), seeds=list(SMOKE_SEEDS))
+    owns_root = cache_root is None
+    root = Path(cache_root) if cache_root else Path(tempfile.mkdtemp(prefix="repro-sweep-smoke-"))
+    try:
+        cache = ResultCache(root)
+        t0 = time.perf_counter()
+        cold = run_sweep(spec, jobs=jobs, cache=cache)
+        t_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_sweep(spec, jobs=jobs, cache=cache)
+        t_warm = time.perf_counter() - t0
+        n = len(warm.results)
+        frac = warm.n_cached / n if n else 0.0
+        echo(
+            f"sweep smoke: cold {cold.n_ran}/{len(cold.results)} simulated "
+            f"({t_cold:.2f}s), warm {warm.n_cached}/{n} from cache "
+            f"({t_warm:.2f}s)"
+        )
+        if cold.digest() != warm.digest():
+            echo("SMOKE FAILED: warm sweep digest differs from cold run")
+            return 1
+        if frac < 0.95:
+            echo(
+                f"SMOKE FAILED: warm pass only {frac:.0%} cache-served "
+                f"(need >= 95%)"
+            )
+            return 1
+        echo(f"sweep smoke passed (digest {cold.digest()[:16]}…)")
+        return 0
+    finally:
+        if owns_root:
+            shutil.rmtree(root, ignore_errors=True)

@@ -1,0 +1,106 @@
+"""Observability-export glue shared by the sweep engine and the benches.
+
+One implementation of "dump everything observable about this run into a
+directory": trace + metrics + blame for a :class:`~repro.deep.system.DeepSystem`,
+the same for a bare :class:`~repro.simkernel.simulator.Simulator`, and a
+metrics-only variant for analytic drivers.  ``benchmarks/conftest.py``
+delegates here, and sweep workers call the same functions with
+``REPRO_OBS_DIR`` pointed at a per-job staging directory — which is how
+bench-style exports flow through the content-addressed result cache.
+
+All writes are atomic with parents created (see :mod:`repro.fsutil`),
+so a crashed worker never leaves a torn artifact for the cache to pick
+up.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.fsutil import atomic_write_json
+
+#: Directory exports land in when set (the bench/sweep convention).
+OBS_DIR_ENV = "REPRO_OBS_DIR"
+
+
+def obs_dir() -> Optional[Path]:
+    """The active export directory (``$REPRO_OBS_DIR``), or ``None``."""
+    value = os.environ.get(OBS_DIR_ENV)
+    return Path(value) if value else None
+
+
+def observe_kwargs() -> dict:
+    """DeepSystem/Simulator kwargs turning observability on when
+    ``REPRO_OBS_DIR`` is set (else empty = off, preserving the hot
+    path)."""
+    if os.environ.get(OBS_DIR_ENV):
+        return {"trace": True, "metrics": True, "profile": True}
+    return {}
+
+
+def export_system(
+    system, name: str, out_dir=None, report: bool = True
+) -> list[Path]:
+    """Export trace + metrics + blame of a DeepSystem run.
+
+    Writes into *out_dir* (default ``$REPRO_OBS_DIR``; no-op when
+    neither is set) and optionally prints the contention report.
+    Returns the written paths.
+    """
+    out = Path(out_dir) if out_dir else obs_dir()
+    if out is None:
+        return []
+    paths = [
+        out / f"{name}.trace.json",
+        out / f"{name}.metrics.json",
+        out / f"{name}.blame.json",
+    ]
+    system.write_trace(paths[0])
+    system.write_metrics(paths[1])
+    system.write_blame(paths[2])
+    if report:
+        print(system.contention_report())
+    return paths
+
+
+def export_sim(
+    sim, name: str, fabrics=(), gateways=(), out_dir=None, report: bool = True
+) -> list[Path]:
+    """Like :func:`export_system` for a bare :class:`Simulator`
+    (drivers that assemble their own fabrics)."""
+    out = Path(out_dir) if out_dir else obs_dir()
+    if out is None:
+        return []
+    from repro.obs.critpath import CausalGraph
+    from repro.obs.export import write_chrome_trace, write_metrics
+    from repro.obs.report import contention_report
+
+    paths = [
+        out / f"{name}.trace.json",
+        out / f"{name}.metrics.json",
+        out / f"{name}.blame.json",
+    ]
+    write_chrome_trace(paths[0], sim.trace)
+    write_metrics(paths[1], sim.metrics, sim)
+    blame = CausalGraph.from_trace(sim.trace).blame()
+    atomic_write_json(paths[2], blame.as_dict())
+    if report:
+        print(
+            contention_report(sim, fabrics=fabrics, gateways=gateways, blame=blame)
+        )
+    return paths
+
+
+def export_metrics_only(metrics, name: str, out_dir=None) -> list[Path]:
+    """Export a bare :class:`MetricsRegistry` (analytic drivers with no
+    simulator)."""
+    out = Path(out_dir) if out_dir else obs_dir()
+    if out is None:
+        return []
+    from repro.obs.export import write_metrics
+
+    path = out / f"{name}.metrics.json"
+    write_metrics(path, metrics)
+    return [path]

@@ -1,0 +1,65 @@
+"""Property tests for the sweep cache-key semantics."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sweep import digests
+
+# JSON-safe scalars (no NaN/inf — those are rejected by design).
+scalars = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.text(max_size=12),
+    st.none(),
+)
+values = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    ),
+    max_leaves=12,
+)
+configs = st.dictionaries(st.text(min_size=1, max_size=10), values, max_size=6)
+
+
+@settings(max_examples=80, deadline=None)
+@given(config=configs, permutation=st.randoms(use_true_random=False))
+def test_digest_invariant_under_key_order(config, permutation):
+    keys = list(config)
+    permutation.shuffle(keys)
+    reordered = {k: config[k] for k in keys}
+    assert digests.config_digest(reordered) == digests.config_digest(config)
+    assert digests.job_digest("e", reordered, 0, "c") == digests.job_digest(
+        "e", config, 0, "c"
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(config=configs, key=st.text(min_size=1, max_size=10), value=values)
+def test_digest_changes_when_any_field_changes(config, key, value):
+    changed = dict(config)
+    changed[key] = value
+    if digests.canonical_json(changed) == digests.canonical_json(config):
+        assert digests.config_digest(changed) == digests.config_digest(config)
+    else:
+        assert digests.config_digest(changed) != digests.config_digest(config)
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=configs, seed_a=st.integers(0, 2**31), seed_b=st.integers(0, 2**31))
+def test_job_digest_separates_seeds(config, seed_a, seed_b):
+    da = digests.job_digest("e", config, seed_a, "c")
+    db = digests.job_digest("e", config, seed_b, "c")
+    assert (da == db) == (seed_a == seed_b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=configs)
+def test_canonical_json_roundtrip_is_fixed_point(config):
+    import json
+
+    once = digests.canonical_json(config)
+    again = digests.canonical_json(json.loads(once))
+    assert once == again

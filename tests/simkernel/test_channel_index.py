@@ -1,0 +1,200 @@
+"""The Channel keyed-waiter index: same semantics, dict-lookup serving.
+
+These tests pin the contract that makes the index safe: with a
+``key_of`` function installed and predicates advertising ``exact_key``,
+``put()`` must serve exactly the getter the old linear predicate scan
+would have — oldest-posted match first, across both the keyed buckets
+and the wildcard deque.
+"""
+
+from types import SimpleNamespace
+
+from repro.mpi.pt2pt import ANY_TAG, PacketHeader, make_match, make_seq_match, packet_key
+from repro.simkernel import Channel
+
+
+def keyed_match(key):
+    """An exact-key predicate the way the MPI layer builds them."""
+
+    def pred(item):
+        return item == key
+
+    pred.exact_key = key
+    return pred
+
+
+def test_keyed_getter_served_by_index(sim):
+    ch = Channel(sim, key_of=lambda item: item)
+    got = []
+
+    def consumer(sim, ch):
+        item = yield ch.get(match=keyed_match("a"))
+        got.append((item, sim.now))
+
+    def producer(sim, ch):
+        yield sim.timeout(1.0)
+        ch.put("b")  # different key: buffered, not delivered
+        yield sim.timeout(1.0)
+        ch.put("a")
+
+    sim.process(consumer(sim, ch))
+    sim.process(producer(sim, ch))
+    sim.run()
+    assert got == [("a", 2.0)]
+    assert list(ch.items) == ["b"]
+    assert ch._keyed_getters == {}  # bucket cleaned up after serving
+
+
+def test_posting_order_between_keyed_and_wildcard(sim):
+    """Oldest-posted match wins regardless of which structure holds it."""
+    ch = Channel(sim, key_of=lambda item: item)
+    order = []
+
+    def wildcard(sim, ch, tag):
+        item = yield ch.get(match=lambda x: True)
+        order.append((tag, item))
+
+    def keyed(sim, ch, tag):
+        item = yield ch.get(match=keyed_match("k"))
+        order.append((tag, item))
+
+    def scenario(sim, ch):
+        # Post wildcard first, then keyed, then another wildcard.
+        sim.process(wildcard(sim, ch, "w1"))
+        yield sim.timeout(0.1)
+        sim.process(keyed(sim, ch, "k1"))
+        yield sim.timeout(0.1)
+        sim.process(wildcard(sim, ch, "w2"))
+        yield sim.timeout(0.1)
+        # "k" matches all three; the oldest poster (w1) must win,
+        # then the keyed getter, then w2.
+        ch.put("k")
+        ch.put("k")
+        ch.put("k")
+
+    sim.process(scenario(sim, ch))
+    sim.run()
+    assert order == [("w1", "k"), ("k1", "k"), ("w2", "k")]
+
+
+def test_keyed_older_than_wildcard_wins(sim):
+    ch = Channel(sim, key_of=lambda item: item)
+    order = []
+
+    def keyed(sim, ch):
+        item = yield ch.get(match=keyed_match("k"))
+        order.append(("keyed", item))
+
+    def wildcard(sim, ch):
+        item = yield ch.get(match=lambda x: True)
+        order.append(("wild", item))
+
+    def scenario(sim, ch):
+        sim.process(keyed(sim, ch))
+        yield sim.timeout(0.1)
+        sim.process(wildcard(sim, ch))
+        yield sim.timeout(0.1)
+        ch.put("k")
+        ch.put("other")  # unblocks the wildcard getter
+
+    sim.process(scenario(sim, ch))
+    sim.run()
+    assert order == [("keyed", "k"), ("wild", "other")]
+
+
+def test_killed_keyed_getter_does_not_consume(sim):
+    ch = Channel(sim, key_of=lambda item: item)
+    got = []
+
+    def doomed(sim, ch):
+        yield ch.get(match=keyed_match("k"))
+        got.append("doomed")  # pragma: no cover - must never run
+
+    def survivor(sim, ch):
+        item = yield ch.get(match=keyed_match("k"))
+        got.append(("survivor", item))
+
+    def scenario(sim, ch):
+        victim = sim.process(doomed(sim, ch))
+        yield sim.timeout(0.1)
+        sim.process(survivor(sim, ch))
+        yield sim.timeout(0.1)
+        victim.kill()
+        yield sim.timeout(0.1)
+        ch.put("k")
+
+    sim.process(scenario(sim, ch))
+    sim.run()
+    assert got == [("survivor", "k")]
+
+
+def test_without_key_of_exact_key_preds_still_work(sim):
+    """No key_of installed -> exact-key predicates use the scan path."""
+    ch = Channel(sim)  # key_of is None
+    got = []
+
+    def consumer(sim, ch):
+        item = yield ch.get(match=keyed_match("k"))
+        got.append(item)
+
+    def producer(sim, ch):
+        yield sim.timeout(1.0)
+        ch.put("k")
+
+    sim.process(consumer(sim, ch))
+    sim.process(producer(sim, ch))
+    sim.run()
+    assert got == ["k"]
+    assert ch._keyed_getters == {}
+
+
+# ---------------------------------------------------------------------------
+# The MPI-layer contract: pred(msg) is true iff exact_key == packet_key(msg)
+# ---------------------------------------------------------------------------
+
+
+def envelope(kind="eager", ctx=1, src=3, dst=7, tag=9, seq=0):
+    return SimpleNamespace(payload=PacketHeader(
+        kind=kind, context_id=ctx, src_gpid=src, dst_gpid=dst,
+        src_rank=0, tag=tag, seq=seq, size_bytes=64,
+    ))
+
+
+def test_make_match_exact_key_agrees_with_packet_key():
+    pred = make_match(7, 1, 3, 9)
+    msg = envelope()
+    assert pred.exact_key == packet_key(msg)
+    assert pred(msg)
+    for other in (
+        envelope(dst=8), envelope(ctx=2), envelope(src=4),
+        envelope(tag=10), envelope(kind="cts"),
+    ):
+        assert pred(other) == (pred.exact_key == packet_key(other))
+        assert not pred(other)
+
+
+def test_wildcard_matches_carry_no_exact_key():
+    assert not hasattr(make_match(7, 1, None, 9), "exact_key")
+    assert not hasattr(make_match(7, 1, 3, ANY_TAG), "exact_key")
+    # Wildcard predicates still match what they should.
+    any_src = make_match(7, 1, None, 9)
+    assert any_src(envelope(src=3)) and any_src(envelope(src=99))
+
+
+def test_make_seq_match_exact_key_agrees_with_packet_key():
+    pred = make_seq_match(7, "cts", 3, 42)
+    msg = envelope(kind="cts", seq=42)
+    assert pred.exact_key == packet_key(msg)
+    assert pred(msg)
+    for other in (
+        envelope(kind="cts", seq=43),
+        envelope(kind="data", seq=42),
+        envelope(kind="cts", seq=42, src=4),
+        envelope(kind="eager", seq=42),
+    ):
+        assert pred(other) == (pred.exact_key == packet_key(other))
+        assert not pred(other)
+
+
+def test_packet_key_none_for_foreign_payloads():
+    assert packet_key(SimpleNamespace(payload="not a header")) is None

@@ -1,0 +1,57 @@
+"""RNG stream-name crc32 collisions must fail loudly, not correlate."""
+
+import zlib
+
+import pytest
+
+from repro.simkernel.rng import RandomStreams, RNGStreamCollisionError
+
+# A known crc32 collision pair: both hash to 0x4ddb0c25.
+A, B = "plumless", "buckeroo"
+
+
+def test_collision_pair_really_collides():
+    assert zlib.crc32(A.encode()) == zlib.crc32(B.encode())
+    assert A != B
+
+
+def test_distinct_colliding_names_raise():
+    streams = RandomStreams(seed=42)
+    streams.stream(A)
+    with pytest.raises(RNGStreamCollisionError) as exc:
+        streams.stream(B)
+    assert A in str(exc.value) and B in str(exc.value)
+
+
+def test_same_name_reaccess_is_fine():
+    streams = RandomStreams(seed=42)
+    gen = streams.stream(A)
+    assert streams.stream(A) is gen
+    assert A in streams
+
+
+def test_noncolliding_names_coexist():
+    streams = RandomStreams(seed=42)
+    ga = streams.stream("link-jitter")
+    gb = streams.stream("failures")
+    assert ga is not gb
+    # Independent draws: identical sequences would mean shared state.
+    assert list(ga.random(4)) != list(gb.random(4))
+
+
+def test_reset_clears_collision_registry():
+    streams = RandomStreams(seed=42)
+    streams.stream(A)
+    streams.reset()
+    assert A not in streams
+    # After a reset the colliding name may claim the spawn key instead.
+    streams.stream(B)
+    with pytest.raises(RNGStreamCollisionError):
+        streams.stream(A)
+
+
+def test_detection_does_not_perturb_draws():
+    """The collision registry must not change what streams produce."""
+    one = RandomStreams(seed=7).stream("payload").random(8)
+    two = RandomStreams(seed=7).stream("payload").random(8)
+    assert list(one) == list(two)

@@ -1,0 +1,74 @@
+"""The content-addressed result cache: atomicity, misses, artifacts."""
+
+import json
+
+import pytest
+
+from repro.fsutil import atomic_open, atomic_write_json
+from repro.sweep.cache import ResultCache
+
+DIGEST = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def test_roundtrip(cache):
+    assert cache.get(DIGEST) is None
+    cache.put(DIGEST, {"metrics": {"t": 1.5}}, meta={"wall_s": 0.1})
+    payload, meta = cache.get(DIGEST)
+    assert payload == {"metrics": {"t": 1.5}}
+    assert meta["wall_s"] == 0.1
+    assert cache.has(DIGEST)
+    assert cache.entries() == [DIGEST]
+    assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+
+def test_corrupt_entry_is_a_miss(cache):
+    cache.put(DIGEST, {"metrics": {}})
+    path = cache.entry_dir(DIGEST) / "result.json"
+    path.write_text("{ torn json")
+    assert cache.get(DIGEST) is None
+
+
+def test_no_temp_droppings_after_put(cache):
+    cache.put(DIGEST, {"metrics": {"x": 1}})
+    leftovers = [
+        p for p in cache.root.rglob("*") if p.is_file() and ".tmp" in p.name
+    ]
+    assert leftovers == []
+
+
+def test_failed_write_leaves_target_untouched(tmp_path):
+    target = tmp_path / "nested" / "out.json"
+    atomic_write_json(target, {"ok": True})
+    with pytest.raises(RuntimeError):
+        with atomic_open(target) as fh:
+            fh.write("partial garbage")
+            raise RuntimeError("simulated crash mid-write")
+    assert json.loads(target.read_text()) == {"ok": True}
+    assert [p for p in target.parent.iterdir() if ".tmp" in p.name] == []
+
+
+def test_artifacts_roundtrip(cache, tmp_path):
+    art = tmp_path / "stage" / "run.blame.json"
+    art.parent.mkdir()
+    art.write_text('{"blame": 1}\n')
+    cache.put(DIGEST, {"metrics": {}}, artifacts=[art])
+    _, meta = cache.get(DIGEST)
+    assert meta["artifacts"] == ["run.blame.json"]
+    out = tmp_path / "obs"
+    exported = cache.export_artifacts(DIGEST, out)
+    assert [p.name for p in exported] == ["run.blame.json"]
+    assert (out / "run.blame.json").read_bytes() == art.read_bytes()
+
+
+def test_prune(cache):
+    cache.put(DIGEST, {"metrics": {}})
+    cache.put(OTHER, {"metrics": {}})
+    assert cache.prune() == 2
+    assert cache.entries() == []
+    assert cache.get(DIGEST) is None

@@ -1,0 +1,90 @@
+"""Cache-key semantics: the job digest is total over its inputs."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep import digests
+
+
+BASE = {"n_cluster": 4, "n_booster": 8, "sizes_kib": [1, 64], "mode": "cb"}
+
+
+def d(config=BASE, experiment="exp", seed=0, code="codeA"):
+    return digests.job_digest(experiment, config, seed, code)
+
+
+def test_digest_is_stable():
+    assert d() == d()
+
+
+def test_digest_changes_with_any_config_field():
+    for key, new in [
+        ("n_cluster", 5),
+        ("n_booster", 16),
+        ("sizes_kib", [1, 65]),
+        ("mode", "cluster-only"),
+    ]:
+        changed = dict(BASE, **{key: new})
+        assert d(changed) != d(), f"field {key} did not re-key the digest"
+
+
+def test_digest_changes_with_seed_experiment_and_code():
+    assert d(seed=1) != d()
+    assert d(experiment="other") != d()
+    assert d(code="codeB") != d()
+
+
+def test_digest_independent_of_key_order():
+    reordered = dict(reversed(list(BASE.items())))
+    assert list(reordered) != list(BASE)
+    assert d(reordered) == d()
+
+
+def test_tuples_and_lists_digest_identically():
+    assert d(dict(BASE, sizes_kib=(1, 64))) == d(dict(BASE, sizes_kib=[1, 64]))
+
+
+def test_int_and_equal_float_are_distinct():
+    # json distinguishes 4 from 4.0 — so must the digest.
+    assert d(dict(BASE, n_cluster=4.0)) != d()
+
+
+def test_non_json_config_rejected():
+    with pytest.raises(ConfigurationError):
+        digests.config_digest({"bad": {1, 2}})
+    with pytest.raises(ConfigurationError):
+        digests.config_digest({"bad": float("nan")})
+    with pytest.raises(ConfigurationError):
+        digests.config_digest({1: "non-string key"})
+
+
+def test_code_version_is_cached_and_env_overridable(monkeypatch):
+    v1 = digests.code_version()
+    assert v1 == digests.code_version()
+    assert len(v1) == 64
+    monkeypatch.setenv(digests.CODE_VERSION_ENV, "pinned")
+    assert digests.code_version() == "pinned"
+    monkeypatch.delenv(digests.CODE_VERSION_ENV)
+    assert digests.code_version() == v1
+
+
+def test_digest_stable_across_processes():
+    """The same job must hash identically in a fresh interpreter."""
+    here = d()
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    code = (
+        "from repro.sweep import digests;"
+        f"print(digests.job_digest('exp', {BASE!r}, 0, 'codeA'))"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    assert out.stdout.strip() == here

@@ -1,0 +1,116 @@
+"""Serial engine semantics: expansion, caching, refresh, obs artifacts."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep import ResultCache, SweepSpec, run_sweep
+
+SPEC = SweepSpec(
+    experiments=["pingpong", "checkpoint_resilience"],
+    seeds=[0, 1],
+    overrides={
+        "pingpong": {"rounds": 1, "sizes_kib": [1], "n_pairs": 1},
+        "checkpoint_resilience": {"work_s": 200.0, "mtbf_s": 120.0},
+    },
+)
+
+
+def test_resolve_expands_experiment_major():
+    jobs = SPEC.resolve()
+    assert [(j.experiment, j.seed) for j in jobs] == [
+        ("pingpong", 0), ("pingpong", 1),
+        ("checkpoint_resilience", 0), ("checkpoint_resilience", 1),
+    ]
+    assert len({j.digest for j in jobs}) == 4
+    assert jobs[0].config["rounds"] == 1
+
+
+def test_star_overrides_apply_where_field_exists():
+    spec = SweepSpec(
+        experiments=["pingpong", "checkpoint_resilience"],
+        seeds=[0],
+        overrides={"*": {"rounds": 9, "work_s": 50.0}},
+    )
+    jobs = spec.resolve()
+    assert jobs[0].config["rounds"] == 9
+    assert "rounds" not in jobs[1].config
+    assert jobs[1].config["work_s"] == 50.0
+
+
+def test_bad_jobs_count_rejected():
+    with pytest.raises(ConfigurationError):
+        run_sweep(SPEC, jobs=0)
+
+
+def test_cold_then_warm_bit_identical(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_sweep(SPEC, jobs=1, cache=cache)
+    assert cold.n_ran == 4 and cold.n_cached == 0
+    warm = run_sweep(SPEC, jobs=1, cache=cache)
+    assert warm.n_cached == 4 and warm.n_ran == 0
+    # The acceptance bar: a cache hit returns bit-identical payloads.
+    for a, b in zip(cold.results, warm.results):
+        assert a.payload == b.payload
+        assert a.job.digest == b.job.digest
+    assert cold.digest() == warm.digest()
+
+
+def test_refresh_overwrites_instead_of_hitting(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    run_sweep(SPEC, jobs=1, cache=cache)
+    again = run_sweep(SPEC, jobs=1, cache=cache, refresh=True)
+    assert again.n_cached == 0 and again.n_ran == 4
+
+
+def test_progress_callback_sees_every_job(tmp_path):
+    seen = []
+    run_sweep(SPEC, jobs=1, progress=lambda d, n, r: seen.append((d, n, r.job.label)))
+    assert len(seen) == 4
+    assert seen[-1][0] == 4 and all(n == 4 for _, n, _ in seen)
+
+
+def test_obs_exports_flow_through_the_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cold_dir = tmp_path / "obs_cold"
+    warm_dir = tmp_path / "obs_warm"
+    spec = SweepSpec(
+        experiments=["checkpoint_resilience"], seeds=[0],
+        overrides=SPEC.overrides,
+    )
+    cold = run_sweep(spec, jobs=1, cache=cache, obs_dir=cold_dir)
+    assert cold.n_ran == 1
+    blame = cold_dir / "checkpoint_resilience_seed0.blame.json"
+    assert blame.exists()
+    # Warm pass: artifacts come back out of the cache, bit-identical.
+    warm = run_sweep(spec, jobs=1, cache=cache, obs_dir=warm_dir)
+    assert warm.n_cached == 1
+    warm_blame = warm_dir / "checkpoint_resilience_seed0.blame.json"
+    assert warm_blame.read_bytes() == blame.read_bytes()
+    assert warm.results[0].payload == cold.results[0].payload
+
+
+def test_entry_without_artifacts_upgrades_when_obs_requested(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    spec = SweepSpec(
+        experiments=["checkpoint_resilience"], seeds=[0],
+        overrides=SPEC.overrides,
+    )
+    plain = run_sweep(spec, jobs=1, cache=cache)  # no obs -> no artifacts
+    obs_dir = tmp_path / "obs"
+    upgraded = run_sweep(spec, jobs=1, cache=cache, obs_dir=obs_dir)
+    assert upgraded.n_ran == 1  # re-ran to capture artifacts
+    assert upgraded.results[0].payload == plain.results[0].payload
+    assert (obs_dir / "checkpoint_resilience_seed0.metrics.json").exists()
+
+
+def test_summary_and_report_dict(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    report = run_sweep(SPEC, jobs=1, cache=cache)
+    doc = report.as_dict()
+    assert doc["n_jobs"] == 4
+    assert doc["digest"] == report.digest()
+    json.dumps(doc)  # JSON-serialisable end to end
+    table = report.summary_table()
+    assert table is not None
