@@ -47,6 +47,41 @@ if str(REPO_ROOT) not in sys.path:
 from benchmarks.bench_kernel_hotpath import BASELINE_PATH, run_suite  # noqa: E402
 
 
+def fidelity_guard(repeats: int) -> list[str]:
+    """Wall-clock guard for the analytic fidelity tier.
+
+    Runs the ``alltoall_bridge`` experiment at ``fidelity=exact`` and
+    ``fidelity=analytic`` (best-of-N wall each) and fails when the
+    analytic tier is slower than exact — the whole point of the tier is
+    to be cheaper than per-rank event simulation, so a regression here
+    means the closed-form path grew an accidental hot loop.
+    """
+    import time
+
+    from repro.sweep.experiments import effective_config, get_experiment
+
+    exp = get_experiment("alltoall_bridge")
+    walls: dict[str, float] = {}
+    for tier in ("exact", "analytic"):
+        config = effective_config("alltoall_bridge", {"fidelity": tier})
+        best = float("inf")
+        for _ in range(max(repeats, 1)):
+            t0 = time.perf_counter()
+            exp.fn(config, seed=0)
+            best = min(best, time.perf_counter() - t0)
+        walls[tier] = best
+        print(f"  alltoall_bridge fidelity={tier:8s} best-of-{repeats} "
+              f"wall {best * 1e3:8.2f} ms")
+    if walls["analytic"] > walls["exact"]:
+        return [
+            "fidelity guard: analytic tier slower than exact "
+            f"({walls['analytic'] * 1e3:.2f} ms > {walls['exact'] * 1e3:.2f} ms)"
+        ]
+    print(f"  analytic/exact wall ratio "
+          f"{walls['analytic'] / walls['exact']:.3f}x  [ok]")
+    return []
+
+
 def compare(results: dict, invariants: dict, baseline: dict,
             threshold: float, tiny: bool) -> list[str]:
     """Return a list of failure messages (empty = gate passes)."""
@@ -126,7 +161,21 @@ def main(argv=None) -> int:
         "--cache-dir", default=None, metavar="PATH",
         help="sweep cache root (default $REPRO_SWEEP_CACHE or .sweep_cache)",
     )
+    ap.add_argument(
+        "--fidelity-guard", action="store_true",
+        help="also assert the analytic fidelity tier is not slower than "
+             "the exact tier (alltoall_bridge, best-of-3 wall)",
+    )
     args = ap.parse_args(argv)
+
+    if args.fidelity_guard:
+        print("fidelity guard (analytic vs exact wall clock):")
+        failures = fidelity_guard(repeats=3)
+        if failures:
+            print("\nBENCH REGRESSION GATE FAILED:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
 
     if not BASELINE_PATH.exists():
         print(f"no baseline at {BASELINE_PATH}; nothing to gate against")

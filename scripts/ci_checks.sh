@@ -18,13 +18,18 @@ echo "== kernel hot-path smoke (tiny) =="
 python benchmarks/bench_kernel_hotpath.py --tiny --out "$(mktemp)"
 
 echo "== bench regression gate =="
-python scripts/bench_regression.py --repeats 3
+python scripts/bench_regression.py --repeats 3 --fidelity-guard
 
 echo "== sweep smoke (cold + warm, cache-served) =="
 python -m repro sweep --smoke
 
+echo "== fidelity smoke (analytic 100k-rank collective, closed-form) =="
+python -m repro sweep --experiments collective_scale --seeds 0 --no-cache \
+    --quiet --set ranks=100000 > "$(mktemp)"
+
 echo "== critical-path smoke =="
 python -m repro demo --blame --what-if extoll.bw=2 --what-if spawn.latency=0.25 \
+    --what-if smfu.segment_bytes=0.25 \
     --report --report-top 3 > "$(mktemp)"
 
 echo "== ci checks passed =="

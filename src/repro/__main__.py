@@ -126,14 +126,46 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _parse_seeds(spec: str) -> list[int]:
-    """``"0,1,5"`` or ``"0:8"`` (half-open range) -> seed list."""
+    """``"0,1,5"`` or ``"0:8"`` (half-open range) -> seed list.
+
+    Rejects what used to slip through as a silently-empty sweep:
+    inverted ranges (``5:2``), empty specs, and negative seeds (the
+    per-job RNG streams require non-negative seeds).
+    """
+
+    def parse_int(text: str, what: str) -> int:
+        try:
+            return int(text)
+        except ValueError:
+            raise ValueError(
+                f"bad {what} {text!r} in seed spec {spec!r}; expected an "
+                "integer like '0:8' or '0,1,5'"
+            ) from None
+
     if ":" in spec:
         lo, _, hi = spec.partition(":")
-        seeds = list(range(int(lo or 0), int(hi)))
+        lo_i = parse_int(lo, "range start") if lo else 0
+        hi_i = parse_int(hi, "range end") if hi else None
+        if hi_i is None:
+            raise ValueError(
+                f"seed range {spec!r} has no end; the range is half-open, "
+                "e.g. '0:8' means seeds 0..7"
+            )
+        if hi_i <= lo_i:
+            raise ValueError(
+                f"seed range {spec!r} is empty (start {lo_i} >= end {hi_i}); "
+                "the range is half-open, e.g. '0:8' means seeds 0..7"
+            )
+        seeds = list(range(lo_i, hi_i))
     else:
-        seeds = [int(s) for s in spec.split(",") if s != ""]
+        seeds = [
+            parse_int(s, "seed") for s in spec.split(",") if s.strip() != ""
+        ]
     if not seeds:
         raise ValueError(f"empty seed spec {spec!r}")
+    negative = [s for s in seeds if s < 0]
+    if negative:
+        raise ValueError(f"seeds must be >= 0, got {negative} in {spec!r}")
     return seeds
 
 

@@ -9,9 +9,10 @@ on an EXTOLL torus, and the SMFU bridge across the BI nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.fidelity import FidelityConfig
 from repro.hardware.catalog import (
     booster_interface_spec,
     booster_node_spec,
@@ -59,6 +60,9 @@ class MachineConfig:
     #: EXTOLL adaptive (load-aware minimal) routing instead of
     #: deterministic dimension order (X21 ablates it).
     extoll_adaptive: bool = False
+    #: Per-subsystem model tier: a :class:`repro.fidelity.FidelityConfig`
+    #: or anything its ``coerce`` accepts ("analytic", {"smfu": ...}).
+    fidelity: Any = None
 
     def __post_init__(self) -> None:
         if self.n_cluster < 1:
@@ -67,6 +71,7 @@ class MachineConfig:
             raise ConfigurationError("need at least one booster node")
         if not 1 <= self.n_gateways:
             raise ConfigurationError("need at least one gateway")
+        object.__setattr__(self, "fidelity", FidelityConfig.coerce(self.fidelity))
 
 
 class Machine:
@@ -129,7 +134,9 @@ class Machine:
             for n in self.gateway_nodes
         ]
         self.bridge = ClusterBoosterBridge(
-            self.gateways, selection=config.gateway_selection
+            self.gateways,
+            selection=config.gateway_selection,
+            fidelity=config.fidelity.smfu,
         )
 
     # -- convenience -----------------------------------------------------

@@ -84,6 +84,7 @@ class DeepSystem:
             self.machine.fabrics,
             bridge=self.machine.bridge,
             eager_threshold=eager_threshold,
+            fidelity=self.config.fidelity,
         )
         self.world.spawn_backend = self.spawner
         self.world.spawn_backends = {
@@ -213,8 +214,12 @@ class DeepSystem:
     def what_if(self, key: str, factor: float):
         """Projected makespan under a scaling such as
         ``what_if("extoll.bw", 2.0)`` — see
-        :data:`~repro.obs.critpath.WHAT_IF_KEYS`."""
-        return self.causal_graph().what_if(key, factor)
+        :data:`~repro.obs.critpath.WHAT_IF_KEYS`.  Structural keys
+        (``smfu.segment_bytes``) project through the machine's bridge
+        analytic model."""
+        return self.causal_graph().what_if(
+            key, factor, smfu_model=self.machine.bridge
+        )
 
     def write_blame(self, path) -> None:
         """Write ``blame_report().as_dict()`` as JSON to *path*

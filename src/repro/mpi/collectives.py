@@ -21,6 +21,14 @@ scan           linear pipeline                             n-1
 Message values really travel, so functional tests can verify results,
 while message *sizes* are whatever the caller declares (the simulated
 application data volume).
+
+When the world runs with ``fidelity.collectives = "analytic"``, each
+blocking collective below short-circuits into
+:class:`repro.mpi.analytic.AnalyticCollectiveEngine`: the ranks meet on
+one shared event, the closed form of the *same* algorithm is charged,
+and results are computed from the gathered contributions — so the
+functional contract (who returns what) is identical across tiers, only
+the event schedule differs.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import MPIError, RankError
+from repro.mpi.analytic import RING_MIN_BYTES, RING_MIN_RANKS
 from repro.mpi.ops import Op, SUM
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,6 +51,30 @@ def _check_root(comm: "Communicator", root: int) -> None:
         raise RankError(root, comm.size, what="root")
 
 
+def _analytic_engine(comm: "Communicator", tag: int = COLL_TAG):
+    """The world's analytic-collective engine, iff this call qualifies.
+
+    Only *blocking* intra-communicator collectives on the default
+    collective tag take the analytic path.  Nonblocking variants run
+    their algorithm under per-request tags and are not guaranteed to
+    start in the same program order on every rank, which the shared
+    rendezvous' sequence numbering requires — they stay exact.
+    """
+    if tag != COLL_TAG or comm.is_inter:
+        return None
+    return getattr(comm.world, "analytic_collectives", None)
+
+
+def _fold(op: Op, contribs: dict, ranks) -> Any:
+    """Reduce contributions in rank order (collective ops are expected
+    to be associative and commutative, as in every MPI built-in)."""
+    it = iter(ranks)
+    acc = contribs[next(it)]
+    for r in it:
+        acc = op(acc, contribs[r])
+    return acc
+
+
 # ---------------------------------------------------------------------------
 # barrier
 # ---------------------------------------------------------------------------
@@ -51,6 +84,10 @@ def barrier(comm: "Communicator", tag: int = COLL_TAG):
     """Dissemination barrier: ceil(log2 n) rounds of paired messages."""
     n, rank = comm.size, comm.rank
     if n == 1:
+        return
+    engine = _analytic_engine(comm, tag)
+    if engine is not None:
+        yield from engine.rendezvous(comm, "barrier", 0, None)
         return
     k = 1
     while k < n:
@@ -86,6 +123,10 @@ def bcast(comm: "Communicator", value: Any, root: int, size_bytes: int, tag: int
     n, rank = comm.size, comm.rank
     if n == 1:
         return value
+    engine = _analytic_engine(comm, tag)
+    if engine is not None:
+        contribs = yield from engine.rendezvous(comm, "bcast", size_bytes, value)
+        return contribs[root]
     relrank = (rank - root) % n
 
     mask = 1
@@ -110,6 +151,10 @@ def reduce(comm: "Communicator", value: Any, op: Op, root: int, size_bytes: int,
     n, rank = comm.size, comm.rank
     if n == 1:
         return value
+    engine = _analytic_engine(comm, tag)
+    if engine is not None:
+        contribs = yield from engine.rendezvous(comm, "reduce", size_bytes, value)
+        return _fold(op, contribs, range(n)) if rank == root else None
     relrank = (rank - root) % n
     acc = value
     mask = 1
@@ -148,9 +193,18 @@ def allreduce(
     """
     if algorithm == "auto":
         algorithm = (
-            "ring" if (size_bytes >= 64 * 1024 and comm.size > 4) else
-            "recursive-doubling"
+            "ring"
+            if (size_bytes >= RING_MIN_BYTES and comm.size > RING_MIN_RANKS)
+            else "recursive-doubling"
         )
+    engine = _analytic_engine(comm)
+    if engine is not None:
+        if algorithm not in ("recursive-doubling", "ring", "reduce-bcast"):
+            raise MPIError(f"unknown allreduce algorithm {algorithm!r}")
+        contribs = yield from engine.rendezvous(
+            comm, "allreduce", size_bytes, value, algorithm=algorithm
+        )
+        return _fold(op, contribs, range(comm.size))
     if algorithm == "recursive-doubling":
         result = yield from _allreduce_recursive_doubling(comm, value, op, size_bytes)
     elif algorithm == "ring":
@@ -250,6 +304,10 @@ def gather(comm: "Communicator", value: Any, root: int, size_bytes: int):
     """Binomial-tree gather; returns the rank-ordered list at *root*."""
     _check_root(comm, root)
     n, rank = comm.size, comm.rank
+    engine = _analytic_engine(comm)
+    if engine is not None:
+        contribs = yield from engine.rendezvous(comm, "gather", size_bytes, value)
+        return [contribs[r] for r in range(n)] if rank == root else None
     relrank = (rank - root) % n
     bucket: dict[int, Any] = {rank: value}
     mask = 1
@@ -278,9 +336,15 @@ def scatter(
     """Binomial-tree scatter of a rank-indexed list held at *root*."""
     _check_root(comm, root)
     n, rank = comm.size, comm.rank
+    if rank == root and (values is None or len(values) != n):
+        raise MPIError(f"scatter needs a list of {n} values at the root")
+    engine = _analytic_engine(comm)
+    if engine is not None:
+        contribs = yield from engine.rendezvous(
+            comm, "scatter", size_bytes, values if rank == root else None
+        )
+        return contribs[root][rank]
     if rank == root:
-        if values is None or len(values) != n:
-            raise MPIError(f"scatter needs a list of {n} values at the root")
         bucket = {r: v for r, v in enumerate(values)}
     else:
         bucket = None
@@ -326,6 +390,10 @@ def _highest_pow2_below(n: int) -> int:
 def allgather(comm: "Communicator", value: Any, size_bytes: int):
     """Ring allgather: n-1 steps, each forwarding one rank's block."""
     n, rank = comm.size, comm.rank
+    engine = _analytic_engine(comm)
+    if engine is not None:
+        contribs = yield from engine.rendezvous(comm, "allgather", size_bytes, value)
+        return [contribs[r] for r in range(n)]
     result: list[Any] = [None] * n
     result[rank] = value
     if n == 1:
@@ -352,6 +420,10 @@ def alltoall(comm: "Communicator", values: Optional[list], size_bytes: int):
         values = [None] * n
     if len(values) != n:
         raise MPIError(f"alltoall needs one value per rank ({n}), got {len(values)}")
+    engine = _analytic_engine(comm)
+    if engine is not None:
+        contribs = yield from engine.rendezvous(comm, "alltoall", size_bytes, values)
+        return [contribs[src][rank] for src in range(n)]
     result: list[Any] = [None] * n
     result[rank] = values[rank]
     for i in range(1, n):
@@ -368,6 +440,10 @@ def alltoall(comm: "Communicator", values: Optional[list], size_bytes: int):
 def scan(comm: "Communicator", value: Any, op: Op, size_bytes: int):
     """Inclusive prefix reduction via a linear pipeline."""
     n, rank = comm.size, comm.rank
+    engine = _analytic_engine(comm)
+    if engine is not None:
+        contribs = yield from engine.rendezvous(comm, "scan", size_bytes, value)
+        return _fold(op, contribs, range(rank + 1))
     acc = value
     if rank > 0:
         other, _ = yield from comm.proc.recv(comm, rank - 1, COLL_TAG)
@@ -487,6 +563,12 @@ def reduce_scatter(comm: "Communicator", values: list, op: Op, size_bytes: int):
         raise MPIError(f"reduce_scatter needs one value per rank ({n})")
     if n == 1:
         return values[0]
+    engine = _analytic_engine(comm)
+    if engine is not None:
+        contribs = yield from engine.rendezvous(
+            comm, "reduce_scatter", size_bytes, values
+        )
+        return _fold(op, {r: contribs[r][rank] for r in range(n)}, range(n))
     chunk = max(size_bytes // n, 1)
     right = (rank + 1) % n
     left = (rank - 1) % n

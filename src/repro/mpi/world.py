@@ -326,6 +326,12 @@ class MPIWorld:
     eager_threshold:
         Largest eager message in bytes (default 32 KiB, a typical
         ParaStation/pscom setting).
+    fidelity:
+        Anything :meth:`repro.fidelity.FidelityConfig.coerce` accepts
+        (``None`` = all exact).  With ``collectives="analytic"`` the
+        blocking collectives charge calibrated LogGP closed forms
+        instead of executing per-rank pt2pt (see
+        :mod:`repro.mpi.analytic`).
     """
 
     def __init__(
@@ -334,10 +340,20 @@ class MPIWorld:
         fabrics: Sequence[Fabric],
         bridge: Optional[ClusterBoosterBridge] = None,
         eager_threshold: int = 32 * 1024,
+        fidelity: Any = None,
     ) -> None:
+        from repro.fidelity import ANALYTIC, FidelityConfig
+
         self.sim = sim
         self.transport = Transport(fabrics, bridge)
         self.eager_threshold = int(eager_threshold)
+        self.fidelity = FidelityConfig.coerce(fidelity)
+        if self.fidelity.collectives == ANALYTIC:
+            from repro.mpi.analytic import AnalyticCollectiveEngine
+
+            self.analytic_collectives = AnalyticCollectiveEngine(self)
+        else:
+            self.analytic_collectives = None
         # Metric handles (no-ops unless the simulator enables metrics).
         m = sim.metrics
         self._m_sent = m.counter("mpi.msgs_sent")

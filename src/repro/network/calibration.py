@@ -89,8 +89,17 @@ def validate_against(
     oneway_times: Sequence[float],
 ) -> list[float]:
     """Relative error of the calibrated fabric per measured point."""
+    if len(sizes) != len(oneway_times):
+        raise ConfigurationError(
+            f"{len(sizes)} sizes vs {len(oneway_times)} times; "
+            "each measured point needs both"
+        )
     errors = []
     for size, measured in zip(sizes, oneway_times):
+        if measured <= 0:
+            raise ConfigurationError(
+                f"measured time for size {size} must be > 0, got {measured}"
+            )
         sim = Simulator()
         fabric = params.build_two_node_fabric(sim)
         predicted = (
@@ -100,3 +109,54 @@ def validate_against(
         )
         errors.append(abs(predicted - measured) / measured)
     return errors
+
+
+#: Probe sizes used when calibrating a LogGP model off a fabric for the
+#: analytic collective tier: one eager-sized point and two larger ones
+#: pin intercept and slope across the regimes collectives exercise.
+DEFAULT_PROBE_SIZES = (1024, 64 * 1024, 1 << 20)
+
+
+def collective_loggp(
+    fabric: Fabric,
+    src: str,
+    dst: str,
+    sizes: Sequence[int] = DEFAULT_PROBE_SIZES,
+) -> LogGPModel:
+    """Calibrate the per-fabric LogGP model the analytic collective
+    tier charges messages with (:mod:`repro.mpi.analytic`).
+
+    Thin named wrapper over :func:`~repro.network.loggp.probe_fabric`
+    so calibration policy (probe sizes, representative pair) lives in
+    one place.  ``src == dst`` degenerates to the loopback path, which
+    the fit handles (G -> 0).
+    """
+    from repro.network.loggp import probe_fabric
+
+    return probe_fabric(fabric, src, dst, list(sizes))
+
+
+def bridged_loggp(
+    bridge,
+    src: str,
+    dst: str,
+    sizes: Sequence[int] = DEFAULT_PROBE_SIZES,
+) -> LogGPModel:
+    """LogGP fit of the Cluster-Booster bridge path *src* -> *dst*.
+
+    Probes the bridge's ideal (uncontended, whole-message) transfer
+    times plus the two endpoint fabrics' host overheads — the
+    cross-fabric analogue of :func:`collective_loggp`, used for
+    communicators spanning both sides.  Deliberately conservative when
+    applied uniformly to a mixed communicator: intra-fabric messages
+    are cheaper than this bridged pair.
+    """
+    src_fabric = bridge._fabric_of(src)
+    dst_fabric = bridge._fabric_of(dst)
+    times = [
+        src_fabric.send_overhead_s
+        + bridge.ideal_transfer_time(src, dst, n)
+        + dst_fabric.recv_overhead_s
+        for n in sizes
+    ]
+    return fit_loggp(list(sizes), times, name=f"bridge:{src}->{dst}")

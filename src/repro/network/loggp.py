@@ -86,6 +86,11 @@ def fit_loggp(
         raise ConfigurationError("need >= 2 equal-length size/time samples")
     if np.any(s < 0) or np.any(t < 0):
         raise ConfigurationError("sizes and times must be non-negative")
+    if np.unique(s).size < 2:
+        raise ConfigurationError(
+            "need >= 2 distinct sizes to separate the bandwidth term "
+            "from the intercept"
+        )
     coeffs = np.polyfit(s - 1, t, 1)
     G = max(float(coeffs[0]), 0.0)
     intercept = max(float(coeffs[1]), 0.0)

@@ -91,6 +91,11 @@ class Segment:
     category: str
     name: str
     fields: dict[str, Any] = field(default_factory=dict)
+    #: ``(span name, span fields)`` of the enclosing bridged-transfer
+    #: (``net.smfu``) span, when this time belongs to one — even if the
+    #: segment itself is a fabric leg or engine wait inside it.  Lets
+    #: structural what-ifs rescale everything a bridged transfer owns.
+    bridge: Optional[tuple[str, dict]] = None
 
     @property
     def duration(self) -> float:
@@ -237,9 +242,11 @@ def resolve_what_if(key: str, factor: float) -> dict[str, float]:
         return {bucket: 1.0 / factor if mode == "inverse" else factor}
     if key == "smfu.segment_bytes":
         raise ValueError(
-            "smfu.segment_bytes changes pipelining structure, which an "
-            "analytic replay cannot model; re-simulate with a modified "
-            "SMFUSpec instead"
+            "smfu.segment_bytes changes pipelining structure, so per-bucket "
+            "rescaling cannot model it; project it through an analytic SMFU "
+            "model instead — DeepSystem.what_if, or "
+            "CausalGraph.what_if(..., smfu_model=machine.bridge) — or "
+            "re-simulate with a modified SMFUSpec"
         )
     # Raw bucket name: interpret the factor as a duration multiplier.
     return {key: factor}
@@ -278,15 +285,28 @@ def _flatten_spans(spans) -> list[Segment]:
                     active.values(),
                     key=lambda s: (s.start, s.start - s.end, s.span_id),
                 )
+                bridge_sp = None
+                for s in active.values():
+                    if s.category == "net.smfu" and (
+                        bridge_sp is None or s.start > bridge_sp.start
+                    ):
+                        bridge_sp = s
+                bridge = (
+                    (bridge_sp.name, bridge_sp.fields)
+                    if bridge_sp is not None
+                    else None
+                )
                 if (
                     current is not None
                     and current_owner == owner.span_id
+                    and current.bridge == bridge
                     and current.end == prev_t
                 ):
                     current.end = t
                 else:
                     current = Segment(
-                        prev_t, t, pid, owner.category, owner.name, owner.fields
+                        prev_t, t, pid, owner.category, owner.name,
+                        owner.fields, bridge=bridge,
                     )
                     current_owner = owner.span_id
                     segments.append(current)
@@ -442,7 +462,7 @@ class CausalGraph:
         )
 
     # -- what-if replay --------------------------------------------------
-    def project(self, scales: dict[str, float]) -> float:
+    def project(self, scales: dict[str, float], scale_fn=None) -> float:
         """Projected makespan with per-bucket duration multipliers.
 
         Replays every segment in recorded order: a segment starts at
@@ -450,6 +470,12 @@ class CausalGraph:
         (b) the projected arrival of the wake that explains the gap
         before it; its duration is scaled by its bucket's multiplier.
         Unexplained gaps (untraced local work) keep their length.
+
+        *scale_fn*, when given, is asked first for each segment's
+        multiplier (``scale_fn(segment) -> float | None``); ``None``
+        falls back to the per-bucket *scales*.  Structural what-ifs use
+        it to rescale exactly the segments belonging to one bridged
+        transfer by that transfer's own projected ratio.
         """
         # Per-pid projection state, filled in global start order so a
         # wake's source timeline is mapped before its destination asks.
@@ -501,17 +527,45 @@ class CausalGraph:
                 start = prev_pe + (seg.start - prev_oe)
             else:
                 start = seg.start
-            end = start + seg.duration * scales.get(seg.bucket, 1.0)
+            mult = scale_fn(seg) if scale_fn is not None else None
+            if mult is None:
+                mult = scales.get(seg.bucket, 1.0)
+            end = start + seg.duration * mult
             prior.append((seg.start, seg.end, start, end))
             proj_starts[pid].append(seg.start)
             if end > projected:
                 projected = end
         return projected
 
-    def what_if(self, key: str, factor: float) -> WhatIfResult:
+    def what_if(
+        self, key: str, factor: float, smfu_model=None
+    ) -> WhatIfResult:
         """Project the makespan under a named scaling (see
         :data:`WHAT_IF_KEYS`; a raw bucket name scales durations
-        directly)."""
+        directly).
+
+        ``smfu.segment_bytes`` is *structural* — it changes how a
+        bridged transfer pipelines, not a per-bucket rate — so it needs
+        *smfu_model* (a :class:`~repro.network.smfu.ClusterBoosterBridge`,
+        e.g. ``system.machine.bridge``): each traced bridged transfer
+        is rescaled by the ratio of its analytic closed-form time at
+        the scaled segment size vs the current one.  Without a model
+        the key is rejected with an explanation.
+        """
+        if key == "smfu.segment_bytes" and smfu_model is not None:
+            if factor <= 0:
+                raise ValueError(
+                    f"what-if factor must be > 0, got {factor!r}"
+                )
+            scale_fn, ratios = self._smfu_segment_scale_fn(smfu_model, factor)
+            projected = self.project({}, scale_fn=scale_fn)
+            return WhatIfResult(
+                key=key,
+                factor=factor,
+                scales={f"{name}:{size}": r for (name, size), r in ratios.items()},
+                baseline_s=self.makespan,
+                projected_s=projected,
+            )
         scales = resolve_what_if(key, factor)
         return WhatIfResult(
             key=key,
@@ -520,3 +574,36 @@ class CausalGraph:
             baseline_s=self.makespan,
             projected_s=self.project(scales),
         )
+
+    def _smfu_segment_scale_fn(self, smfu_model, factor: float):
+        """(scale_fn, ratio cache) rescaling bridged-transfer segments
+        by their route's analytic segment-size ratio.
+
+        Cached per (route, message size): one route carries both tiny
+        control packets (ratio 1.0 — below the segment size, their
+        pipelining never changes) and the large data transfers the
+        what-if is actually about.
+        """
+        ratios: dict[tuple[str, int], float] = {}
+
+        def scale_fn(seg: Segment):
+            if seg.bridge is None:
+                return None
+            name, fields = seg.bridge
+            size = int(fields.get("size", 0))
+            key = (name, size)
+            ratio = ratios.get(key)
+            if ratio is None:
+                gw_name, _, rest = name.partition(":")
+                src, _, dst = rest.partition("->")
+                ratio = smfu_model.segment_bytes_ratio(
+                    src,
+                    dst,
+                    size,
+                    factor,
+                    gateway=fields.get("gateway", gw_name),
+                )
+                ratios[key] = ratio
+            return ratio
+
+        return scale_fn, ratios

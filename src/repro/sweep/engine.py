@@ -260,6 +260,13 @@ def run_sweep(
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     job_list = spec.resolve()
+    if not job_list:
+        # An empty resolution would otherwise "succeed" with an empty
+        # report — always a spec mistake (no experiments, or no seeds).
+        raise ConfigurationError(
+            "sweep spec resolves to zero jobs; check the experiment list "
+            "and the seed range"
+        )
     want_obs = obs_dir is not None
     if want_obs:
         obs_dir = Path(obs_dir)

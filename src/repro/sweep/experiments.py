@@ -149,10 +149,17 @@ def run_pingpong(config: dict, seed: int) -> dict:
         "payload_kib": 16,
         "segment_kib": 256,
         "selection": "dynamic",
+        "fidelity": "exact",
     },
 )
 def run_alltoall_bridge(config: dict, seed: int) -> dict:
-    """All ranks (cluster + booster) exchange across the bridge."""
+    """All ranks (cluster + booster) exchange across the bridge.
+
+    ``fidelity`` is a tier string or ``{"collectives"|"smfu": tier}``
+    mapping (:class:`repro.fidelity.FidelityConfig`); ``"analytic"``
+    charges the LogGP collective + pipelined-SMFU closed forms.
+    """
+    from repro.fidelity import FidelityConfig
     from repro.mpi.world import MPIWorld
     from repro.network import (
         ClusterBoosterBridge,
@@ -164,6 +171,7 @@ def run_alltoall_bridge(config: dict, seed: int) -> dict:
     from repro.simkernel.simulator import Simulator
 
     sim = Simulator(seed=seed, **obsglue.observe_kwargs())
+    fidelity = FidelityConfig.coerce(config["fidelity"])
     cns = [f"cn{i}" for i in range(int(config["n_cluster"]))]
     bns = [f"bn{i}" for i in range(int(config["n_booster"]))]
     gw_names = [f"bi{i}" for i in range(int(config["n_gateways"]))]
@@ -180,8 +188,10 @@ def run_alltoall_bridge(config: dict, seed: int) -> dict:
         )
         for n in gw_names
     ]
-    bridge = ClusterBoosterBridge(gws, selection=str(config["selection"]))
-    world = MPIWorld(sim, [ib, ex], bridge=bridge)
+    bridge = ClusterBoosterBridge(
+        gws, selection=str(config["selection"]), fidelity=fidelity.smfu
+    )
+    world = MPIWorld(sim, [ib, ex], bridge=bridge, fidelity=fidelity)
 
     def main(proc):
         comm = proc.comm_world
@@ -208,6 +218,98 @@ def run_alltoall_bridge(config: dict, seed: int) -> dict:
             }
             for g in gws
         ],
+    }
+
+
+@register(
+    "collective_scale",
+    "collective cost vs rank count (exact sim or LogGP-analytic form)",
+    "cost_s",
+    {
+        "collective": "allreduce",
+        "ranks": 10000,
+        "size_kib": 64,
+        "algorithm": "auto",
+        "fidelity": "analytic",
+        "calib_endpoints": 4,
+    },
+)
+def run_collective_scale(config: dict, seed: int) -> dict:
+    """Cost of one collective at *ranks* ranks.
+
+    ``fidelity="analytic"`` calibrates a LogGP model off a small
+    ``calib_endpoints``-node InfiniBand fabric and evaluates the closed
+    form — pure arithmetic, so 10^4..10^5 ranks run in milliseconds.
+    ``fidelity="exact"`` builds a real *ranks*-endpoint world and
+    executes the per-rank algorithm (keep ranks <= a few hundred).
+    """
+    from repro.fidelity import ANALYTIC, FidelityConfig
+    from repro.mpi.analytic import CollectiveCostModel
+    from repro.mpi.world import MPIWorld
+    from repro.network import InfinibandFabric
+    from repro.network.calibration import collective_loggp
+    from repro.simkernel.simulator import Simulator
+
+    op = str(config["collective"])
+    ranks = int(config["ranks"])
+    if ranks < 1:
+        raise ConfigurationError(f"ranks must be >= 1, got {ranks}")
+    size = int(kib(config["size_kib"]))
+    algorithm = str(config["algorithm"])
+    fidelity = FidelityConfig.coerce(config["fidelity"])
+
+    if fidelity.collectives == ANALYTIC:
+        sim = Simulator(seed=seed)
+        n_calib = max(int(config["calib_endpoints"]), 2)
+        eps = [f"cn{i}" for i in range(n_calib)]
+        ib = InfinibandFabric(sim, eps)
+        for ep in eps:
+            ib.attach_endpoint(ep)
+        model = CollectiveCostModel(collective_loggp(ib, eps[0], eps[1]))
+        cost = model.collective_time(op, ranks, size, algorithm)
+        return {
+            "cost_s": cost,
+            "ranks": ranks,
+            "collective": op,
+            "fidelity": "analytic",
+        }
+
+    sim = Simulator(seed=seed, **obsglue.observe_kwargs())
+    eps = [f"cn{i}" for i in range(ranks)]
+    ib = InfinibandFabric(sim, eps)
+    for ep in eps:
+        ib.attach_endpoint(ep)
+    world = MPIWorld(sim, [ib], fidelity=fidelity)
+
+    def main(proc):
+        comm = proc.comm_world
+        if op == "barrier":
+            yield from comm.barrier()
+        elif op == "bcast":
+            yield from comm.bcast(comm.rank, root=0, size_bytes=size)
+        elif op == "reduce":
+            yield from comm.reduce(1, root=0, size_bytes=size)
+        elif op == "allreduce":
+            yield from comm.allreduce(1, size_bytes=size, algorithm=algorithm)
+        elif op == "allgather":
+            yield from comm.allgather(comm.rank, size_bytes=size)
+        elif op == "alltoall":
+            yield from comm.alltoall([comm.rank] * comm.size, size_bytes=size)
+        else:
+            raise ConfigurationError(
+                f"collective_scale cannot run {op!r} in exact mode"
+            )
+
+    world.create_world([(ep, None) for ep in eps], main)
+    end = sim.run()
+    obsglue.export_sim(
+        sim, f"collective_scale_seed{seed}", fabrics=[ib], report=False
+    )
+    return {
+        "cost_s": end,
+        "ranks": ranks,
+        "collective": op,
+        "fidelity": world.fidelity.collectives,
     }
 
 

@@ -55,3 +55,93 @@ def test_calibrated_fabric_round_trip():
     )
     expected = 1.3e-6 + (1 << 20) / 4e9
     assert t == pytest.approx(expected, rel=0.03)
+
+
+# -- guards and fabric-probe helpers for the analytic tier ------------------
+
+
+def test_validate_against_rejects_mismatched_lengths():
+    params = linkspec_from_measurements(SIZES, TIMES)
+    with pytest.raises(ConfigurationError, match="needs both"):
+        validate_against(params, [1024, 2048], [1e-6])
+
+
+def test_validate_against_rejects_nonpositive_measurements():
+    params = linkspec_from_measurements(SIZES, TIMES)
+    with pytest.raises(ConfigurationError, match="> 0"):
+        validate_against(params, [1024], [0.0])
+    with pytest.raises(ConfigurationError, match="> 0"):
+        validate_against(params, [1024, 2048], [1e-6, -1e-6])
+
+
+def test_collective_loggp_matches_fabric():
+    from repro.network import InfinibandFabric
+    from repro.network.calibration import collective_loggp
+    from repro.simkernel import Simulator
+
+    sim = Simulator(seed=0)
+    eps = ["cn0", "cn1"]
+    ib = InfinibandFabric(sim, eps)
+    for e in eps:
+        ib.attach_endpoint(e)
+    model = collective_loggp(ib, "cn0", "cn1")
+    assert model.bandwidth(64 << 20) == pytest.approx(4e9, rel=0.05)
+    # Intercept covers path latency plus both host overheads.
+    floor = (
+        ib.ideal_transfer_time("cn0", "cn1", 0)
+        + ib.interface("cn0").send_overhead_s
+        + ib.interface("cn1").recv_overhead_s
+    )
+    assert model.transfer_time(0) == pytest.approx(floor, rel=0.05)
+
+
+def test_collective_loggp_loopback_degenerates():
+    from repro.network import InfinibandFabric
+    from repro.network.calibration import collective_loggp
+    from repro.simkernel import Simulator
+
+    sim = Simulator(seed=0)
+    eps = ["cn0", "cn1"]
+    ib = InfinibandFabric(sim, eps)
+    for e in eps:
+        ib.attach_endpoint(e)
+    # src == dst: no wire time, only host overheads; G collapses to 0
+    # rather than the fit blowing up on a zero-slope system.
+    model = collective_loggp(ib, "cn0", "cn0")
+    assert model.G == 0.0
+    assert model.transfer_time(1 << 20) == model.transfer_time(0)
+
+
+def test_bridged_loggp_spans_both_fabrics():
+    from repro.network import (
+        ClusterBoosterBridge,
+        ExtollFabric,
+        InfinibandFabric,
+        SMFUGateway,
+    )
+    from repro.network.calibration import bridged_loggp
+    from repro.simkernel import Simulator
+
+    sim = Simulator(seed=0)
+    cns, bns, gws = ["cn0", "cn1"], ["bn0", "bn1"], ["bi0"]
+    ib = InfinibandFabric(sim, cns + gws)
+    for e in cns + gws:
+        ib.attach_endpoint(e)
+    ex = ExtollFabric(sim, bns + gws)
+    for e in bns + gws:
+        ex.attach_endpoint(e)
+    bridge = ClusterBoosterBridge([SMFUGateway(sim, "bi0", ib, ex)])
+    model = bridged_loggp(bridge, "cn0", "bn0")
+    assert model.name == "bridge:cn0->bn0"
+    # A bridged zero-byte message costs more than an intra-IB one:
+    # two legs plus the SMFU per-message overhead.
+    intra = ib.ideal_transfer_time("cn0", "cn1", 0)
+    assert model.transfer_time(0) > intra
+    # And the fitted model reproduces the bridge's own ideal time.
+    for n in (4096, 1 << 20):
+        assert model.transfer_time(n) == pytest.approx(
+            bridge.ideal_transfer_time("cn0", "bn0", n)
+            + ib.interface("cn0").send_overhead_s
+            + ex.interface("bn0").recv_overhead_s,
+            rel=0.05,
+        )

@@ -83,3 +83,45 @@ def test_probe_fabric_sane(sim):
     model = probe_fabric(ib, "n0", "n1", [0, 4096, 65536, 1 << 20])
     assert model.bandwidth(64 << 20) == pytest.approx(4e9, rel=0.05)
     assert model.transfer_time(0) < 3e-6
+
+
+# -- edge cases pinned for the analytic fidelity tier -----------------------
+# The analytic collective engine leans on these exact behaviors; the
+# tests pin them so a model change shows up as a regression, not as a
+# silent tolerance drift.
+
+
+def test_zero_byte_transfer_is_latency_plus_overheads():
+    m = LogGPModel(L=1e-6, o=0.5e-6, g=1e-6, G=1e-9)
+    # max(n-1, 0) clamps: zero bytes pays L + 2o exactly, never -G.
+    assert m.transfer_time(0) == pytest.approx(2e-6)
+    assert m.transfer_time(0) == m.transfer_time(1)
+
+
+def test_fit_rejects_indistinct_sizes():
+    # Two probes of the same size cannot separate bandwidth from the
+    # intercept; the fit must refuse instead of returning garbage.
+    with pytest.raises(ConfigurationError, match="distinct"):
+        fit_loggp([4096, 4096], [1e-6, 1.1e-6])
+    with pytest.raises(ConfigurationError, match="distinct"):
+        fit_loggp([0, 0, 0], [1e-6, 1e-6, 1e-6])
+
+
+def test_probe_fabric_interpolates_between_probe_sizes():
+    from repro.simkernel import Simulator
+
+    sim = Simulator(seed=0)
+    eps = ["n0", "n1"]
+    ib = InfinibandFabric(sim, eps)
+    for e in eps:
+        ib.attach_endpoint(e)
+    model = probe_fabric(ib, "n0", "n1", [1024, 64 << 10, 1 << 20])
+    # A size between probes lands within a few percent of the fabric's
+    # own ideal time (linear fabric => near-exact interpolation).
+    for n in (4096, 256 << 10):
+        ideal = (
+            ib.ideal_transfer_time("n0", "n1", n)
+            + ib.interface("n0").send_overhead_s
+            + ib.interface("n1").recv_overhead_s
+        )
+        assert model.transfer_time(n) == pytest.approx(ideal, rel=0.05)

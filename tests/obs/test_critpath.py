@@ -70,8 +70,12 @@ class TestResolveWhatIf:
         with pytest.raises(ValueError, match="factor"):
             resolve_what_if("extoll.bw", -1.0)
 
-    def test_segment_bytes_needs_resimulation(self):
+    def test_segment_bytes_needs_structural_model(self):
+        # Without an analytic SMFU model the key is rejected, and the
+        # message points at the structural backends that do work.
         with pytest.raises(ValueError, match="re-simulate"):
+            resolve_what_if("smfu.segment_bytes", 2.0)
+        with pytest.raises(ValueError, match="smfu_model"):
             resolve_what_if("smfu.segment_bytes", 2.0)
 
 
@@ -404,3 +408,112 @@ class TestSystemAPI:
             "fractions", "detail",
         }
         assert d["seconds"]["extoll"] == pytest.approx(2.0)
+
+
+class TestStructuralSegmentBytesWhatIf:
+    """what_if("smfu.segment_bytes", ...) with an analytic SMFU model:
+    bridged-transfer segments are rescaled by their route's closed-form
+    ratio instead of the key being rejected."""
+
+    @staticmethod
+    def bridged_world(segment_bytes, seed=7):
+        from repro.mpi import MPIWorld
+        from repro.network import (
+            ClusterBoosterBridge,
+            ExtollFabric,
+            InfinibandFabric,
+            SMFUGateway,
+        )
+        from repro.network.smfu import SMFUSpec
+
+        sim = Simulator(seed=seed, trace=True)
+        cns, bns, gws = ["cn0", "cn1"], ["bn0", "bn1"], ["bi0"]
+        ib = InfinibandFabric(sim, cns + gws)
+        for e in cns + gws:
+            ib.attach_endpoint(e)
+        ex = ExtollFabric(sim, bns + gws)
+        for e in bns + gws:
+            ex.attach_endpoint(e)
+        spec = SMFUSpec(segment_bytes=segment_bytes)
+        bridge = ClusterBoosterBridge([SMFUGateway(sim, "bi0", ib, ex, spec=spec)])
+        world = MPIWorld(sim, [ib, ex], bridge)
+
+        def main(proc):
+            comm = proc.comm_world
+            for _ in range(2):
+                yield from comm.alltoall(
+                    list(range(comm.size)), size_bytes=1 << 20
+                )
+
+        world.create_world([(e, None) for e in cns + bns], main)
+        sim.run()
+        return sim, bridge
+
+    def test_rejected_without_model(self):
+        sim, _ = self.bridged_world(64 << 10)
+        g = CausalGraph.from_trace(sim.trace)
+        with pytest.raises(ValueError, match="smfu_model"):
+            g.what_if("smfu.segment_bytes", 4.0)
+
+    def test_nonpositive_factor_rejected(self):
+        sim, bridge = self.bridged_world(64 << 10)
+        g = CausalGraph.from_trace(sim.trace)
+        with pytest.raises(ValueError, match="factor"):
+            g.what_if("smfu.segment_bytes", 0.0, smfu_model=bridge)
+
+    def test_projection_tracks_resimulation(self):
+        sim, bridge = self.bridged_world(64 << 10)
+        g = CausalGraph.from_trace(sim.trace)
+        for factor, seg in ((4.0, 256 << 10), (0.25, 16 << 10)):
+            result = g.what_if("smfu.segment_bytes", factor, smfu_model=bridge)
+            true_sim, _ = self.bridged_world(seg)
+            assert result.baseline_s == pytest.approx(sim.now)
+            assert result.projected_s == pytest.approx(true_sim.now, rel=0.05)
+
+    def test_control_packets_unscaled_data_scaled(self):
+        # One route carries both rendezvous control packets (below the
+        # segment size, structurally insensitive) and the 1 MiB data
+        # transfers; the per-(route, size) ratios must not bleed into
+        # each other.
+        sim, bridge = self.bridged_world(64 << 10)
+        g = CausalGraph.from_trace(sim.trace)
+        result = g.what_if("smfu.segment_bytes", 4.0, smfu_model=bridge)
+        def size_of(key):
+            return int(key.rpartition(":")[2])
+
+        small = [v for k, v in result.scales.items() if size_of(k) <= 64 << 10]
+        data = [v for k, v in result.scales.items() if size_of(k) >= 1 << 20]
+        assert small and all(v == pytest.approx(1.0) for v in small)
+        assert data and all(v > 1.1 for v in data)
+
+    def test_result_is_json_serializable(self):
+        import json
+
+        sim, bridge = self.bridged_world(64 << 10)
+        g = CausalGraph.from_trace(sim.trace)
+        result = g.what_if("smfu.segment_bytes", 2.0, smfu_model=bridge)
+        json.dumps(result.as_dict())
+
+    def test_system_what_if_routes_structurally(self):
+        # DeepSystem.what_if hands its bridge to the graph, so the
+        # structural key is accepted instead of raising — even for a
+        # run with no bridged traffic, where the projection is the
+        # identity.
+        from repro.deep import DeepSystem, MachineConfig
+
+        system = DeepSystem(
+            MachineConfig(n_cluster=2, n_booster=4), trace=True
+        )
+
+        def main(proc):
+            yield from proc.comm_world.barrier()
+
+        system.launch(main)
+        system.run()
+        result = system.what_if("smfu.segment_bytes", 0.5)
+        assert result.baseline_s > 0
+        # No bridged segments were traced, so every segment keeps its
+        # duration: the projection equals the graph's identity replay.
+        assert result.projected_s == pytest.approx(
+            system.causal_graph().project({})
+        )

@@ -1,0 +1,123 @@
+"""Property-based checks of the analytic fidelity tier.
+
+The closed forms must be sane far beyond the ranks the exact tier can
+cross-validate: monotone in ranks and bytes up to 10^5 ranks, positive,
+and within tolerance of exact at small ranks on uniform fabrics.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fidelity import ANALYTIC, EXACT
+from repro.mpi.analytic import CollectiveCostModel
+from repro.network import InfinibandFabric
+from repro.network.calibration import collective_loggp
+from repro.network.smfu import pipelined_bridge_time
+from repro.simkernel import Simulator
+
+OPS = [
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+    "scan",
+    "reduce_scatter",
+]
+
+
+@pytest.fixture(scope="module")
+def model():
+    sim = Simulator(seed=0)
+    eps = ["cn0", "cn1"]
+    fab = InfinibandFabric(sim, eps, leaf_radix=512)
+    for e in eps:
+        fab.attach_endpoint(e)
+    return CollectiveCostModel(collective_loggp(fab, "cn0", "cn1"))
+
+
+@given(
+    op=st.sampled_from(OPS),
+    n=st.integers(min_value=2, max_value=100_000),
+    size=st.integers(min_value=0, max_value=1 << 24),
+)
+@settings(max_examples=150, deadline=None)
+def test_cost_positive_and_finite_up_to_1e5_ranks(model, op, size, n):
+    t = model.collective_time(op, n, size)
+    assert t > 0.0
+    assert t < 1e6  # finite and sane even at 100k ranks x 16 MiB
+
+
+@given(
+    op=st.sampled_from(OPS),
+    n=st.integers(min_value=2, max_value=100_000),
+    size=st.integers(min_value=0, max_value=1 << 23),
+)
+@settings(max_examples=100, deadline=None)
+def test_cost_monotone_in_bytes(model, op, n, size):
+    assert model.collective_time(op, n, 2 * size + 1) >= model.collective_time(
+        op, n, size
+    )
+
+
+# Ops whose per-message size does not shrink with n.  reduce_scatter
+# and ring-allreduce send size/n chunks, so a *smaller* world can cost
+# more when its larger chunks cross the eager/rendezvous boundary —
+# faithful to the exact algorithms, but not rank-monotone.
+FIXED_CHUNK_OPS = [
+    op for op in OPS if op not in ("reduce_scatter", "allreduce")
+]
+
+
+@given(
+    op=st.sampled_from(FIXED_CHUNK_OPS),
+    n=st.integers(min_value=2, max_value=50_000),
+    size=st.integers(min_value=1, max_value=1 << 22),
+)
+@settings(max_examples=100, deadline=None)
+def test_cost_monotone_in_ranks(model, op, n, size):
+    # Doubling the world never makes a collective cheaper.  (The log-
+    # structured ops step at powers of two, so compare n vs 2n rather
+    # than n vs n+1 — recursive doubling's remainder phase makes
+    # 2^k + 1 ranks pricier than 2^k + 2.)
+    assert model.collective_time(op, 2 * n, size) >= model.collective_time(
+        op, n, size
+    )
+
+
+@given(
+    n_seg=st.integers(min_value=1, max_value=64),
+    seg=st.integers(min_value=1024, max_value=1 << 20),
+    engines=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_pipelined_time_monotone_in_segments(n_seg, seg, engines):
+    kw = dict(
+        leg1_latency_s=1e-6,
+        leg1_bw=4e9,
+        smfu_bw=5e9,
+        engines=engines,
+        overhead_s=5e-7,
+        leg2_latency_s=2e-6,
+        leg2_bw=5.4e9,
+    )
+    shorter = pipelined_bridge_time([seg] * n_seg, **kw)
+    longer = pipelined_bridge_time([seg] * (n_seg + 1), **kw)
+    assert longer > shorter
+    # And never beats the bottleneck stage's pure serialization.
+    total = seg * n_seg
+    assert shorter >= total / max(kw["leg1_bw"], kw["smfu_bw"], kw["leg2_bw"])
+
+
+@given(size=st.integers(min_value=4096, max_value=1 << 20))
+@settings(max_examples=10, deadline=None)
+def test_analytic_tracks_exact_at_small_ranks(size):
+    from tests.mpi.test_analytic_collectives import run_collective
+
+    t_exact, _ = run_collective(16, EXACT, "allreduce", size)
+    t_analytic, _ = run_collective(16, ANALYTIC, "allreduce", size)
+    assert t_analytic == pytest.approx(t_exact, rel=0.08)

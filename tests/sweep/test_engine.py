@@ -114,3 +114,9 @@ def test_summary_and_report_dict(tmp_path):
     json.dumps(doc)  # JSON-serialisable end to end
     table = report.summary_table()
     assert table is not None
+
+
+def test_zero_job_spec_rejected(tmp_path):
+    spec = SweepSpec(experiments=[], seeds=[])
+    with pytest.raises(ConfigurationError, match="zero jobs"):
+        run_sweep(spec, cache=ResultCache(tmp_path))

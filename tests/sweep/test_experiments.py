@@ -65,3 +65,51 @@ def test_experiment_is_deterministic_in_seed():
     c = exp.fn(config, seed=4)
     assert a == b
     assert a != c  # failure draws depend on the seed
+
+
+# -- fidelity tiers ---------------------------------------------------------
+
+
+def test_collective_scale_analytic_handles_1e5_ranks():
+    import time
+
+    exp = get_experiment("collective_scale")
+    config = effective_config("collective_scale", {"ranks": 100_000})
+    t0 = time.perf_counter()
+    metrics = exp.fn(config, seed=0)
+    wall = time.perf_counter() - t0
+    assert metrics["fidelity"] == "analytic"
+    assert metrics["cost_s"] > 0
+    digests.canonical_json(metrics)
+    # Closed form: pure arithmetic, far under any CI budget.
+    assert wall < 5.0
+
+
+def test_collective_scale_exact_matches_analytic_at_small_ranks():
+    exp = get_experiment("collective_scale")
+    small = {"ranks": 16, "size_kib": 64}
+    exact = exp.fn(
+        effective_config("collective_scale", {**small, "fidelity": "exact"}),
+        seed=0,
+    )
+    analytic = exp.fn(
+        effective_config("collective_scale", {**small, "fidelity": "analytic"}),
+        seed=0,
+    )
+    err = abs(analytic["cost_s"] - exact["cost_s"]) / exact["cost_s"]
+    assert err <= 0.05
+
+
+def test_alltoall_bridge_accepts_fidelity():
+    exp = get_experiment("alltoall_bridge")
+    tiny = dict(TINY["alltoall_bridge"])
+    exact = exp.fn(
+        effective_config("alltoall_bridge", {**tiny, "fidelity": "exact"}),
+        seed=0,
+    )
+    analytic = exp.fn(
+        effective_config("alltoall_bridge", {**tiny, "fidelity": "analytic"}),
+        seed=0,
+    )
+    assert exact[exp.headline] > 0
+    assert analytic[exp.headline] > 0

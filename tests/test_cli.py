@@ -53,3 +53,52 @@ def test_demo_with_observability_exports(capsys, tmp_path):
     assert any(e["ph"] == "X" for e in doc["traceEvents"])
     dump = json.loads(metrics.read_text())
     assert dump["counters"]["smfu.bytes_forwarded"] > 0
+
+
+# -- seed-spec parsing ------------------------------------------------------
+
+
+class TestParseSeeds:
+    def _parse(self, spec):
+        from repro.__main__ import _parse_seeds
+
+        return _parse_seeds(spec)
+
+    def test_accepted_forms(self):
+        assert self._parse("0:8") == list(range(8))
+        assert self._parse(":4") == [0, 1, 2, 3]
+        assert self._parse("3:5") == [3, 4]
+        assert self._parse("0,1,5") == [0, 1, 5]
+        assert self._parse("7") == [7]
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            self._parse("5:2")
+        with pytest.raises(ValueError, match="empty"):
+            self._parse("3:3")
+
+    def test_open_ended_range_rejected(self):
+        with pytest.raises(ValueError, match="half-open"):
+            self._parse("4:")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty seed spec"):
+            self._parse("")
+        with pytest.raises(ValueError, match="empty seed spec"):
+            self._parse(",")
+
+    def test_negative_seeds_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            self._parse("-1")
+        with pytest.raises(ValueError, match=">= 0"):
+            self._parse("0,-3,5")
+
+    def test_garbage_rejected_with_context(self):
+        with pytest.raises(ValueError, match="bad seed 'two'"):
+            self._parse("0,two")
+        with pytest.raises(ValueError, match="bad range end"):
+            self._parse("0:none")
+
+    def test_cli_exit_code_on_bad_seeds(self, capsys):
+        assert main(["sweep", "--seeds", "5:2", "--experiments", "pingpong"]) == 2
+        assert "empty" in capsys.readouterr().err
