@@ -14,7 +14,22 @@ import pytest
 from repro.analysis import Table, TechnologyModel
 from repro.hardware import catalog
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import export_metrics_only, run_once
+
+
+def export_rationale(d) -> None:
+    """E2 is purely analytic, so the REPRO_OBS_DIR artifact is a gauge
+    dump of the slide-5 headline ratios."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.gauge("e02.bg_perf_ratio").set(d["bg_perf_ratio"])
+    registry.gauge("e02.bg_power_ratio").set(d["bg_power_ratio"])
+    registry.gauge("e02.cpu_factor_4y").set(d["cpu_factor_4y"])
+    registry.gauge("e02.required_4y").set(d["required_4y"])
+    registry.gauge("e02.knc_vs_xeon_peak").set(d["knc_vs_xeon_peak"])
+    registry.gauge("e02.knc_gflops_w").set(d["knc_gflops_w"])
+    export_metrics_only(registry, "e02_rationale")
 
 
 def build():
@@ -35,6 +50,7 @@ def build():
 
 def test_e02_rationale(benchmark):
     d = run_once(benchmark, build)
+    export_rationale(d)
 
     table = Table(["quantity", "value", "paper's claim"], title="E2 / slide 5: rationale")
     table.add_row("BG/P->BG/Q perf factor", d["bg_perf_ratio"], "~20x in 4 years")

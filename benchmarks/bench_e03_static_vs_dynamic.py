@@ -19,7 +19,7 @@ from repro.hardware.node import BoosterNode, ClusterNode
 from repro.parastation import BoosterPolicy, JobSpec, Partition, Scheduler
 from repro.simkernel import Simulator
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import export_sim, observe_kwargs, run_once
 
 MIX = JobMix(
     n_jobs=60,
@@ -34,7 +34,7 @@ MIX = JobMix(
 
 
 def run_policy(policy: BoosterPolicy) -> dict:
-    sim = Simulator(seed=1)
+    sim = Simulator(seed=1, **observe_kwargs())
     cluster = Partition(
         sim, "cluster", [ClusterNode(sim, cluster_node_spec(), i) for i in range(8)]
     )
@@ -82,6 +82,7 @@ def run_policy(policy: BoosterPolicy) -> dict:
     sim.process(submitter(sim))
     sim.process(sched.drain())
     sim.run()
+    export_sim(sim, f"e03_{policy.name.lower()}")
 
     allocated = booster.allocated_node_seconds()
     used = used_booster_seconds[0]

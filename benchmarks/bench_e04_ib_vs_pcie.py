@@ -23,9 +23,23 @@ from repro.network import (
 from repro.network.extoll import ExtollFabric
 from repro.simkernel import Simulator
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import export_metrics_only, run_once
 
 SIZES = [64, 1024, 8 << 10, 64 << 10, 1 << 20, 16 << 20]
+
+
+def export_crossover(m, n_cross: float) -> None:
+    """The REPRO_OBS_DIR artifact: per-path transfer times at the sweep
+    endpoints plus the PCIe/FDR crossover size."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.gauge("e04.crossover_bytes").set(n_cross)
+    for path in ("pcie", "ib_qdr", "ib_fdr", "extoll"):
+        model = m[path]
+        registry.gauge(f"e04.{path}.t_small_s").set(model.transfer_time(64))
+        registry.gauge(f"e04.{path}.t_bulk_s").set(model.transfer_time(16 << 20))
+    export_metrics_only(registry, "e04_ib_vs_pcie")
 
 
 def pcie_model(spec: PCIeSpec = PCIeSpec(PCIeGeneration.GEN2, 16)) -> LogGPModel:
@@ -76,6 +90,7 @@ def test_e04_ib_vs_pcie_crossover(benchmark):
     n_cross = crossover_size(pcie, fdr)
     print(f"PCIe/FDR crossover at ~{n_cross:.0f} B "
           f"(PCIe wins below, the fabric above)")
+    export_crossover(m, n_cross)
 
     # --- shape assertions ---------------------------------------------
     # Latency: PCIe clearly wins at small sizes against both IB gens.

@@ -19,9 +19,30 @@ from repro.network import EXTOLL_TOURMALET, ExtollFabric, Message
 from repro.network.extoll import EXTOLL_GALIBIER
 from repro.simkernel import Simulator
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import export_metrics_only, run_once
 
 SIZES = [8, 64, 512, 4 << 10, 64 << 10, 1 << 20, 16 << 20]
+
+
+def export_microbench(d) -> None:
+    """The REPRO_OBS_DIR artifact: the ping latency curve as a
+    histogram plus the slide-16 headline gauges."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    lat = registry.histogram("e07.ping_latency_s")
+    for t in d["latency"].values():
+        lat.observe(t)
+    registry.gauge("e07.velo_latency_s").set(d["latency"][8])
+    bulk = 16 << 20
+    registry.gauge("e07.rma_bulk_bw_Bps").set(bulk / d["latency"][bulk])
+    tc, ta = d["contention_vs_analytic"]
+    registry.gauge("e07.fidelity_rel_err").set(abs(tc - ta) / ta)
+    t_clean, t_lossy = d["retransmission"]
+    registry.gauge("e07.retransmission_penalty").set(t_lossy / t_clean)
+    for n, bw in d["aggregate"].items():
+        registry.gauge(f"e07.aggregate_bw_Bps.n{n}").set(bw)
+    export_metrics_only(registry, "e07_extoll_microbench")
 
 
 def make_torus(sim, n=27, dims=(3, 3, 3), contention=True, spec=EXTOLL_TOURMALET):
@@ -115,6 +136,7 @@ def build():
 
 def test_e07_extoll_microbench(benchmark):
     d = run_once(benchmark, build)
+    export_microbench(d)
 
     table = Table(
         ["size [B]", "latency/transfer time [us]", "bandwidth [GB/s]", "engine"],

@@ -10,15 +10,28 @@ import pytest
 
 from repro.analysis import Table, positioning_map
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import export_metrics_only, run_once
 
 
 def build():
     return positioning_map()
 
 
+def export_positioning(entries) -> None:
+    """The REPRO_OBS_DIR artifact: both map coordinates per system."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for e in entries:
+        key = e.name.lower().replace(" ", "_").replace("(", "").replace(")", "")
+        registry.gauge(f"e08.{key}.scalability").set(e.scalability)
+        registry.gauge(f"e08.{key}.versatility").set(e.versatility)
+    export_metrics_only(registry, "e08_positioning")
+
+
 def test_e08_positioning(benchmark):
     entries = run_once(benchmark, build)
+    export_positioning(entries)
 
     table = Table(
         ["system", "peak [TF]", "scalability (y)", "versatility (x)", "family"],

@@ -18,10 +18,27 @@ echo "== kernel hot-path smoke (tiny) =="
 python benchmarks/bench_kernel_hotpath.py --tiny --out "$(mktemp)"
 
 echo "== bench regression gate =="
-python scripts/bench_regression.py --repeats 3 --fidelity-guard
+python scripts/bench_regression.py --repeats 3 --fidelity-guard --obs-overhead-gate
 
 echo "== sweep smoke (cold + warm, cache-served) =="
 python -m repro sweep --smoke
+
+echo "== fleet observability: sweep -> rebuild parity -> sentinel =="
+FLEET_TMP=$(mktemp -d)
+trap 'rm -rf "$FLEET_TMP"' EXIT
+python -m repro sweep --experiments pingpong,checkpoint_resilience --seeds 0:3 \
+    --jobs 1 --cache-dir "$FLEET_TMP/cache" --obs-dir "$FLEET_TMP/obs" \
+    --quiet > /dev/null
+python -m repro obs rebuild --cache-dir "$FLEET_TMP/cache" --check
+python -m repro obs sentinel --cache-dir "$FLEET_TMP/cache" \
+    --baseline benchmarks/baselines
+echo "== fleet sentinel negative test (perturbed results must fail) =="
+if python -m repro obs sentinel --cache-dir "$FLEET_TMP/cache" \
+    --baseline benchmarks/baselines --perturb 1.5 > /dev/null 2>&1; then
+  echo "sentinel negative test FAILED: perturbed results passed the gate"
+  exit 1
+fi
+echo "sentinel negative test ok (perturbed results rejected)"
 
 echo "== fidelity smoke (analytic 100k-rank collective, closed-form) =="
 python -m repro sweep --experiments collective_scale --seeds 0 --no-cache \

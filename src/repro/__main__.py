@@ -7,6 +7,10 @@ Commands:
 * ``demo``      — run the quickstart scenario end to end;
 * ``sweep``     — fan experiment x seed jobs across cores with a
   content-addressed result cache (see docs/SWEEP.md);
+* ``obs``       — fleet observability over the run index:
+  ``ls``/``show`` slices, ``diff`` two slices (blame + metric deltas
+  with seed-level CIs), ``sentinel`` against committed baselines,
+  ``rebuild`` the index from cached artifacts;
 * ``positioning`` — print the slide-18 map;
 * ``roofline``  — print the Xeon-vs-KNC roofline table.
 """
@@ -99,6 +103,14 @@ def cmd_demo(args: argparse.Namespace) -> int:
     r = out["result"]
     print(f"offloaded {r.n_tasks} tasks to 8 booster nodes in "
           f"{r.elapsed_s * 1e3:.2f} ms (simulated)")
+    from repro.obs.fleet import FleetIndex, env_index_path, manifest_from_system
+
+    fleet_path = env_index_path()
+    if fleet_path is not None:
+        if FleetIndex(fleet_path).record(
+            manifest_from_system(system, "demo", source="demo")
+        ):
+            print(f"recorded demo run in fleet index {fleet_path}")
     if args.trace_out:
         system.write_trace(args.trace_out)
         print(f"wrote Chrome trace to {args.trace_out}")
@@ -267,6 +279,206 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_cache_root(args) -> str:
+    return (
+        getattr(args, "cache_dir", None)
+        or os.environ.get("REPRO_SWEEP_CACHE", ".sweep_cache")
+    )
+
+
+def _fleet_index(args):
+    """The FleetIndex addressed by ``--index`` / ``--cache-dir``."""
+    from repro.obs.fleet import FleetIndex, resolve_index_path
+
+    if getattr(args, "index", None):
+        return FleetIndex(resolve_index_path(args.index))
+    return FleetIndex.at_cache_root(_default_cache_root(args))
+
+
+def _parse_slice_selector(text: str):
+    """``exp``, ``exp@cfgdigestprefix`` or ``exp:field=value,...`` ->
+    (experiment, where, digest_prefix)."""
+    where = {}
+    digest_prefix = None
+    if "@" in text:
+        exp, _, digest_prefix = text.partition("@")
+    elif ":" in text:
+        exp, _, fields = text.partition(":")
+        for pair in fields.split(","):
+            key, sep, raw = pair.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"bad slice selector field {pair!r}; expected field=value"
+                )
+            try:
+                where[key] = json.loads(raw)
+            except ValueError:
+                where[key] = raw
+    else:
+        exp = text
+    if not exp:
+        raise ValueError(f"empty experiment in slice selector {text!r}")
+    return exp, where, digest_prefix
+
+
+def _resolve_slice(manifests, selector: str):
+    """The single slice matched by *selector* (raises ValueError with
+    the candidate list when ambiguous or empty)."""
+    from repro.obs.compare import slice_runs
+
+    exp, where, digest_prefix = _parse_slice_selector(selector)
+    slices = slice_runs(
+        manifests, experiment=exp, where=where,
+        config_digest_prefix=digest_prefix,
+    )
+    if not slices:
+        raise ValueError(f"no indexed runs match {selector!r}")
+    if len(slices) > 1:
+        options = ", ".join(
+            f"{e}@{d[:12]}" for e, d in sorted(slices)
+        )
+        raise ValueError(
+            f"{selector!r} is ambiguous ({len(slices)} slices: {options}); "
+            f"narrow it with exp@digest or exp:field=value"
+        )
+    return next(iter(slices.values()))
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Fleet observability: query/compare the cross-run index."""
+    from repro.analysis import Table
+    from repro.obs import compare
+    from repro.obs.fleet import FleetIndex
+
+    index = _fleet_index(args)
+
+    if args.obs_command == "rebuild":
+        from repro.sweep import ResultCache
+
+        cache = ResultCache(_default_cache_root(args))
+        rebuilt = FleetIndex.rebuild_from_cache(cache)
+        if args.check:
+            on_disk = [m for m in index.load() if m.source == "sweep"]
+            got, want = index.digest(rebuilt), index.digest(on_disk)
+            if got != want:
+                print(
+                    f"obs rebuild --check: MISMATCH (rebuilt {got[:16]}… vs "
+                    f"indexed {want[:16]}…, {len(rebuilt)} vs {len(on_disk)} runs)",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"obs rebuild --check: index matches cache "
+                f"({len(rebuilt)} sweep runs, digest {got[:16]}…)"
+            )
+            return 0
+        out = FleetIndex(args.out) if args.out else index
+        out.rewrite(rebuilt)
+        print(
+            f"rebuilt {out.path} from cache: {len(rebuilt)} runs, "
+            f"digest {out.digest(rebuilt)[:16]}…"
+        )
+        return 0
+
+    manifests = index.load()
+    if not manifests and args.obs_command != "sentinel":
+        print(f"obs: no runs indexed at {index.path}", file=sys.stderr)
+        return 2
+
+    if args.obs_command == "ls":
+        slices = compare.slice_runs(
+            manifests, experiment=args.experiment or None
+        )
+        table = Table(
+            ["experiment", "config", "runs", "seeds", "partial",
+             "makespan mean [s]", "±ci95"],
+            title=f"fleet index — {len(manifests)} runs, "
+                  f"{len(slices)} slices ({index.path})",
+        )
+        for key in sorted(slices):
+            agg = compare.aggregate_slice(slices[key])
+            mk = agg.makespan
+            table.add_row(
+                agg.experiment,
+                agg.config_digest[:12],
+                agg.n,
+                ",".join(map(str, agg.seeds)) or "-",
+                agg.n_partial or "",
+                mk.mean if mk else "-",
+                mk.ci95 if mk else "-",
+            )
+        table.print()
+        if args.digest:
+            print(f"index digest {index.digest(manifests)}")
+        return 0
+
+    if args.obs_command == "show":
+        try:
+            runs = _resolve_slice(manifests, args.slice)
+        except ValueError as exc:
+            print(f"obs show: {exc}", file=sys.stderr)
+            return 2
+        agg = compare.aggregate_slice(runs)
+        print(f"slice {agg.label}: {agg.n} runs "
+              f"({agg.n_partial} partial), seeds {agg.seeds}")
+        print(f"config: {json.dumps(agg.config, sort_keys=True)}")
+        table = Table(
+            ["quantity", "n", "mean", "±ci95", "min", "max"],
+            title="metrics across seeds",
+        )
+        if agg.makespan:
+            s = agg.makespan
+            table.add_row("makespan_s", s.n, s.mean, s.ci95, s.lo, s.hi)
+        for name, s in agg.metrics.items():
+            table.add_row(name, s.n, s.mean, s.ci95, s.lo, s.hi)
+        for name, s in agg.blame_fractions.items():
+            table.add_row(f"blame%.{name}", s.n, s.mean, s.ci95, s.lo, s.hi)
+        table.print()
+        return 0
+
+    if args.obs_command == "diff":
+        try:
+            runs_a = _resolve_slice(manifests, args.a)
+            runs_b = _resolve_slice(manifests, args.b)
+        except ValueError as exc:
+            print(f"obs diff: {exc}", file=sys.stderr)
+            return 2
+        report = compare.diff_slices(
+            compare.aggregate_slice(runs_a),
+            compare.aggregate_slice(runs_b),
+            min_rel=args.min_rel,
+        )
+        print(report.render())
+        if args.json:
+            from repro.fsutil import atomic_write_json
+
+            atomic_write_json(args.json, report.as_dict())
+            print(f"wrote diff report to {args.json}")
+        return 0
+
+    if args.obs_command == "sentinel":
+        if args.write:
+            paths = compare.write_baselines(
+                manifests, args.baseline,
+                include_partial=args.include_partial,
+            )
+            if not paths:
+                print("sentinel --write: no eligible runs in the index "
+                      "(are they all partial?)", file=sys.stderr)
+                return 2
+            for p in paths:
+                print(f"wrote baseline {p}")
+            return 0
+        return compare.run_sentinel(
+            manifests, args.baseline,
+            include_partial=args.include_partial,
+            allow_missing=args.allow_missing,
+            perturb=args.perturb,
+        )
+
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
+
+
 def cmd_positioning(args: argparse.Namespace) -> int:
     """Print the slide-18 positioning map."""
     from repro.analysis import Table, positioning_map
@@ -408,6 +620,94 @@ def main(argv=None) -> int:
         "--smoke", action="store_true",
         help="CI smoke: cold + warm 2x2 sweep; warm must be >=95%% cached",
     )
+    p_obs = sub.add_parser(
+        "obs",
+        help="fleet observability: ls/show/diff slices, sentinel, rebuild",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    def add_index_args(p):
+        p.add_argument(
+            "--index", default=None, metavar="PATH",
+            help="fleet index file (runs.jsonl) or directory holding one",
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="PATH",
+            help="sweep cache root whose index to use "
+                 "(default $REPRO_SWEEP_CACHE or .sweep_cache)",
+        )
+
+    p_ls = obs_sub.add_parser("ls", help="list indexed run slices")
+    add_index_args(p_ls)
+    p_ls.add_argument(
+        "--experiment", "-e", default=None,
+        help="only slices of this experiment",
+    )
+    p_ls.add_argument(
+        "--digest", action="store_true",
+        help="also print the order-free index content digest",
+    )
+    p_show = obs_sub.add_parser(
+        "show", help="per-seed statistics of one slice"
+    )
+    add_index_args(p_show)
+    p_show.add_argument(
+        "slice", metavar="SLICE",
+        help="slice selector: 'exp', 'exp@cfgdigest' or 'exp:field=value,...'",
+    )
+    p_diff = obs_sub.add_parser(
+        "diff", help="blame/metric deltas between two slices (mean±CI)"
+    )
+    add_index_args(p_diff)
+    p_diff.add_argument("a", metavar="A", help="baseline slice selector")
+    p_diff.add_argument("b", metavar="B", help="comparison slice selector")
+    p_diff.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the structured diff report to PATH",
+    )
+    p_diff.add_argument(
+        "--min-rel", type=float, default=0.001, metavar="F",
+        help="noise floor: shifts below this relative size are never "
+             "flagged significant (default 0.001)",
+    )
+    p_sent = obs_sub.add_parser(
+        "sentinel",
+        help="gate the index against committed baseline snapshots",
+    )
+    add_index_args(p_sent)
+    p_sent.add_argument(
+        "--baseline", default="benchmarks/baselines", metavar="DIR",
+        help="baseline snapshot directory (default benchmarks/baselines)",
+    )
+    p_sent.add_argument(
+        "--write", action="store_true",
+        help="snapshot the current index slices into the baseline dir",
+    )
+    p_sent.add_argument(
+        "--include-partial", action="store_true",
+        help="include ring-truncated (partial) runs (excluded by default)",
+    )
+    p_sent.add_argument(
+        "--allow-missing", action="store_true",
+        help="skip baselines with no matching indexed runs instead of failing",
+    )
+    p_sent.add_argument(
+        "--perturb", type=float, default=1.0, metavar="FACTOR",
+        help="scale observed means by FACTOR before checking (negative-test "
+             "hook: a passing sentinel must fail with e.g. --perturb 1.5)",
+    )
+    p_rebuild = obs_sub.add_parser(
+        "rebuild", help="regenerate the index from cached artifacts"
+    )
+    add_index_args(p_rebuild)
+    p_rebuild.add_argument(
+        "--check", action="store_true",
+        help="verify the rebuilt index digest matches the on-disk index",
+    )
+    p_rebuild.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the rebuilt index here instead of in place",
+    )
     sub.add_parser("positioning", help="print the slide-18 map")
     sub.add_parser("roofline", help="print the roofline table")
 
@@ -417,6 +717,7 @@ def main(argv=None) -> int:
         "machine": cmd_machine,
         "demo": cmd_demo,
         "sweep": cmd_sweep,
+        "obs": cmd_obs,
         "positioning": cmd_positioning,
         "roofline": cmd_roofline,
     }

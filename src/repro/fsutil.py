@@ -72,3 +72,23 @@ def atomic_write_json(path: PathLike, obj: Any, indent: int = 2) -> None:
     with atomic_open(path, "w") as fh:
         json.dump(obj, fh, indent=indent, sort_keys=True)
         fh.write("\n")
+
+
+def append_line(path: PathLike, line: str) -> None:
+    """Append one newline-terminated record to *path* (parents created).
+
+    The whole record goes down in a single ``O_APPEND`` write, so
+    concurrent appenders (sweep workers, parallel CI jobs) never
+    interleave *within* a record on a local filesystem.  Readers of
+    append-only JSONL files should still skip unparsable lines: a crash
+    mid-write can leave at most one torn record at the tail, which is
+    dropped on load and rewritten by the next append or rebuild.
+    """
+    p = ensure_parent(path)
+    data = (line.rstrip("\n") + "\n").encode()
+    fd = os.open(p, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -12,7 +12,11 @@ The three pieces (DESIGN rationale in ``docs/OBSERVABILITY.md``):
   metrics dumps, and the hottest-links/engines contention report;
 * **causal analysis** — :class:`CausalGraph` critical paths, blame
   reports and what-if projections (:mod:`repro.obs.critpath`), plus
-  counter timelines (:mod:`repro.obs.timeline`).
+  counter timelines (:mod:`repro.obs.timeline`);
+* **fleet observability** — run manifests + the cross-run JSONL index
+  (:mod:`repro.obs.fleet`), seed-level aggregation, blame diffs and
+  the regression sentinel (:mod:`repro.obs.compare`); CLI
+  ``python -m repro obs ls/show/diff/sentinel/rebuild``.
 
 Quick use::
 
@@ -36,6 +40,7 @@ from repro.obs.metrics import (
     NULL_METRICS,
     NullMetrics,
     log_buckets,
+    merge_histograms,
 )
 from repro.obs.export import (
     assign_lanes,
@@ -58,6 +63,26 @@ from repro.obs.critpath import (
     resolve_what_if,
 )
 from repro.obs.report import contention_report, link_blame, system_report
+from repro.obs.fleet import (
+    FLEET_INDEX_ENV,
+    FleetIndex,
+    RunManifest,
+    build_manifest,
+    manifest_from_exports,
+    manifest_from_system,
+)
+from repro.obs.compare import (
+    DEFAULT_TOLERANCES,
+    DiffReport,
+    SliceAggregate,
+    Stats,
+    aggregate_slice,
+    diff_slices,
+    mean_ci,
+    run_sentinel,
+    slice_runs,
+    write_baselines,
+)
 from repro.obs.timeline import (
     chrome_counter_events,
     counter_series,
@@ -69,6 +94,22 @@ __all__ = [
     "BlameReport",
     "CausalGraph",
     "Counter",
+    "DEFAULT_TOLERANCES",
+    "DiffReport",
+    "FLEET_INDEX_ENV",
+    "FleetIndex",
+    "RunManifest",
+    "SliceAggregate",
+    "Stats",
+    "aggregate_slice",
+    "build_manifest",
+    "diff_slices",
+    "manifest_from_exports",
+    "manifest_from_system",
+    "mean_ci",
+    "run_sentinel",
+    "slice_runs",
+    "write_baselines",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
     "Gauge",
@@ -89,6 +130,7 @@ __all__ = [
     "iter_jsonl",
     "link_blame",
     "log_buckets",
+    "merge_histograms",
     "metrics_dict",
     "render_metrics_text",
     "resample",

@@ -24,8 +24,9 @@ Naming convention (see ``docs/OBSERVABILITY.md``): dotted
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -115,6 +116,93 @@ class Histogram:
         uppers = list(self.edges) + [float("inf")]
         return list(zip(uppers, self.counts))
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold *other*'s observations into this histogram in place.
+
+        Both histograms must share identical bucket edges (merging
+        across layouts would silently misbin); returns ``self``.
+        """
+        if self.edges != other.edges:
+            raise ConfigurationError(
+                f"cannot merge histogram {other.name!r} into {self.name!r}: "
+                f"bucket edges differ ({len(other.edges)} vs {len(self.edges)})"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.count += other.count
+        return self
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated *q*-quantile by linear interpolation within the
+        bucket (Prometheus ``histogram_quantile`` semantics).
+
+        Returns ``None`` for an empty histogram.  The first bucket
+        interpolates from a lower bound of 0 (when its upper edge is
+        positive); observations in the overflow bucket clamp to the
+        last finite edge — a known lower-bound bias for heavy tails.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            prev, cum = cum, cum + c
+            if cum >= rank:
+                if i == len(self.edges):  # overflow bucket
+                    return self.edges[-1]
+                upper = self.edges[i]
+                lower = self.edges[i - 1] if i > 0 else min(0.0, upper)
+                return lower + (upper - lower) * max(rank - prev, 0.0) / c
+        return self.edges[-1]
+
+    @classmethod
+    def from_dump(cls, name: str, dump: dict) -> "Histogram":
+        """Reconstruct a histogram from its :meth:`MetricsRegistry.as_dict`
+        dump (``{"count": n, "sum": s, "buckets": [[edge, c], ...]}``).
+
+        The round-trip is exact: re-dumping the result reproduces the
+        input document.
+        """
+        pairs = [(float(e), int(c)) for e, c in dump.get("buckets") or []]
+        if not pairs:
+            raise ConfigurationError(f"histogram dump {name!r} has no buckets")
+        if math.isinf(pairs[-1][0]):
+            edges = [e for e, _ in pairs[:-1]]
+            counts = [c for _, c in pairs]
+        else:  # dump without an explicit overflow bucket
+            edges = [e for e, _ in pairs]
+            counts = [c for _, c in pairs] + [0]
+        if not edges:
+            raise ConfigurationError(
+                f"histogram dump {name!r} has only an overflow bucket"
+            )
+        h = cls(name, edges)
+        h.counts = counts
+        h.count = int(dump.get("count", sum(counts)))
+        h.total = float(dump.get("sum", 0.0))
+        return h
+
+
+def merge_histograms(name: str, histograms: Iterable[Histogram]) -> Histogram:
+    """A new histogram holding the union of *histograms*' observations.
+
+    All inputs must share one bucket layout (cross-seed aggregation of
+    the same metric).  At least one input is required — the layout
+    cannot be guessed from nothing.
+    """
+    hs = list(histograms)
+    if not hs:
+        raise ConfigurationError("merge_histograms needs at least one input")
+    out = Histogram(name, hs[0].edges)
+    for h in hs:
+        out.merge(h)
+    return out
+
 
 class _NullHandle:
     """Shared no-op stand-in for every metric type when disabled."""
@@ -136,6 +224,12 @@ class _NullHandle:
 
     def buckets(self) -> list:
         return []
+
+    def merge(self, other) -> "_NullHandle":
+        return self
+
+    def quantile(self, q: float) -> None:
+        return None
 
 
 _NULL_HANDLE = _NullHandle()

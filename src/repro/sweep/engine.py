@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.fleet import FLEET_INDEX_ENV, FleetIndex, manifest_from_artifacts
 from repro.sweep import digests
 from repro.sweep.cache import ResultCache
 from repro.sweep.experiments import (
@@ -199,6 +200,9 @@ def execute_job(
     """
     exp = get_experiment(experiment)
     saved = os.environ.get(OBS_DIR_ENV)
+    # The engine records the authoritative fleet manifest itself;
+    # experiment-internal exports must not double-index the run.
+    saved_fleet = os.environ.pop(FLEET_INDEX_ENV, None)
     try:
         if staging_dir is not None:
             os.environ[OBS_DIR_ENV] = staging_dir
@@ -210,6 +214,8 @@ def execute_job(
             os.environ.pop(OBS_DIR_ENV, None)
         else:
             os.environ[OBS_DIR_ENV] = saved
+        if saved_fleet is not None:
+            os.environ[FLEET_INDEX_ENV] = saved_fleet
     return {"metrics": digests.canonical(metrics)}
 
 
@@ -272,6 +278,23 @@ def run_sweep(
         obs_dir = Path(obs_dir)
         obs_dir.mkdir(parents=True, exist_ok=True)
 
+    # Fleet run index: one manifest per job, appended at the cache
+    # root.  Purely export-side — no cache, no index, no cost.
+    fleet_index = indexed_ids = None
+    if cache is not None:
+        fleet_index = FleetIndex.at_cache_root(cache.root)
+        indexed_ids = fleet_index.run_ids()
+    code = digests.code_version()
+
+    def record_manifest(job: Job, payload: dict, artifacts) -> None:
+        if fleet_index is None:
+            return
+        manifest = manifest_from_artifacts(
+            job.experiment, job.config, job.seed, code,
+            payload, artifacts, run_id=job.digest,
+        )
+        fleet_index.record(manifest, known_ids=indexed_ids)
+
     results: dict[int, JobResult] = {}
     done = 0
 
@@ -298,6 +321,10 @@ def run_sweep(
                 artifacts = [
                     p.name for p in cache.export_artifacts(job.digest, obs_dir)
                 ]
+            # A hit whose manifest is missing (deleted or older index)
+            # is re-indexed from the cached artifacts.
+            if indexed_ids is not None and job.digest not in indexed_ids:
+                record_manifest(job, payload, cache.artifact_paths(job.digest))
             settle(i, JobResult(job, payload, True, 0.0, artifacts))
         else:
             to_run.append((i, job))
@@ -321,9 +348,18 @@ def run_sweep(
         if cache is not None:
             cache.put(
                 job.digest, payload,
-                meta={"wall_s": wall, "experiment": job.experiment},
+                meta={
+                    "wall_s": wall,
+                    "experiment": job.experiment,
+                    # Manifest metadata: what FleetIndex.rebuild_from_cache
+                    # needs to reproduce the index from the cache alone.
+                    "config": job.config,
+                    "seed": job.seed,
+                    "code": code,
+                },
                 artifacts=staged,
             )
+        record_manifest(job, payload, staged)
         if want_obs:
             for src in staged:
                 shutil.copy2(src, obs_dir / src.name)

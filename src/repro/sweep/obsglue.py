@@ -25,6 +25,37 @@ from repro.fsutil import atomic_write_json
 OBS_DIR_ENV = "REPRO_OBS_DIR"
 
 
+def _record_fleet(
+    name: str,
+    out: Path,
+    metrics_doc=None,
+    blame_doc=None,
+    source: str = "bench",
+) -> None:
+    """Summarise one export into a ``<name>.manifest.json`` artifact
+    and, when ``$REPRO_FLEET_INDEX`` names an index, append it there.
+
+    Sweep workers never reach the index branch: the engine clears the
+    variable around each job and records the authoritative sweep
+    manifest itself (keyed by the job digest).  The standalone manifest
+    file still rides along into the cache as a per-run summary.
+    """
+    from repro.obs.fleet import (
+        FleetIndex,
+        env_index_path,
+        manifest_from_exports,
+        write_manifest_file,
+    )
+
+    manifest = manifest_from_exports(
+        name, metrics_doc=metrics_doc, blame_doc=blame_doc, source=source
+    )
+    write_manifest_file(out / f"{name}.manifest.json", manifest)
+    index_path = env_index_path()
+    if index_path is not None:
+        FleetIndex(index_path).record(manifest)
+
+
 def obs_dir() -> Optional[Path]:
     """The active export directory (``$REPRO_OBS_DIR``), or ``None``."""
     value = os.environ.get(OBS_DIR_ENV)
@@ -52,6 +83,8 @@ def export_system(
     out = Path(out_dir) if out_dir else obs_dir()
     if out is None:
         return []
+    from repro.obs.export import metrics_dict
+
     paths = [
         out / f"{name}.trace.json",
         out / f"{name}.metrics.json",
@@ -59,7 +92,14 @@ def export_system(
     ]
     system.write_trace(paths[0])
     system.write_metrics(paths[1])
-    system.write_blame(paths[2])
+    blame_doc = system.blame_report().as_dict()
+    atomic_write_json(paths[2], blame_doc)
+    _record_fleet(
+        name, out,
+        metrics_doc=metrics_dict(system.sim.metrics, system.sim),
+        blame_doc=blame_doc,
+    )
+    paths.append(out / f"{name}.manifest.json")
     if report:
         print(system.contention_report())
     return paths
@@ -74,7 +114,7 @@ def export_sim(
     if out is None:
         return []
     from repro.obs.critpath import CausalGraph
-    from repro.obs.export import write_chrome_trace, write_metrics
+    from repro.obs.export import metrics_dict, write_chrome_trace, write_metrics
     from repro.obs.report import contention_report
 
     paths = [
@@ -86,6 +126,12 @@ def export_sim(
     write_metrics(paths[1], sim.metrics, sim)
     blame = CausalGraph.from_trace(sim.trace).blame()
     atomic_write_json(paths[2], blame.as_dict())
+    _record_fleet(
+        name, out,
+        metrics_doc=metrics_dict(sim.metrics, sim),
+        blame_doc=blame.as_dict(),
+    )
+    paths.append(out / f"{name}.manifest.json")
     if report:
         print(
             contention_report(sim, fabrics=fabrics, gateways=gateways, blame=blame)
@@ -99,8 +145,9 @@ def export_metrics_only(metrics, name: str, out_dir=None) -> list[Path]:
     out = Path(out_dir) if out_dir else obs_dir()
     if out is None:
         return []
-    from repro.obs.export import write_metrics
+    from repro.obs.export import metrics_dict, write_metrics
 
     path = out / f"{name}.metrics.json"
     write_metrics(path, metrics)
-    return [path]
+    _record_fleet(name, out, metrics_doc=metrics_dict(metrics))
+    return [path, out / f"{name}.manifest.json"]

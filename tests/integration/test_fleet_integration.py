@@ -1,0 +1,137 @@
+"""End-to-end fleet observability: sweep -> index -> CLI -> sentinel.
+
+Covers the tentpole's acceptance criteria: ``repro obs diff`` on two
+cached alltoall_bridge slices (two segment sizes, 3 seeds each)
+reports metric and blame deltas with seed-level mean ± CI; the
+sentinel passes on a freshly built baseline and fails when results are
+perturbed beyond tolerance; the index rebuilt from the cache alone
+matches the live one digest-for-digest.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.compare import aggregate_slice, diff_slices, slice_runs
+from repro.obs.fleet import FleetIndex
+from repro.sweep.cache import ResultCache
+from repro.sweep.engine import SweepSpec, run_sweep
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """Two alltoall_bridge slices (segment 4 vs 64 KiB, seeds 0-2) in
+    one shared cache — segment size below the payload so segmentation
+    genuinely changes the simulated outcome."""
+    tmp = tmp_path_factory.mktemp("fleet")
+    cache = ResultCache(tmp / "cache")
+    for seg in (4, 64):
+        spec = SweepSpec(
+            experiments=["alltoall_bridge"],
+            seeds=[0, 1, 2],
+            overrides={
+                "alltoall_bridge": {"segment_kib": seg, "payload_kib": 64}
+            },
+        )
+        run_sweep(spec, jobs=1, cache=cache, obs_dir=tmp / f"obs{seg}")
+    return tmp, cache
+
+
+def test_index_has_both_slices(fleet):
+    tmp, cache = fleet
+    manifests = FleetIndex.at_cache_root(cache.root).load()
+    assert len(manifests) == 6
+    slices = slice_runs(manifests, experiment="alltoall_bridge")
+    assert len(slices) == 2
+    assert all(len(runs) == 3 for runs in slices.values())
+
+
+def test_diff_reports_blame_and_metric_deltas(fleet):
+    tmp, cache = fleet
+    manifests = FleetIndex.at_cache_root(cache.root).load()
+    a_runs = next(iter(slice_runs(
+        manifests, where={"segment_kib": 4}).values()))
+    b_runs = next(iter(slice_runs(
+        manifests, where={"segment_kib": 64}).values()))
+    report = diff_slices(aggregate_slice(a_runs), aggregate_slice(b_runs))
+    # seed-level stats on both sides
+    assert report.makespan.a.n == 3 and report.makespan.b.n == 3
+    # smaller segments pipeline better: the makespan shift is real
+    assert report.makespan.significant
+    assert report.makespan.delta > 0
+    # blame composition shifts toward the SMFU with larger segments
+    by_bucket = {r.name: r for r in report.blame_fractions}
+    assert by_bucket["smfu"].significant
+    assert by_bucket["smfu"].delta > 0
+    text = report.render()
+    assert "config delta: segment_kib: 4 -> 64" in text
+    assert "<-- significant" in text
+
+
+def test_cli_ls_show_diff(fleet, capsys):
+    tmp, cache = fleet
+    cd = str(cache.root)
+    assert main(["obs", "ls", "--cache-dir", cd]) == 0
+    out = capsys.readouterr().out
+    assert "alltoall_bridge" in out and "2 slices" in out
+
+    assert main(["obs", "show", "--cache-dir", cd,
+                 "alltoall_bridge:segment_kib=4"]) == 0
+    out = capsys.readouterr().out
+    assert "seeds [0, 1, 2]" in out
+    assert "blame%.smfu" in out
+
+    assert main(["obs", "diff", "--cache-dir", cd,
+                 "alltoall_bridge:segment_kib=4",
+                 "alltoall_bridge:segment_kib=64"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet diff" in out and "significant" in out
+
+
+def test_cli_diff_json(fleet, capsys, tmp_path):
+    tmp, cache = fleet
+    out_path = tmp_path / "diff.json"
+    assert main(["obs", "diff", "--cache-dir", str(cache.root),
+                 "alltoall_bridge:segment_kib=4",
+                 "alltoall_bridge:segment_kib=64",
+                 "--json", str(out_path)]) == 0
+    capsys.readouterr()
+    doc = json.loads(out_path.read_text())
+    assert doc["a"]["n_runs"] == 3
+    assert doc["n_significant"] >= 1
+    assert "blame_fractions" in doc
+
+
+def test_sentinel_pass_and_perturb_fail(fleet, capsys, tmp_path):
+    tmp, cache = fleet
+    cd = str(cache.root)
+    base = str(tmp_path / "baselines")
+    assert main(["obs", "sentinel", "--cache-dir", cd,
+                 "--baseline", base, "--write"]) == 0
+    capsys.readouterr()
+    assert main(["obs", "sentinel", "--cache-dir", cd,
+                 "--baseline", base]) == 0
+    out = capsys.readouterr().out
+    assert "sentinel passed" in out
+    # negative test: perturbed results must trip the sentinel
+    assert main(["obs", "sentinel", "--cache-dir", cd,
+                 "--baseline", base, "--perturb", "1.5"]) == 1
+    out = capsys.readouterr().out
+    assert "SENTINEL FAILED" in out
+
+
+def test_rebuild_check_matches(fleet, capsys):
+    tmp, cache = fleet
+    assert main(["obs", "rebuild", "--cache-dir", str(cache.root),
+                 "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "matches cache" in out
+
+
+def test_rebuild_from_scratch_reproduces_digest(fleet, tmp_path):
+    tmp, cache = fleet
+    live = FleetIndex.at_cache_root(cache.root)
+    rebuilt_index = FleetIndex(tmp_path / "rebuilt.jsonl")
+    rebuilt_index.rewrite(FleetIndex.rebuild_from_cache(cache))
+    assert rebuilt_index.digest() == live.digest()

@@ -1,0 +1,246 @@
+"""Cross-run comparison: stats, slicing, diffs and the sentinel."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.compare import (
+    DEFAULT_TOLERANCES,
+    aggregate_slice,
+    build_baseline,
+    check_baseline,
+    diff_slices,
+    load_baselines,
+    mean_ci,
+    run_sentinel,
+    slice_runs,
+    t95,
+    write_baselines,
+)
+from repro.obs.fleet import RunManifest
+
+
+def mk(run_id, experiment="exp", config=None, seed=0, makespan=1.0,
+       metrics=None, blame_fractions=None, partial=False):
+    frac = blame_fractions if blame_fractions is not None else {"net": 0.5}
+    return RunManifest(
+        run_id=run_id,
+        source="sweep",
+        experiment=experiment,
+        config=dict(config if config is not None else {"x": 1}),
+        seed=seed,
+        code_version="cafe",
+        makespan_s=makespan,
+        metrics=dict(metrics or {"bytes": 100.0}),
+        blame_s={k: v * makespan for k, v in frac.items()},
+        blame_fractions=dict(frac),
+        partial=partial,
+    )
+
+
+class TestMeanCI:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_ci([])
+
+    def test_single_value_zero_spread(self):
+        s = mean_ci([3.0])
+        assert (s.n, s.mean, s.sd, s.ci95) == (1, 3.0, 0.0, 0.0)
+
+    def test_known_small_sample(self):
+        s = mean_ci([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.sd == pytest.approx(1.0)
+        # t95(df=2) = 4.303; ci = 4.303 * 1/sqrt(3)
+        assert s.ci95 == pytest.approx(4.303 / 3 ** 0.5, rel=1e-6)
+        assert (s.lo, s.hi) == (1.0, 3.0)
+
+    def test_t_table_monotone_to_z(self):
+        assert t95(1) > t95(5) > t95(30) >= t95(100) == 1.96
+        assert t95(0) == 0.0
+
+
+class TestSlicing:
+    def test_groups_by_experiment_and_config(self):
+        ms = [
+            mk("a", config={"x": 1}, seed=0),
+            mk("b", config={"x": 1}, seed=1),
+            mk("c", config={"x": 2}, seed=0),
+            mk("d", experiment="other", config={"x": 1}, seed=0),
+        ]
+        slices = slice_runs(ms)
+        assert len(slices) == 3
+        sizes = sorted(len(v) for v in slices.values())
+        assert sizes == [1, 1, 2]
+
+    def test_where_filter(self):
+        ms = [mk("a", config={"x": 1}), mk("b", config={"x": 2})]
+        slices = slice_runs(ms, where={"x": 2})
+        (runs,) = slices.values()
+        assert [m.run_id for m in runs] == ["b"]
+
+    def test_partial_exclusion(self):
+        ms = [mk("a"), mk("b", seed=1, partial=True)]
+        assert sum(len(v) for v in slice_runs(ms).values()) == 2
+        assert sum(
+            len(v) for v in slice_runs(ms, include_partial=False).values()
+        ) == 1
+
+    def test_aggregate_counts_and_stats(self):
+        ms = [mk("a", seed=0, makespan=1.0), mk("b", seed=1, makespan=3.0),
+              mk("c", seed=2, makespan=2.0, partial=True)]
+        agg = aggregate_slice(ms)
+        assert agg.n == 3
+        assert agg.n_partial == 1
+        assert agg.seeds == [0, 1, 2]
+        assert agg.makespan.mean == pytest.approx(2.0)
+        assert agg.metrics["bytes"].n == 3
+        assert agg.blame_fractions["net"].mean == pytest.approx(0.5)
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_slice([])
+
+
+def agg_of(*manifests):
+    return aggregate_slice(list(manifests))
+
+
+class TestDiff:
+    def test_flags_shift_beyond_cis(self):
+        a = agg_of(mk("a0", seed=0, makespan=1.00, metrics={"bytes": 100.0}),
+                   mk("a1", seed=1, makespan=1.01, metrics={"bytes": 101.0}))
+        b = agg_of(mk("b0", config={"x": 2}, seed=0, makespan=2.00,
+                      metrics={"bytes": 300.0}),
+                   mk("b1", config={"x": 2}, seed=1, makespan=2.01,
+                      metrics={"bytes": 303.0}))
+        report = diff_slices(a, b)
+        assert report.makespan.significant
+        assert report.makespan.delta == pytest.approx(1.0, abs=0.02)
+        by_name = {r.name: r for r in report.metrics}
+        assert by_name["bytes"].significant
+        assert len(report.significant) >= 2
+
+    def test_overlapping_cis_not_significant(self):
+        a = agg_of(mk("a0", seed=0, makespan=1.0),
+                   mk("a1", seed=1, makespan=3.0))
+        b = agg_of(mk("b0", config={"x": 2}, seed=0, makespan=1.2),
+                   mk("b1", config={"x": 2}, seed=1, makespan=3.2))
+        report = diff_slices(a, b)
+        assert not report.makespan.significant
+
+    def test_noise_floor_suppresses_jitter(self):
+        # zero CI on both sides, shift of 1e-9 relative: below min_rel
+        a = agg_of(mk("a0", makespan=1.0))
+        b = agg_of(mk("b0", config={"x": 2}, makespan=1.0 + 1e-9))
+        assert not diff_slices(a, b).makespan.significant
+        assert diff_slices(a, b, min_rel=1e-12).makespan.significant
+
+    def test_missing_side_flagged(self):
+        a = agg_of(mk("a0", metrics={"bytes": 1.0, "old": 2.0}))
+        b = agg_of(mk("b0", config={"x": 2}, metrics={"bytes": 1.0}))
+        by_name = {r.name: r for r in diff_slices(a, b).metrics}
+        assert by_name["old"].b is None
+        assert by_name["old"].significant
+
+    def test_render_and_as_dict(self):
+        a = agg_of(mk("a0", seed=0), mk("a1", seed=1))
+        b = agg_of(mk("b0", config={"x": 2}, seed=0, makespan=5.0),
+                   mk("b1", config={"x": 2}, seed=1, makespan=5.1))
+        report = diff_slices(a, b)
+        text = report.render()
+        assert "config delta: x: 1 -> 2" in text
+        assert "significant" in text
+        doc = report.as_dict()
+        assert doc["n_significant"] == len(report.significant)
+        assert doc["makespan"]["name"] == "makespan_s"
+
+
+class TestSentinel:
+    def seeds(self, **kw):
+        return [mk(f"r{s}", seed=s, **kw) for s in range(3)]
+
+    def test_baseline_round_trip_passes(self, tmp_path):
+        ms = self.seeds()
+        paths = write_baselines(ms, tmp_path)
+        assert len(paths) == 1
+        assert load_baselines(tmp_path)[0]["n_runs"] == 3
+        assert run_sentinel(ms, tmp_path, echo=lambda *a: None) == 0
+
+    def test_perturb_fails(self, tmp_path):
+        ms = self.seeds()
+        write_baselines(ms, tmp_path)
+        rc = run_sentinel(ms, tmp_path, perturb=1.5, echo=lambda *a: None)
+        assert rc == 1
+
+    def test_makespan_drift_detected(self, tmp_path):
+        write_baselines(self.seeds(), tmp_path)
+        drifted = self.seeds(makespan=1.2)  # +20% > 10% tolerance
+        doc = load_baselines(tmp_path)[0]
+        violations = check_baseline(doc, drifted)
+        assert any("makespan drift" in v for v in violations)
+
+    def test_blame_shift_detected(self, tmp_path):
+        write_baselines(self.seeds(), tmp_path)
+        shifted = self.seeds(blame_fractions={"net": 0.4, "cpu": 0.1})
+        doc = load_baselines(tmp_path)[0]
+        violations = check_baseline(doc, shifted)
+        assert any("blame[net]" in v for v in violations)
+        assert any("blame[cpu]" in v for v in violations)
+
+    def test_within_tolerance_passes(self, tmp_path):
+        write_baselines(self.seeds(), tmp_path)
+        wobbled = self.seeds(makespan=1.05)  # 5% < 10% tolerance
+        doc = load_baselines(tmp_path)[0]
+        assert check_baseline(doc, wobbled) == []
+
+    def test_partial_runs_excluded_from_baselines(self, tmp_path):
+        ms = self.seeds() + [mk("p", seed=9, makespan=50.0, partial=True)]
+        write_baselines(ms, tmp_path)
+        doc = load_baselines(tmp_path)[0]
+        assert doc["n_runs"] == 3
+        assert 9 not in doc["seeds"]
+        # ...and from the sentinel's view of the index
+        assert check_baseline(doc, ms) == []
+
+    def test_all_partial_slice_missing(self, tmp_path):
+        write_baselines(self.seeds(), tmp_path)
+        only_partial = self.seeds(partial=True)
+        doc = load_baselines(tmp_path)[0]
+        violations = check_baseline(doc, only_partial)
+        assert any("no matching" in v for v in violations)
+        assert run_sentinel(
+            only_partial, tmp_path, allow_missing=True, echo=lambda *a: None
+        ) == 2  # skipped everything -> nothing checked
+
+    def test_no_baselines_is_exit_2(self, tmp_path):
+        assert run_sentinel(self.seeds(), tmp_path, echo=lambda *a: None) == 2
+
+    def test_bad_schema_rejected(self, tmp_path):
+        (tmp_path / "x.json").write_text('{"schema": 99}')
+        with pytest.raises(ConfigurationError):
+            load_baselines(tmp_path)
+
+    def test_custom_tolerances_respected(self, tmp_path):
+        write_baselines(self.seeds(), tmp_path,
+                        tolerances={"makespan_rel": 0.5})
+        doc = load_baselines(tmp_path)[0]
+        assert doc["tolerances"]["makespan_rel"] == 0.5
+        assert doc["tolerances"]["blame_abs"] == DEFAULT_TOLERANCES["blame_abs"]
+        drifted = self.seeds(makespan=1.3)  # 30% < 50%
+        assert not any(
+            "makespan" in v for v in check_baseline(doc, drifted)
+        )
+
+    def test_disappeared_metric_detected(self, tmp_path):
+        write_baselines(self.seeds(metrics={"bytes": 1.0, "gone": 2.0}),
+                        tmp_path)
+        doc = load_baselines(tmp_path)[0]
+        violations = check_baseline(doc, self.seeds(metrics={"bytes": 1.0}))
+        assert any("disappeared" in v for v in violations)
+
+    def test_build_baseline_document_shape(self):
+        doc = build_baseline(agg_of(*self.seeds()))
+        assert doc["schema"] == 1
+        assert doc["experiment"] == "exp"
+        assert doc["makespan"]["n"] == 3
+        assert "net" in doc["blame_fractions"]

@@ -1,0 +1,285 @@
+"""Fleet observability: run manifests and the cross-run index."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.fleet import (
+    FLEET_INDEX_ENV,
+    FleetIndex,
+    RunManifest,
+    build_manifest,
+    env_index_path,
+    manifest_from_exports,
+    resolve_index_path,
+    scalar_metrics,
+    trace_truncated,
+    write_manifest_file,
+)
+
+
+def mk(run_id="r1", seed=0, experiment="exp", makespan=1.0, partial=False,
+       config=None, metrics=None, blame_s=None, blame_fractions=None):
+    return RunManifest(
+        run_id=run_id,
+        source="sweep",
+        experiment=experiment,
+        config=dict(config or {"x": 1}),
+        seed=seed,
+        code_version="cafe",
+        makespan_s=makespan,
+        metrics=dict(metrics or {"bytes": 10}),
+        blame_s=dict(blame_s or {"net": 0.6}),
+        blame_fractions=dict(blame_fractions or {"net": 0.6}),
+        partial=partial,
+    )
+
+
+class TestScalarMetrics:
+    def test_keeps_finite_numbers_only(self):
+        out = scalar_metrics({
+            "a": 1, "b": 2.5, "flag": True, "nested": {"x": 1},
+            "name": "s", "inf": float("inf"), "nan": float("nan"),
+        })
+        assert out == {"a": 1, "b": 2.5}
+
+
+class TestTraceTruncated:
+    def test_empty_doc_is_clean(self):
+        assert not trace_truncated(None)
+        assert not trace_truncated({})
+
+    def test_truncated_flag(self):
+        assert trace_truncated({"trace": {"truncated": True}})
+
+    def test_dropped_counters(self):
+        assert trace_truncated({"trace": {"dropped_wakes": 3}})
+        assert not trace_truncated({"trace": {"dropped_wakes": 0}})
+
+
+class TestBuildManifest:
+    def test_makespan_prefers_blame(self):
+        m = build_manifest(
+            "exp", {"x": 1}, 0, "cafe",
+            {"metrics": {"end_time_s": 2.0}},
+            blame_doc={"makespan_s": 1.5, "seconds": {}, "fractions": {}},
+        )
+        assert m.makespan_s == 1.5
+
+    def test_makespan_falls_back_to_payload(self):
+        m = build_manifest("exp", {"x": 1}, 0, "cafe",
+                           {"metrics": {"end_time_s": 2.0}})
+        assert m.makespan_s == 2.0
+
+    def test_partial_from_blame_or_trace(self):
+        base = ("exp", {"x": 1}, 0, "cafe", {"metrics": {}})
+        assert build_manifest(*base, blame_doc={"partial": True}).partial
+        assert build_manifest(
+            *base, metrics_doc={"trace": {"truncated": True}}
+        ).partial
+        assert not build_manifest(*base).partial
+
+    def test_run_id_defaults_to_job_digest(self):
+        from repro.sweep.digests import job_digest
+
+        m = build_manifest("exp", {"x": 1}, 3, "cafe", {"metrics": {}})
+        assert m.run_id == job_digest("exp", {"x": 1}, 3, "cafe")
+
+    def test_round_trips_through_dict(self):
+        m = mk()
+        assert RunManifest.from_dict(m.as_dict()) == m
+        assert RunManifest.from_dict(json.loads(m.line())) == m
+
+
+class TestManifestFromExports:
+    def test_handles_inf_histogram_edges(self):
+        # Export docs legitimately contain the +inf overflow bucket
+        # edge; the manifest digest must not choke on it.
+        doc = {
+            "counters": {"net.bytes": 42},
+            "gauges": {"depth": 2.0},
+            "histograms": {
+                "lat": {"count": 1, "sum": 0.5,
+                        "buckets": [[1.0, 1], [float("inf"), 0]]},
+            },
+            "kernel": {"now": 1.25, "events_processed": 9},
+        }
+        m = manifest_from_exports("bench1", metrics_doc=doc, code_version="c")
+        assert m.metrics["net.bytes"] == 42
+        assert m.makespan_s == 1.25
+        assert m.run_id
+        # deterministic
+        m2 = manifest_from_exports("bench1", metrics_doc=doc, code_version="c")
+        assert m2.run_id == m.run_id
+
+    def test_different_content_different_id(self):
+        a = manifest_from_exports(
+            "b", metrics_doc={"counters": {"x": 1}}, code_version="c")
+        b = manifest_from_exports(
+            "b", metrics_doc={"counters": {"x": 2}}, code_version="c")
+        assert a.run_id != b.run_id
+
+
+class TestResolveIndexPath:
+    def test_jsonl_verbatim(self, tmp_path):
+        p = tmp_path / "runs.jsonl"
+        assert resolve_index_path(p) == p
+
+    def test_directory_gets_canonical_relpath(self, tmp_path):
+        assert resolve_index_path(tmp_path) == (
+            tmp_path / "v1" / "index" / "runs.jsonl"
+        )
+
+    def test_env_index_path(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(FLEET_INDEX_ENV, raising=False)
+        assert env_index_path() is None
+        monkeypatch.setenv(FLEET_INDEX_ENV, str(tmp_path))
+        assert env_index_path() == tmp_path / "v1" / "index" / "runs.jsonl"
+
+
+class TestFleetIndex:
+    def test_append_and_load(self, tmp_path):
+        idx = FleetIndex(tmp_path / "runs.jsonl")
+        idx.append(mk("a", seed=0))
+        idx.append(mk("b", seed=1))
+        assert [m.run_id for m in idx.load()] == ["a", "b"]
+
+    def test_record_dedupes(self, tmp_path):
+        idx = FleetIndex(tmp_path / "runs.jsonl")
+        assert idx.record(mk("a"))
+        assert not idx.record(mk("a"))
+        assert len(idx.load()) == 1
+
+    def test_record_with_known_ids_set(self, tmp_path):
+        idx = FleetIndex(tmp_path / "runs.jsonl")
+        known = set()
+        assert idx.record(mk("a"), known_ids=known)
+        assert "a" in known
+        assert not idx.record(mk("a"), known_ids=known)
+
+    def test_torn_and_foreign_lines_skipped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        idx = FleetIndex(path)
+        idx.append(mk("a"))
+        with open(path, "a") as fh:
+            fh.write('{"torn": tru')  # crashed writer
+            fh.write("\n")
+            fh.write('{"not": "a manifest"}\n')
+        idx.append(mk("b", seed=1))
+        assert [m.run_id for m in idx.load()] == ["a", "b"]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert FleetIndex(tmp_path / "nope.jsonl").load() == []
+
+    def test_digest_order_free(self, tmp_path):
+        a, b = mk("a"), mk("b", seed=1)
+        i1 = FleetIndex(tmp_path / "one.jsonl")
+        i1.append(a)
+        i1.append(b)
+        i2 = FleetIndex(tmp_path / "two.jsonl")
+        i2.append(b)
+        i2.append(a)
+        assert i1.digest() == i2.digest()
+
+    def test_rewrite_atomic_and_sorted(self, tmp_path):
+        idx = FleetIndex(tmp_path / "runs.jsonl")
+        ms = [mk("b", seed=1), mk("a")]
+        idx.rewrite(ms)
+        assert idx.digest() == idx.digest(ms)
+        assert len(idx.load()) == 2
+
+    def test_write_manifest_file(self, tmp_path):
+        m = mk()
+        write_manifest_file(tmp_path / "m.json", m)
+        doc = json.loads((tmp_path / "m.json").read_text())
+        assert RunManifest.from_dict(doc) == m
+
+
+@pytest.fixture
+def small_sweep(tmp_path):
+    from repro.sweep.cache import ResultCache
+    from repro.sweep.engine import run_sweep, SweepSpec
+
+    cache = ResultCache(tmp_path / "cache")
+    spec = SweepSpec(experiments=["pingpong"], seeds=[0, 1])
+    report = run_sweep(spec, jobs=1, cache=cache, obs_dir=tmp_path / "obs")
+    return cache, spec, report, tmp_path
+
+
+class TestSweepIndexing:
+    def test_cold_sweep_indexes_every_job(self, small_sweep):
+        cache, spec, report, tmp = small_sweep
+        idx = FleetIndex.at_cache_root(cache.root)
+        ms = idx.load()
+        assert len(ms) == 2
+        assert {m.source for m in ms} == {"sweep"}
+        assert {m.seed for m in ms} == {0, 1}
+        assert all(m.blame_s for m in ms)
+        assert all(m.makespan_s and m.makespan_s > 0 for m in ms)
+
+    def test_rebuild_matches_live_index(self, small_sweep):
+        cache, spec, report, tmp = small_sweep
+        idx = FleetIndex.at_cache_root(cache.root)
+        rebuilt = FleetIndex.rebuild_from_cache(cache)
+        assert idx.digest() == idx.digest(rebuilt)
+
+    def test_warm_hits_reindex_after_index_loss(self, small_sweep):
+        from repro.sweep.engine import run_sweep
+
+        cache, spec, report, tmp = small_sweep
+        idx = FleetIndex.at_cache_root(cache.root)
+        before = idx.digest()
+        idx.path.unlink()
+        report2 = run_sweep(spec, jobs=1, cache=cache,
+                            obs_dir=tmp / "obs2")
+        assert report2.n_cached == 2
+        assert idx.digest() == before
+
+    def test_sweep_worker_does_not_double_index(self, small_sweep, monkeypatch):
+        # Even with REPRO_FLEET_INDEX pointing somewhere, jobs must not
+        # append bench-style manifests — the engine records the
+        # authoritative sweep manifest itself.
+        from repro.sweep.engine import run_sweep
+
+        cache, spec, report, tmp = small_sweep
+        foreign = tmp / "foreign.jsonl"
+        monkeypatch.setenv(FLEET_INDEX_ENV, str(foreign))
+        run_sweep(spec, jobs=1, cache=cache, refresh=True,
+                  obs_dir=tmp / "obs3")
+        assert not foreign.exists()
+        assert os.environ[FLEET_INDEX_ENV] == str(foreign)  # restored
+        idx = FleetIndex.at_cache_root(cache.root)
+        assert len(idx.load()) == 2
+
+
+class TestEnvRecording:
+    def test_bench_export_appends_when_env_set(self, tmp_path, monkeypatch):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.sweep.obsglue import export_metrics_only
+
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "obs"))
+        monkeypatch.setenv(FLEET_INDEX_ENV, str(tmp_path / "fleet.jsonl"))
+        reg = MetricsRegistry()
+        reg.gauge("g").set(4.0)
+        paths = export_metrics_only(reg, "minibench")
+        assert all(p.exists() for p in paths)
+        ms = FleetIndex(tmp_path / "fleet.jsonl").load()
+        assert [m.experiment for m in ms] == ["minibench"]
+        assert ms[0].source == "bench"
+        # identical re-export is a no-op
+        export_metrics_only(reg, "minibench")
+        assert len(FleetIndex(tmp_path / "fleet.jsonl").load()) == 1
+
+    def test_no_index_without_env(self, tmp_path, monkeypatch):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.sweep.obsglue import export_metrics_only
+
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "obs"))
+        monkeypatch.delenv(FLEET_INDEX_ENV, raising=False)
+        reg = MetricsRegistry()
+        reg.gauge("g").set(4.0)
+        export_metrics_only(reg, "minibench")
+        # manifest artifact still written; no index anywhere
+        assert (tmp_path / "obs" / "minibench.manifest.json").exists()
+        assert list(tmp_path.glob("**/runs.jsonl")) == []

@@ -13,6 +13,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
     log_buckets,
+    merge_histograms,
 )
 
 
@@ -142,3 +143,117 @@ class TestNullMetrics:
         n.counter("a")
         n.gauge("b")
         assert len(n) == 0
+
+
+class TestHistogramMerge:
+    def test_merge_sums_counts_and_totals(self):
+        a = Histogram("lat", [1.0, 10.0])
+        b = Histogram("lat", [1.0, 10.0])
+        a.observe(0.5)
+        b.observe(5.0)
+        b.observe(100.0)  # overflow
+        a.merge(b)
+        assert a.count == 3
+        assert a.total == pytest.approx(105.5)
+        assert a.counts == [1, 1, 1]
+        # b is untouched
+        assert b.count == 2
+
+    def test_merge_rejects_different_edges(self):
+        a = Histogram("lat", [1.0, 10.0])
+        b = Histogram("lat", [1.0, 100.0])
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_merge_histograms_union(self):
+        hs = []
+        for k in range(3):
+            h = Histogram("lat", [1.0, 10.0])
+            h.observe(float(k + 1))
+            hs.append(h)
+        out = merge_histograms("lat.merged", hs)
+        assert out.count == 3
+        assert out.total == pytest.approx(6.0)
+        # inputs untouched
+        assert all(h.count == 1 for h in hs)
+
+    def test_merge_histograms_needs_input(self):
+        with pytest.raises(ConfigurationError):
+            merge_histograms("empty", [])
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_returns_none(self):
+        h = Histogram("lat", [1.0, 10.0])
+        assert h.quantile(0.5) is None
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram("lat", [1.0])
+        h.observe(0.5)
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+
+    def test_single_bucket_interpolates_from_zero(self):
+        # All mass in the first bucket of a one-edge histogram: the
+        # median interpolates between 0 and the edge (Prometheus rule).
+        h = Histogram("lat", [10.0])
+        for _ in range(4):
+            h.observe(3.0)
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_interior_bucket_linear_interpolation(self):
+        h = Histogram("lat", [1.0, 2.0, 4.0])
+        # 2 obs in (1, 2], 2 obs in (2, 4]
+        h.observe(1.5); h.observe(1.6)
+        h.observe(3.0); h.observe(3.5)
+        assert h.quantile(0.5) == pytest.approx(2.0)
+        assert h.quantile(0.75) == pytest.approx(3.0)
+
+    def test_overflow_clamps_to_last_edge(self):
+        h = Histogram("lat", [1.0, 2.0])
+        h.observe(50.0)
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_null_handle_quantile_is_none(self):
+        h = NULL_METRICS.histogram("anything")
+        assert h.quantile(0.5) is None
+        assert h.merge(h) is h
+
+
+class TestHistogramFromDump:
+    def test_round_trip_through_registry_dump(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat", edges=[0.001, 0.01, 0.1])
+        for v in (0.0005, 0.005, 0.05, 5.0):
+            h.observe(v)
+        dump = m.as_dict()["histograms"]["lat"]
+        back = Histogram.from_dump("lat", dump)
+        assert back.edges == h.edges
+        assert back.counts == h.counts
+        assert back.count == h.count
+        assert back.total == pytest.approx(h.total)
+        # re-dump reproduces the document
+        assert back.buckets() == h.buckets()
+
+    def test_dump_without_overflow_bucket(self):
+        back = Histogram.from_dump(
+            "lat", {"count": 2, "sum": 1.0, "buckets": [[1.0, 2]]}
+        )
+        assert back.edges == (1.0,)
+        assert back.counts == [2, 0]
+
+    def test_zero_count_dump(self):
+        back = Histogram.from_dump(
+            "lat",
+            {"count": 0, "sum": 0.0,
+             "buckets": [[1.0, 0], [float("inf"), 0]]},
+        )
+        assert back.count == 0
+        assert back.quantile(0.5) is None
+
+    def test_empty_dump_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram.from_dump("lat", {"buckets": []})
+        with pytest.raises(ConfigurationError):
+            Histogram.from_dump("lat", {"buckets": [[float("inf"), 3]]})

@@ -1,0 +1,103 @@
+"""Property tests: obs exports round-trip through the fleet readers.
+
+Anything :mod:`repro.obs.export` / :mod:`repro.fsutil` writes must load
+back bit-for-bit through :func:`repro.obs.fleet.load_export` — the
+rebuild-parity guarantee of the run index depends on it.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.fsutil import atomic_write_json
+from repro.obs.export import metrics_dict, write_metrics
+from repro.obs.fleet import FleetIndex, RunManifest, build_manifest, load_export
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz._", min_size=1, max_size=12
+).filter(lambda s: not s.startswith(".") and not s.endswith("."))
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+observations = st.lists(finite, max_size=8)
+
+
+@st.composite
+def registries(draw):
+    reg = MetricsRegistry()
+    for name in draw(st.sets(names, max_size=3)):
+        reg.counter("c." + name).add(draw(st.integers(0, 2**40)))
+    for name in draw(st.sets(names, max_size=3)):
+        reg.gauge("g." + name).set(draw(finite))
+    for name in draw(st.sets(names, max_size=2)):
+        edges = sorted(draw(st.sets(
+            st.floats(min_value=1e-9, max_value=1e9,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=5,
+        )))
+        h = reg.histogram("h." + name, edges=edges)
+        for v in draw(observations):
+            h.observe(v)
+    return reg
+
+
+@settings(max_examples=40, deadline=None)
+@given(reg=registries())
+def test_metrics_json_roundtrips_through_fleet_reader(reg):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "m.metrics.json"
+        write_metrics(path, reg)
+        doc = load_export(path)
+    assert doc == metrics_dict(reg)
+    # and the dumped histograms reconstruct exactly
+    for name, dump in doc["histograms"].items():
+        back = Histogram.from_dump(name, dump)
+        orig = reg.get(name)
+        assert back.edges == orig.edges
+        assert back.counts == orig.counts
+        assert back.count == orig.count
+
+
+blame_docs = st.fixed_dictionaries({
+    "makespan_s": st.floats(min_value=0, max_value=1e6,
+                            allow_nan=False, allow_infinity=False),
+    "partial": st.booleans(),
+    "n_steps": st.integers(0, 1000),
+    "seconds": st.dictionaries(names, finite, max_size=4),
+    "fractions": st.dictionaries(
+        names, st.floats(0, 1, allow_nan=False), max_size=4),
+})
+
+
+@settings(max_examples=40, deadline=None)
+@given(doc=blame_docs)
+def test_blame_json_roundtrips_through_fleet_reader(doc):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "b.blame.json"
+        atomic_write_json(path, doc)
+        assert load_export(path) == doc
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    doc=blame_docs,
+    metrics=st.dictionaries(names, finite, max_size=4),
+    seed=st.integers(0, 1000),
+)
+def test_manifest_roundtrips_through_index(doc, metrics, seed):
+    manifest = build_manifest(
+        "exp", {"x": 1}, seed, "cafe", {"metrics": metrics}, blame_doc=doc
+    )
+    # frozen-dict round trip
+    assert RunManifest.from_dict(manifest.as_dict()) == manifest
+    # canonical line is valid single-line JSON
+    assert "\n" not in manifest.line()
+    assert RunManifest.from_dict(json.loads(manifest.line())) == manifest
+    # through the on-disk index
+    with tempfile.TemporaryDirectory() as tmp:
+        idx = FleetIndex(Path(tmp) / "runs.jsonl")
+        idx.append(manifest)
+        (loaded,) = idx.load()
+    assert loaded == manifest
