@@ -161,6 +161,65 @@ def obs_overhead_gate(repeats: int, budget: float = 0.03) -> list[str]:
     return failures
 
 
+def telemetry_overhead_gate(repeats: int, budget: float = 0.03) -> list[str]:
+    """Wall-clock budget for the harness-telemetry wiring.
+
+    Times the same serial sweep (pingpong x 2 seeds, no cache) with the
+    telemetry channel off and on, interleaved best-of-N.  The channel
+    path — per-record ``O_APPEND`` writes, end-of-sweep summarisation —
+    must keep the sweep within *budget* (default 3%) of the untelemetered
+    run, and the telemetry-off sweep pays nothing but dead branches.
+    A first failure is re-measured at 2N before the gate trips (loaded
+    CI machines fake a few % between identical runs).
+    """
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from repro.sweep.engine import SweepSpec, run_sweep
+
+    # ~100 ms of simulation per job so the per-record channel writes are
+    # measured against a realistic serving workload, not pure overhead.
+    spec = SweepSpec(
+        experiments=["pingpong"], seeds=[0, 1],
+        overrides={"pingpong": {"rounds": 120}},
+    )
+
+    def measure(tmp: str, n: int) -> tuple[float, float]:
+        """Interleaved best-of-*n* sweep walls: (off, telemetry-on)."""
+        off = on = float("inf")
+        for i in range(n):
+            t0 = time.perf_counter()
+            run_sweep(spec, jobs=1)
+            off = min(off, time.perf_counter() - t0)
+
+            channel = Path(tmp) / f"gate{i}.telemetry.jsonl"
+            t0 = time.perf_counter()
+            report = run_sweep(spec, jobs=1, telemetry=channel)
+            on = min(on, time.perf_counter() - t0)
+            assert report.telemetry is not None
+        return off, on
+
+    with tempfile.TemporaryDirectory() as tmp:
+        n = max(repeats, 5)
+        off, on = measure(tmp, n)
+        if on / off > 1.0 + budget:
+            print(f"  first pass {on / off:.3f}x over budget; "
+                  f"re-measuring with best-of-{2 * n} ...")
+            off2, on2 = measure(tmp, 2 * n)
+            off, on = min(off, off2), min(on, on2)
+    ratio = on / off
+    print(f"  telemetry off  best sweep wall {off * 1e3:8.2f} ms")
+    print(f"  telemetry on   best sweep wall {on * 1e3:8.2f} ms  ({ratio:.3f}x)")
+    if ratio > 1.0 + budget:
+        return [
+            f"telemetry overhead gate: telemetry-on sweep {ratio:.3f}x of "
+            f"telemetry-off (budget {1.0 + budget:.2f}x)"
+        ]
+    print(f"  within the {budget:.0%} harness-telemetry budget  [ok]")
+    return []
+
+
 def compare(results: dict, invariants: dict, baseline: dict,
             threshold: float, tiny: bool) -> list[str]:
     """Return a list of failure messages (empty = gate passes)."""
@@ -250,6 +309,11 @@ def main(argv=None) -> int:
         help="also assert the fleet-observability wiring adds <3%% wall "
              "time to unobserved runs (interleaved best-of-N)",
     )
+    ap.add_argument(
+        "--telemetry-overhead-gate", action="store_true",
+        help="also assert the harness-telemetry channel keeps sweep wall "
+             "time within 3%% of an untelemetered sweep",
+    )
     args = ap.parse_args(argv)
 
     if args.fidelity_guard:
@@ -264,6 +328,15 @@ def main(argv=None) -> int:
     if args.obs_overhead_gate:
         print("observability-off overhead gate (fleet wiring):")
         failures = obs_overhead_gate(repeats=args.repeats)
+        if failures:
+            print("\nBENCH REGRESSION GATE FAILED:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+
+    if args.telemetry_overhead_gate:
+        print("harness-telemetry overhead gate (sweep wall clock):")
+        failures = telemetry_overhead_gate(repeats=args.repeats)
         if failures:
             print("\nBENCH REGRESSION GATE FAILED:")
             for f in failures:

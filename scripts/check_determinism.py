@@ -175,6 +175,30 @@ def main(argv=None) -> int:
             print(f"  {key}: {first[key]!r} != {obs1[key]!r}")
         return 1
     print(f"deterministic (observability on):  {od1}")
+
+    # Harness telemetry is wall-clock-only: a sweep's simulated digest
+    # must be bit-identical with the telemetry channel on or off.
+    import tempfile
+
+    from repro.sweep.engine import SweepSpec, run_sweep
+
+    spec = SweepSpec(experiments=["pingpong"], seeds=[0, 1])
+    plain_report = run_sweep(spec, jobs=1)
+    with tempfile.TemporaryDirectory() as tmp:
+        tele_report = run_sweep(
+            spec, jobs=1, telemetry=Path(tmp) / "telemetry.jsonl"
+        )
+    td1, td2 = plain_report.digest(), tele_report.digest()
+    if td1 != td2:
+        print(
+            "TELEMETRY PERTURBED THE SWEEP: digest "
+            f"{td1} (off) != {td2} (on)"
+        )
+        return 1
+    if tele_report.telemetry is None:
+        print("TELEMETRY MISSING: sweep ran with a channel but no summary")
+        return 1
+    print(f"deterministic (harness telemetry): {td1}")
     return 0
 
 

@@ -18,14 +18,40 @@ echo "== kernel hot-path smoke (tiny) =="
 python benchmarks/bench_kernel_hotpath.py --tiny --out "$(mktemp)"
 
 echo "== bench regression gate =="
-python scripts/bench_regression.py --repeats 3 --fidelity-guard --obs-overhead-gate
+python scripts/bench_regression.py --repeats 3 --fidelity-guard \
+    --obs-overhead-gate --telemetry-overhead-gate
 
-echo "== sweep smoke (cold + warm, cache-served) =="
-python -m repro sweep --smoke
+FLEET_TMP=$(mktemp -d)
+TELE_TMP=$(mktemp -d)
+trap 'rm -rf "$FLEET_TMP" "$TELE_TMP"' EXIT
+
+echo "== sweep smoke (cold + warm, cache-served, telemetry totals) =="
+python -m repro sweep --smoke --telemetry "$TELE_TMP"
+
+echo "== harness telemetry: obs top + fleet Chrome export render =="
+python -m repro obs top "$TELE_TMP/cold.telemetry.jsonl" \
+    --chrome-out "$TELE_TMP/fleet.trace.json"
+python -m repro obs top "$TELE_TMP/warm.telemetry.jsonl" --json > "$TELE_TMP/top.json"
+python - "$TELE_TMP" <<'PYEOF'
+import json, sys
+from pathlib import Path
+tmp = Path(sys.argv[1])
+trace = json.loads((tmp / "fleet.trace.json").read_text())
+events = trace["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "fleet Chrome export has no job spans"
+assert any(e.get("cat") == "computed" for e in spans), "no computed spans"
+top = json.loads((tmp / "top.json").read_text())
+assert top["finished"] and top["n_completed"] == top["n_total"], top
+summary = json.loads((tmp / "warm.telemetry.json").read_text())
+assert summary["n_jobs"] == summary["n_completed"] == top["n_total"], summary
+assert summary["cache"]["hits"] == summary["n_cached"] == summary["n_jobs"], summary
+print(f"telemetry render ok: {len(spans)} fleet spans, "
+      f"{summary['n_jobs']} jobs accounted for, "
+      f"warm hit rate {summary['cache']['hit_rate']:.0%}")
+PYEOF
 
 echo "== fleet observability: sweep -> rebuild parity -> sentinel =="
-FLEET_TMP=$(mktemp -d)
-trap 'rm -rf "$FLEET_TMP"' EXIT
 python -m repro sweep --experiments pingpong,checkpoint_resilience --seeds 0:3 \
     --jobs 1 --cache-dir "$FLEET_TMP/cache" --obs-dir "$FLEET_TMP/obs" \
     --quiet > /dev/null

@@ -9,8 +9,10 @@ Commands:
   content-addressed result cache (see docs/SWEEP.md);
 * ``obs``       — fleet observability over the run index:
   ``ls``/``show`` slices, ``diff`` two slices (blame + metric deltas
-  with seed-level CIs), ``sentinel`` against committed baselines,
-  ``rebuild`` the index from cached artifacts;
+  with seed-level CIs; exits 3 when any shift is significant),
+  ``sentinel`` against committed baselines, ``rebuild`` the index from
+  cached artifacts, ``top`` to render a sweep's wall-clock telemetry
+  channel (live progress, worker occupancy, stragglers);
 * ``positioning`` — print the slide-18 map;
 * ``roofline``  — print the Xeon-vs-KNC roofline table.
 """
@@ -227,7 +229,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         table.print()
         return 0
     if args.smoke:
-        return run_smoke(jobs=args.jobs or 2, cache_root=args.cache_dir)
+        return run_smoke(
+            jobs=args.jobs or 2, cache_root=args.cache_dir,
+            telemetry_dir=args.telemetry,
+        )
 
     try:
         seeds = _parse_seeds(args.seeds)
@@ -250,6 +255,34 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     obs_dir = args.obs_dir or os.environ.get("REPRO_OBS_DIR") or None
     jobs = args.jobs or os.cpu_count() or 1
 
+    # Harness telemetry channel: explicit --telemetry, or implied (in
+    # the cache root, else a temp dir) by the live --progress view.
+    from pathlib import Path
+
+    telemetry = Path(args.telemetry) if args.telemetry else None
+    if telemetry is None and args.progress:
+        if cache is not None:
+            telemetry = cache.root / "v1" / "telemetry" / "sweep.telemetry.jsonl"
+        else:
+            import tempfile
+
+            telemetry = (
+                Path(tempfile.mkdtemp(prefix="repro-telemetry-"))
+                / "sweep.telemetry.jsonl"
+            )
+    if telemetry is not None and telemetry.exists():
+        # The channel is a per-invocation stream: a stale file would
+        # pollute the live view's job state and the final summary.
+        telemetry.unlink()
+
+    live = None
+    heartbeat = None
+    if args.progress:
+        from repro.obs.telemetry import LiveProgress
+
+        live = LiveProgress(telemetry)
+        heartbeat = live.refresh
+
     def progress(done, total, result):
         source = "cache" if result.cached else f"{result.wall_s:6.2f}s"
         print(
@@ -257,20 +290,44 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    per_job_lines = progress if not (args.quiet or args.progress) else None
     report = run_sweep(
         spec,
         jobs=jobs,
         cache=cache,
         refresh=args.refresh,
         obs_dir=obs_dir,
-        progress=progress if not args.quiet else None,
+        progress=per_job_lines,
         isolate=args.isolate,
+        telemetry=telemetry,
+        heartbeat=heartbeat,
     )
+    if live is not None:
+        live.close()
     report.summary_table().print()
     print(
         f"sweep digest {report.digest()[:16]}…  code {code_version()[:12]}…  "
         f"{report.n_cached} cached / {report.n_ran} simulated"
     )
+    if report.telemetry is not None:
+        from repro.obs.telemetry import summary_path_for
+
+        tele = report.telemetry
+        util = tele.get("utilization")
+        hit_rate = (tele.get("cache") or {}).get("hit_rate")
+        n_straggle = len(tele.get("stragglers") or [])
+        print(
+            f"telemetry: wall {tele.get('harness_wall_s', 0.0) or 0.0:.2f}s, "
+            f"worker utilization "
+            f"{'-' if util is None else f'{util:.0%}'}, cache hit rate "
+            f"{'-' if hit_rate is None else f'{hit_rate:.0%}'}, "
+            f"{n_straggle} straggler(s)"
+        )
+        print(
+            f"telemetry channel {telemetry} "
+            f"(summary {summary_path_for(telemetry)}; inspect with "
+            f"`python -m repro obs top {telemetry}`)"
+        )
     if args.summary_out:
         from repro.fsutil import atomic_write_json
 
@@ -344,11 +401,57 @@ def _resolve_slice(manifests, selector: str):
     return next(iter(slices.values()))
 
 
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """``obs top``: render the live state of a telemetry channel."""
+    import time as _time
+
+    from repro.obs.telemetry import (
+        FleetState,
+        TelemetryTail,
+        read_events,
+        render_top,
+        snapshot,
+        write_fleet_chrome_trace,
+    )
+
+    from pathlib import Path
+
+    channel = Path(args.channel)
+    if not channel.exists():
+        print(f"obs top: no telemetry channel at {channel}", file=sys.stderr)
+        return 2
+    state = FleetState()
+    tail = TelemetryTail(channel)
+    while True:
+        for event in tail.poll():
+            state.apply(event)
+        if not state.jobs and state.t_sweep_start is None:
+            print(
+                f"obs top: {channel} holds no telemetry records", file=sys.stderr
+            )
+            return 2
+        snap = snapshot(state)
+        if not args.json:
+            print(render_top(snap))
+        if not args.follow or state.t_sweep_end is not None:
+            break
+        _time.sleep(args.interval)
+    if args.json:
+        print(json.dumps(snap, indent=2, sort_keys=True))
+    if args.chrome_out:
+        write_fleet_chrome_trace(args.chrome_out, read_events(channel))
+        print(f"wrote fleet Chrome trace to {args.chrome_out}")
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     """Fleet observability: query/compare the cross-run index."""
     from repro.analysis import Table
     from repro.obs import compare
     from repro.obs.fleet import FleetIndex
+
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
 
     index = _fleet_index(args)
 
@@ -454,7 +557,10 @@ def cmd_obs(args: argparse.Namespace) -> int:
 
             atomic_write_json(args.json, report.as_dict())
             print(f"wrote diff report to {args.json}")
-        return 0
+        # Distinct exit code so scripts can gate on "anything shifted
+        # significantly" without parsing the JSON report (0 = no
+        # significant shifts, 2 = usage error, 3 = significant shifts).
+        return 3 if report.significant else 0
 
     if args.obs_command == "sentinel":
         if args.write:
@@ -613,6 +719,17 @@ def main(argv=None) -> int:
         help="suppress per-job progress lines",
     )
     p_sweep.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="stream a wall-clock harness-telemetry channel (JSONL) to "
+             "PATH; the summary lands in the sibling telemetry.json "
+             "(with --smoke: a directory for the cold/warm channels)",
+    )
+    p_sweep.add_argument(
+        "--progress", action="store_true",
+        help="live progress view (workers, cache hit rate, EWMA ETA) "
+             "instead of per-job lines; implies a telemetry channel",
+    )
+    p_sweep.add_argument(
         "--list", action="store_true",
         help="list sweepable experiments and exit",
     )
@@ -622,7 +739,8 @@ def main(argv=None) -> int:
     )
     p_obs = sub.add_parser(
         "obs",
-        help="fleet observability: ls/show/diff slices, sentinel, rebuild",
+        help="fleet observability: ls/show/diff slices, sentinel, "
+             "rebuild, top (telemetry)",
     )
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
 
@@ -695,6 +813,31 @@ def main(argv=None) -> int:
         "--perturb", type=float, default=1.0, metavar="FACTOR",
         help="scale observed means by FACTOR before checking (negative-test "
              "hook: a passing sentinel must fail with e.g. --perturb 1.5)",
+    )
+    p_top = obs_sub.add_parser(
+        "top",
+        help="render the live state of a sweep telemetry channel",
+    )
+    p_top.add_argument(
+        "channel", metavar="TELEMETRY_JSONL",
+        help="telemetry channel file written by `sweep --telemetry/--progress`",
+    )
+    p_top.add_argument(
+        "--json", action="store_true",
+        help="print the snapshot as JSON instead of the text view",
+    )
+    p_top.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep tailing the channel until the sweep finishes",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="poll interval with --follow (default 1.0s)",
+    )
+    p_top.add_argument(
+        "--chrome-out", default=None, metavar="PATH",
+        help="also write a Chrome/Perfetto trace of the fleet execution "
+             "(one lane per worker, cache hits coloured)",
     )
     p_rebuild = obs_sub.add_parser(
         "rebuild", help="regenerate the index from cached artifacts"

@@ -74,7 +74,7 @@ def atomic_write_json(path: PathLike, obj: Any, indent: int = 2) -> None:
         fh.write("\n")
 
 
-def append_line(path: PathLike, line: str) -> None:
+def append_line(path: PathLike, line: str, sync: bool = True) -> None:
     """Append one newline-terminated record to *path* (parents created).
 
     The whole record goes down in a single ``O_APPEND`` write, so
@@ -83,12 +83,19 @@ def append_line(path: PathLike, line: str) -> None:
     append-only JSONL files should still skip unparsable lines: a crash
     mid-write can leave at most one torn record at the tail, which is
     dropped on load and rewritten by the next append or rebuild.
+
+    With ``sync=False`` the ``fsync`` is skipped: the write is still a
+    single ``O_APPEND`` syscall (concurrent appenders never interleave)
+    but durability is left to the OS.  High-rate advisory streams (the
+    sweep telemetry channel) use this — losing the tail on a crash is
+    acceptable there, a per-record fsync tax on the harness is not.
     """
     p = ensure_parent(path)
     data = (line.rstrip("\n") + "\n").encode()
     fd = os.open(p, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
     try:
         os.write(fd, data)
-        os.fsync(fd)
+        if sync:
+            os.fsync(fd)
     finally:
         os.close(fd)

@@ -306,6 +306,11 @@ class DiffReport:
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
+        """Structured report.  Every delta entry carries an explicit
+        ``significant: bool``, and the top level repeats the verdict as
+        one bool — the same signal ``obs diff`` encodes in its exit
+        code (3 when True) for scripts that gate without JSON parsing.
+        """
         return {
             "a": self.a.as_dict(),
             "b": self.b.as_dict(),
@@ -314,6 +319,7 @@ class DiffReport:
             "blame_fractions": [r.as_dict() for r in self.blame_fractions],
             "blame_s": [r.as_dict() for r in self.blame_s],
             "n_significant": len(self.significant),
+            "significant": bool(self.significant),
         }
 
 

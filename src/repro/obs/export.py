@@ -50,6 +50,18 @@ def _warn_truncated(trace: "TraceRecorder", what: str) -> dict[str, int]:
     return dropped
 
 
+def chrome_process_meta(pid: int, name: str) -> dict:
+    """The ``process_name`` metadata event naming one trace group.
+
+    Shared by the whole-simulation exporter below and the fleet
+    (harness) exporter in :mod:`repro.obs.telemetry`.
+    """
+    return {
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": name},
+    }
+
+
 def assign_lanes(intervals: Sequence[tuple[float, float]]) -> list[int]:
     """Greedy lane assignment for (start, end) intervals.
 
@@ -101,10 +113,7 @@ def chrome_trace(
         )
     pids = {cat: i + 1 for i, cat in enumerate(categories)}
     for cat, pid in pids.items():
-        events.append({
-            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
-            "args": {"name": cat},
-        })
+        events.append(chrome_process_meta(pid, cat))
 
     by_cat: dict[str, list] = {cat: [] for cat in categories}
     for sp in trace.spans:

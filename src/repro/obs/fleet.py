@@ -50,6 +50,15 @@ FLEET_INDEX_ENV = "REPRO_FLEET_INDEX"
 #: Index location inside a sweep-cache root.
 INDEX_RELPATH = ("v1", "index", "runs.jsonl")
 
+#: Harness-telemetry sidecar next to the run index: one summary record
+#: per sweep invocation.  Deliberately a *separate* file — manifests in
+#: ``runs.jsonl`` are deterministic content digests of simulated
+#: results, while harness records carry wall-clock numbers (per-job
+#: wall seconds, queue waits, cache efficiency) that legitimately
+#: differ between identical runs.  Keeping the clocks in separate
+#: files is what preserves ``rebuild --check`` digest parity.
+HARNESS_RELPATH = ("v1", "index", "harness.jsonl")
+
 #: Payload-metric keys accepted as the run's makespan when no blame
 #: report is available (first match wins).
 _MAKESPAN_KEYS = (
@@ -478,6 +487,43 @@ class FleetIndex:
             manifest = manifest_from_cache_entry(cache, digest)
             if manifest is not None:
                 out.append(manifest)
+        return out
+
+    # -- harness telemetry sidecar ----------------------------------------
+    @property
+    def harness_path(self) -> Path:
+        """The wall-clock harness sidecar next to this index."""
+        return self.path.parent / HARNESS_RELPATH[-1]
+
+    def record_harness(self, summary: Mapping[str, Any]) -> None:
+        """Append one sweep-invocation telemetry summary (see
+        :func:`repro.obs.telemetry.summarize`) next to the run index.
+
+        Wall-clock by nature, so it never enters ``runs.jsonl`` or the
+        index digest — ``rebuild`` ignores and never rewrites it.
+        """
+        append_line(
+            self.harness_path,
+            json.dumps(dict(summary), sort_keys=True),
+            sync=False,
+        )
+
+    def load_harness(self) -> list[dict]:
+        """All readable harness summaries (torn lines skipped)."""
+        if not self.harness_path.exists():
+            return []
+        out = []
+        with open(self.harness_path, "r") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(doc, dict):
+                    out.append(doc)
         return out
 
     def rewrite(self, manifests: list[RunManifest]) -> None:

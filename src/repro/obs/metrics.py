@@ -204,6 +204,34 @@ def merge_histograms(name: str, histograms: Iterable[Histogram]) -> Histogram:
     return out
 
 
+class Ewma:
+    """Exponentially-weighted moving average of a scalar stream.
+
+    Used by the harness telemetry layer for wall-clock ETA estimation:
+    recent job durations should dominate the projection (warm caches,
+    JIT-warm workers), but a single outlier must not swing it.  The
+    first observation seeds the average directly.
+    """
+
+    __slots__ = ("alpha", "value", "count")
+    kind = "ewma"
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"ewma alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.value: Optional[float] = None
+        self.count = 0
+
+    def update(self, x: float) -> float:
+        self.count += 1
+        if self.value is None:
+            self.value = float(x)
+        else:
+            self.value += self.alpha * (float(x) - self.value)
+        return self.value
+
+
 class _NullHandle:
     """Shared no-op stand-in for every metric type when disabled."""
 

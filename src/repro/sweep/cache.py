@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import shutil
 import time
+import warnings
 from pathlib import Path
 from typing import Iterable, Optional
 
@@ -38,10 +39,24 @@ class ResultCache:
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.objects = self.root / CACHE_FORMAT / "objects"
-        #: Hit/miss/store counters for progress reporting.
+        #: Hit/miss/store counters for progress and harness telemetry.
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Misses caused by an unreadable entry (subset of ``misses``).
+        self.corrupt = 0
+        #: Bytes written into entries by :meth:`put` (payload + artifacts).
+        self.bytes_promoted = 0
+
+    def counts(self) -> dict:
+        """Snapshot of the efficiency counters (telemetry channel)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "stores": self.stores,
+            "bytes_promoted": self.bytes_promoted,
+        }
 
     # -- paths -----------------------------------------------------------
     def entry_dir(self, digest: str) -> Path:
@@ -59,9 +74,17 @@ class ResultCache:
         """
         path = self._result_path(digest)
         try:
-            doc = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            doc = json.loads(text)
             payload, meta = doc["payload"], doc.get("meta", {})
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            # The file exists but does not parse as a complete entry —
+            # a genuinely corrupt object, not a plain absence.
+            self.corrupt += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -84,8 +107,10 @@ class ResultCache:
         names: list[str] = []
         for src in artifacts or ():
             src = Path(src)
-            atomic_write_bytes(entry / "artifacts" / src.name, src.read_bytes())
+            data = src.read_bytes()
+            atomic_write_bytes(entry / "artifacts" / src.name, data)
             names.append(src.name)
+            self.bytes_promoted += len(data)
         doc = {
             "payload": payload,
             "meta": {
@@ -95,6 +120,10 @@ class ResultCache:
             },
         }
         atomic_write_json(self._result_path(digest), doc)
+        try:
+            self.bytes_promoted += self._result_path(digest).stat().st_size
+        except OSError:  # pragma: no cover - raced removal
+            pass
         self.stores += 1
         return entry
 
@@ -125,8 +154,42 @@ class ResultCache:
         )
 
     def prune(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Pruning removes cached **objects** only — the fleet run index
+        under the same root keeps its manifests and is now stale
+        (``obs rebuild --check`` will flag the drift).  When pruned
+        digests are still indexed, a warning points at
+        ``python -m repro obs rebuild`` to reconcile; the rebuild drops
+        every pruned digest because it derives purely from the
+        surviving cache entries.
+        """
         digests = self.entries()
         for digest in digests:
             shutil.rmtree(self.entry_dir(digest), ignore_errors=True)
+            # Drop the 2-hex fan-out directory once it empties.
+            try:
+                self.entry_dir(digest).parent.rmdir()
+            except OSError:
+                pass
+        self._warn_stale_index(digests)
         return len(digests)
+
+    def _warn_stale_index(self, pruned: list[str]) -> None:
+        if not pruned:
+            return
+        from repro.obs.fleet import FleetIndex
+
+        index = FleetIndex.at_cache_root(self.root)
+        if not index.exists():
+            return
+        stale = index.run_ids() & set(pruned)
+        if stale:
+            warnings.warn(
+                f"pruned {len(stale)} cache entr"
+                f"{'y' if len(stale) == 1 else 'ies'} still referenced by "
+                f"the fleet run index at {index.path}; run "
+                f"`python -m repro obs rebuild` to reconcile",
+                RuntimeWarning,
+                stacklevel=2,
+            )

@@ -116,6 +116,11 @@ class SweepReport:
     """All job results of one sweep invocation."""
 
     results: list[JobResult]
+    #: Wall-clock harness telemetry summary (``None`` when the sweep
+    #: ran without a telemetry channel).  Strictly outside
+    #: :meth:`digest` — wall time legitimately differs between
+    #: bit-identical sweeps.
+    telemetry: Optional[dict] = None
 
     @property
     def n_cached(self) -> int:
@@ -147,6 +152,7 @@ class SweepReport:
             "n_jobs": len(self.results),
             "n_cached": self.n_cached,
             "n_ran": self.n_ran,
+            "telemetry": self.telemetry,
             "jobs": [
                 {
                     "experiment": r.job.experiment,
@@ -220,11 +226,25 @@ def execute_job(
 
 
 def _pool_main(task: tuple) -> tuple:
-    """Top-level pool entry point (must be picklable)."""
-    index, experiment, config, seed, staging_dir = task
+    """Top-level pool entry point (must be picklable).
+
+    With a telemetry channel the worker itself emits ``job.start`` /
+    ``job.end`` — that is what gives the parent (and ``obs top``) live
+    worker occupancy instead of only after-the-fact completions.
+    """
+    index, experiment, config, seed, staging_dir, telemetry_path = task
+    writer = None
+    if telemetry_path is not None:
+        from repro.obs.telemetry import TelemetryWriter
+
+        writer = TelemetryWriter(telemetry_path)
+        writer.emit("job.start", job=index, worker=os.getpid())
     t0 = time.perf_counter()
     payload = execute_job(experiment, config, seed, staging_dir)
-    return index, payload, time.perf_counter() - t0
+    wall = time.perf_counter() - t0
+    if writer is not None:
+        writer.emit("job.end", job=index, worker=os.getpid(), wall_s=wall)
+    return index, payload, wall
 
 
 # ---------------------------------------------------------------------------
@@ -242,6 +262,9 @@ def run_sweep(
     obs_dir: Optional[Path] = None,
     progress: Optional[ProgressFn] = None,
     isolate: bool = False,
+    telemetry: Optional[Path] = None,
+    heartbeat: Optional[Callable[[], None]] = None,
+    heartbeat_interval: float = 0.5,
 ) -> SweepReport:
     """Run (or fetch) every job of *spec*; returns a :class:`SweepReport`.
 
@@ -262,6 +285,19 @@ def run_sweep(
     isolate:
         Give every job a brand-new worker process
         (``max_tasks_per_child=1``) instead of reusing pool workers.
+    telemetry:
+        Path of the wall-clock telemetry channel (JSONL).  The parent
+        records submit/cache/promote events, workers stream start/end
+        events into the same file, and the finished report carries the
+        :func:`repro.obs.telemetry.summarize` totals (also written to
+        the sibling ``telemetry.json`` and, when a cache is attached,
+        appended next to the fleet run index).  Harness-side only:
+        simulated payloads and :meth:`SweepReport.digest` are
+        bit-identical with telemetry on or off.
+    heartbeat:
+        Zero-argument callable invoked between job completions (at
+        least every *heartbeat_interval* seconds while workers are
+        busy) — the hook that drives the live ``--progress`` view.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -277,6 +313,28 @@ def run_sweep(
     if want_obs:
         obs_dir = Path(obs_dir)
         obs_dir.mkdir(parents=True, exist_ok=True)
+
+    tele = None
+    cache_base: dict = {}
+    if telemetry is not None:
+        from repro.obs.telemetry import TelemetryWriter
+
+        telemetry = Path(telemetry)
+        tele = TelemetryWriter(telemetry)
+        tele.emit(
+            "sweep.start",
+            n_jobs=len(job_list),
+            n_workers=min(jobs, len(job_list)),
+            experiments=sorted({j.experiment for j in job_list}),
+        )
+        if cache is not None:
+            # Counter snapshot so sweep.end reports *this* sweep's
+            # cache activity even on a long-lived ResultCache.
+            cache_base = cache.counts()
+
+    def tick() -> None:
+        if heartbeat is not None:
+            heartbeat()
 
     # Fleet run index: one manifest per job, appended at the cache
     # root.  Purely export-side — no cache, no index, no cost.
@@ -304,6 +362,7 @@ def run_sweep(
         done += 1
         if progress is not None:
             progress(done, len(job_list), result)
+        tick()
 
     # -- pass 1: cache lookups -----------------------------------------
     to_run: list[tuple[int, Job]] = []
@@ -325,6 +384,11 @@ def run_sweep(
             # is re-indexed from the cached artifacts.
             if indexed_ids is not None and job.digest not in indexed_ids:
                 record_manifest(job, payload, cache.artifact_paths(job.digest))
+            if tele is not None:
+                tele.emit(
+                    "cache.hit", job=i, digest=job.digest,
+                    experiment=job.experiment, seed=job.seed,
+                )
             settle(i, JobResult(job, payload, True, 0.0, artifacts))
         else:
             to_run.append((i, job))
@@ -341,11 +405,19 @@ def run_sweep(
         d.mkdir(parents=True, exist_ok=True)
         return str(d)
 
+    def submit_event(index: int, job: Job) -> None:
+        if tele is not None:
+            tele.emit(
+                "job.submit", job=index, digest=job.digest,
+                experiment=job.experiment, seed=job.seed,
+            )
+
     def finish_run(index: int, job: Job, payload: dict, wall: float) -> None:
         staged: list[Path] = []
         if staging_root is not None:
             staged = sorted((staging_root / f"job{index}").glob("*"))
         if cache is not None:
+            promoted_before = cache.bytes_promoted
             cache.put(
                 job.digest, payload,
                 meta={
@@ -359,6 +431,12 @@ def run_sweep(
                 },
                 artifacts=staged,
             )
+            if tele is not None:
+                tele.emit(
+                    "cache.promote", job=index, digest=job.digest,
+                    bytes=cache.bytes_promoted - promoted_before,
+                    n_artifacts=len(staged),
+                )
         record_manifest(job, payload, staged)
         if want_obs:
             for src in staged:
@@ -368,30 +446,46 @@ def run_sweep(
     try:
         if jobs == 1 or len(to_run) <= 1:
             for index, job in to_run:
+                submit_event(index, job)
+                if tele is not None:
+                    tele.emit("job.start", job=index, worker=os.getpid())
                 t0 = time.perf_counter()
                 payload = execute_job(
                     job.experiment, job.config, job.seed, staging_for(index)
                 )
-                finish_run(index, job, payload, time.perf_counter() - t0)
+                wall = time.perf_counter() - t0
+                if tele is not None:
+                    tele.emit(
+                        "job.end", job=index, worker=os.getpid(), wall_s=wall
+                    )
+                finish_run(index, job, payload, wall)
         else:
             method = os.environ.get(START_METHOD_ENV, "spawn")
             ctx = get_context(method)
             pool_kwargs: dict[str, Any] = {}
             if isolate:
                 pool_kwargs["max_tasks_per_child"] = 1
+            tele_path = str(telemetry) if tele is not None else None
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(to_run)), mp_context=ctx, **pool_kwargs
             ) as pool:
                 by_index = dict(to_run)
-                pending = {
-                    pool.submit(
+                pending = set()
+                for i, job in to_run:
+                    submit_event(i, job)
+                    pending.add(pool.submit(
                         _pool_main,
-                        (i, job.experiment, job.config, job.seed, staging_for(i)),
-                    )
-                    for i, job in to_run
-                }
+                        (i, job.experiment, job.config, job.seed,
+                         staging_for(i), tele_path),
+                    ))
+                # With a heartbeat the wait times out periodically so
+                # the live view keeps ticking while workers are busy.
+                timeout = heartbeat_interval if heartbeat is not None else None
                 while pending:
-                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    finished, pending = wait(
+                        pending, timeout=timeout, return_when=FIRST_COMPLETED
+                    )
+                    tick()
                     for fut in finished:
                         index, payload, wall = fut.result()
                         finish_run(index, by_index[index], payload, wall)
@@ -399,7 +493,24 @@ def run_sweep(
         if staging_root is not None:
             shutil.rmtree(staging_root, ignore_errors=True)
 
-    return SweepReport([results[i] for i in range(len(job_list))])
+    report = SweepReport([results[i] for i in range(len(job_list))])
+    if tele is not None:
+        from repro.obs.telemetry import read_events, summarize, write_summary
+
+        tele.emit(
+            "sweep.end",
+            n_done=done,
+            cache={
+                k: v - cache_base.get(k, 0)
+                for k, v in cache.counts().items()
+            } if cache is not None else {},
+        )
+        tick()
+        report.telemetry = summarize(read_events(telemetry))
+        write_summary(telemetry, report.telemetry)
+        if fleet_index is not None:
+            fleet_index.record_harness(report.telemetry)
+    return report
 
 
 # ---------------------------------------------------------------------------
@@ -411,23 +522,39 @@ SMOKE_EXPERIMENTS = ("pingpong", "checkpoint_resilience")
 SMOKE_SEEDS = (0, 1)
 
 
-def run_smoke(jobs: int = 2, cache_root=None, echo=print) -> int:
+def run_smoke(
+    jobs: int = 2, cache_root=None, echo=print, telemetry_dir=None
+) -> int:
     """Cold + warm smoke sweep; returns a process exit code.
 
     Runs 2 experiments x 2 seeds twice against one cache: the cold pass
     simulates everything, the warm pass must be served >= 95% from the
     cache with a bit-identical sweep digest.
+
+    With *telemetry_dir* each pass streams a harness-telemetry channel
+    (``cold.telemetry.jsonl`` / ``warm.telemetry.jsonl``) and the smoke
+    additionally asserts the telemetry totals agree with what actually
+    happened: every job accounted for on both passes, cold stores and
+    warm cache hits matching the job count.  This is CI's proof that
+    the telemetry layer measures the harness rather than inventing it.
     """
     spec = SweepSpec(experiments=list(SMOKE_EXPERIMENTS), seeds=list(SMOKE_SEEDS))
     owns_root = cache_root is None
     root = Path(cache_root) if cache_root else Path(tempfile.mkdtemp(prefix="repro-sweep-smoke-"))
+    channels = {}
+    if telemetry_dir is not None:
+        telemetry_dir = Path(telemetry_dir)
+        telemetry_dir.mkdir(parents=True, exist_ok=True)
+        for phase in ("cold", "warm"):
+            channels[phase] = telemetry_dir / f"{phase}.telemetry.jsonl"
+            channels[phase].unlink(missing_ok=True)
     try:
         cache = ResultCache(root)
         t0 = time.perf_counter()
-        cold = run_sweep(spec, jobs=jobs, cache=cache)
+        cold = run_sweep(spec, jobs=jobs, cache=cache, telemetry=channels.get("cold"))
         t_cold = time.perf_counter() - t0
         t0 = time.perf_counter()
-        warm = run_sweep(spec, jobs=jobs, cache=cache)
+        warm = run_sweep(spec, jobs=jobs, cache=cache, telemetry=channels.get("warm"))
         t_warm = time.perf_counter() - t0
         n = len(warm.results)
         frac = warm.n_cached / n if n else 0.0
@@ -445,8 +572,54 @@ def run_smoke(jobs: int = 2, cache_root=None, echo=print) -> int:
                 f"(need >= 95%)"
             )
             return 1
+        if channels:
+            failures = _check_smoke_telemetry(cold, warm, echo)
+            if failures:
+                for message in failures:
+                    echo(f"SMOKE FAILED: {message}")
+                return 1
         echo(f"sweep smoke passed (digest {cold.digest()[:16]}…)")
         return 0
     finally:
         if owns_root:
             shutil.rmtree(root, ignore_errors=True)
+
+
+def _check_smoke_telemetry(
+    cold: SweepReport, warm: SweepReport, echo=print
+) -> list[str]:
+    """Telemetry-vs-reality mismatches of a smoke run (empty = ok)."""
+    failures: list[str] = []
+
+    def expect(phase: str, what: str, got, want) -> None:
+        if got != want:
+            failures.append(
+                f"{phase} telemetry {what} = {got!r}, expected {want!r}"
+            )
+
+    for phase, report in (("cold", cold), ("warm", warm)):
+        summary = report.telemetry
+        if summary is None:
+            failures.append(f"{phase} pass carried no telemetry summary")
+            continue
+        n = len(report.results)
+        expect(phase, "n_jobs", summary.get("n_jobs"), n)
+        expect(phase, "n_completed", summary.get("n_completed"), n)
+        expect(phase, "n_cached", summary.get("n_cached"), report.n_cached)
+        expect(phase, "n_ran", summary.get("n_ran"), report.n_ran)
+        cache_counts = summary.get("cache") or {}
+        if phase == "cold":
+            expect(phase, "cache.stores", cache_counts.get("stores"), n)
+        else:
+            expect(phase, "cache.hits", cache_counts.get("hits"), n)
+    if not failures:
+        cold_cache = (cold.telemetry or {}).get("cache", {})
+        echo(
+            "sweep smoke telemetry ok: "
+            f"cold ran {cold.telemetry['n_ran']}/{cold.telemetry['n_jobs']} "
+            f"(stores {cold_cache.get('stores')}, "
+            f"{cold_cache.get('bytes_promoted', 0)} bytes promoted), "
+            f"warm cache hit rate "
+            f"{(warm.telemetry.get('cache') or {}).get('hit_rate'):.0%}"
+        )
+    return failures

@@ -82,11 +82,21 @@ def test_cli_ls_show_diff(fleet, capsys):
     assert "seeds [0, 1, 2]" in out
     assert "blame%.smfu" in out
 
+    # These slices genuinely differ, so diff signals it via exit 3
+    # (0 = no significant shifts, 2 = usage error).
     assert main(["obs", "diff", "--cache-dir", cd,
                  "alltoall_bridge:segment_kib=4",
-                 "alltoall_bridge:segment_kib=64"]) == 0
+                 "alltoall_bridge:segment_kib=64"]) == 3
     out = capsys.readouterr().out
     assert "fleet diff" in out and "significant" in out
+
+
+def test_cli_diff_exit_zero_when_nothing_significant(fleet, capsys):
+    tmp, cache = fleet
+    # A slice diffed against itself cannot shift significantly.
+    assert main(["obs", "diff", "--cache-dir", str(cache.root),
+                 "alltoall_bridge:segment_kib=4",
+                 "alltoall_bridge:segment_kib=4"]) == 0
 
 
 def test_cli_diff_json(fleet, capsys, tmp_path):
@@ -95,12 +105,16 @@ def test_cli_diff_json(fleet, capsys, tmp_path):
     assert main(["obs", "diff", "--cache-dir", str(cache.root),
                  "alltoall_bridge:segment_kib=4",
                  "alltoall_bridge:segment_kib=64",
-                 "--json", str(out_path)]) == 0
+                 "--json", str(out_path)]) == 3
     capsys.readouterr()
     doc = json.loads(out_path.read_text())
     assert doc["a"]["n_runs"] == 3
     assert doc["n_significant"] >= 1
+    assert doc["significant"] is True  # explicit top-level verdict
     assert "blame_fractions" in doc
+    # ... and every entry carries its own explicit significance flag.
+    for row in doc["metrics"] + doc["blame_fractions"]:
+        assert isinstance(row["significant"], bool)
 
 
 def test_sentinel_pass_and_perturb_fail(fleet, capsys, tmp_path):

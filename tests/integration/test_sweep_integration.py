@@ -32,6 +32,31 @@ def test_fanned_sweep_matches_serial_bit_for_bit(tmp_path):
         assert a.payload == b.payload
 
 
+def test_fanned_telemetry_matches_serial_digest(tmp_path):
+    """Telemetry on, fanned across workers: digest still equals serial.
+
+    Workers append job.start/job.end to the same channel the parent
+    writes — the acceptance bar is that this concurrency never leaks
+    into simulated results.
+    """
+    from repro.obs.telemetry import read_events, summarize
+
+    serial = run_sweep(SPEC, jobs=1)
+    channel = tmp_path / "telemetry.jsonl"
+    fanned = run_sweep(SPEC, jobs=2, telemetry=channel)
+    assert serial.digest() == fanned.digest()
+    events = read_events(channel)
+    kinds = [e["kind"] for e in events]
+    assert kinds.count("job.start") == 9 and kinds.count("job.end") == 9
+    # Worker-side records name at least two distinct pool workers.
+    workers = {e["worker"] for e in events if e["kind"] == "job.start"}
+    assert len(workers) >= 1  # >= 2 normally; 1 if the pool recycled fast
+    summary = summarize(events)
+    assert summary["n_jobs"] == summary["n_completed"] == 9
+    assert summary["n_workers"] == 2
+    assert fanned.telemetry["n_ran"] == 9
+
+
 def test_fanned_cold_then_warm_cache_served(tmp_path):
     cache = ResultCache(tmp_path / "cache")
     cold = run_sweep(SPEC, jobs=2, cache=cache)

@@ -283,3 +283,56 @@ class TestEnvRecording:
         # manifest artifact still written; no index anywhere
         assert (tmp_path / "obs" / "minibench.manifest.json").exists()
         assert list(tmp_path.glob("**/runs.jsonl")) == []
+
+
+class TestHarnessSidecar:
+    def test_record_and_load_roundtrip(self, tmp_path):
+        idx = FleetIndex.at_cache_root(tmp_path / "cache")
+        assert idx.load_harness() == []
+        idx.record_harness({"n_jobs": 4, "schema": 1})
+        idx.record_harness({"n_jobs": 2, "schema": 1})
+        docs = idx.load_harness()
+        assert [d["n_jobs"] for d in docs] == [4, 2]
+        assert idx.harness_path.name == "harness.jsonl"
+        assert idx.harness_path.parent == idx.path.parent
+
+    def test_load_harness_skips_torn_lines(self, tmp_path):
+        idx = FleetIndex.at_cache_root(tmp_path / "cache")
+        idx.record_harness({"n_jobs": 4})
+        with open(idx.harness_path, "a") as fh:
+            fh.write('{"n_jobs": 2, "torn')
+        assert [d["n_jobs"] for d in idx.load_harness()] == [4]
+
+    def test_harness_sidecar_never_enters_index_digest(self, small_sweep):
+        cache, spec, report, tmp = small_sweep
+        idx = FleetIndex.at_cache_root(cache.root)
+        before = idx.digest()
+        idx.record_harness({"n_jobs": 2, "harness_wall_s": 0.5})
+        assert idx.digest() == before
+        # ... and rebuild parity (which derives from cache objects
+        # alone) is untouched by any number of harness records.
+        assert idx.digest(FleetIndex.rebuild_from_cache(cache)) == before
+
+
+class TestPruneRebuildReconciliation:
+    """Satellite regression: prune -> stale index -> rebuild parity."""
+
+    def test_prune_then_rebuild_restores_check_parity(self, small_sweep, capsys):
+        from repro.__main__ import main
+
+        cache, spec, report, tmp = small_sweep
+        cache_args = ["--cache-dir", str(cache.root)]
+        # Fresh sweep: --check passes.
+        assert main(["obs", "rebuild", *cache_args, "--check"]) == 0
+        # Prune drops the objects but not the index -> drift, warned.
+        with pytest.warns(RuntimeWarning, match="obs rebuild"):
+            assert cache.prune() == 2
+        assert main(["obs", "rebuild", *cache_args, "--check"]) == 1
+        err = capsys.readouterr().err
+        assert "MISMATCH" in err
+        # Rebuild derives purely from surviving entries: pruned digests
+        # are dropped and --check parity is restored.
+        assert main(["obs", "rebuild", *cache_args]) == 0
+        assert main(["obs", "rebuild", *cache_args, "--check"]) == 0
+        idx = FleetIndex.at_cache_root(cache.root)
+        assert idx.load() == []

@@ -9,6 +9,7 @@ from repro.obs.metrics import (
     DEFAULT_SIZE_BUCKETS,
     DEFAULT_TIME_BUCKETS,
     NULL_METRICS,
+    Ewma,
     Histogram,
     MetricsRegistry,
     NullMetrics,
@@ -257,3 +258,32 @@ class TestHistogramFromDump:
             Histogram.from_dump("lat", {"buckets": []})
         with pytest.raises(ConfigurationError):
             Histogram.from_dump("lat", {"buckets": [[float("inf"), 3]]})
+
+
+class TestEwma:
+    def test_first_observation_seeds_directly(self):
+        e = Ewma(0.3)
+        assert e.value is None and e.count == 0
+        assert e.update(4.0) == 4.0
+        assert e.value == 4.0 and e.count == 1
+
+    def test_recursion(self):
+        e = Ewma(0.5)
+        e.update(2.0)
+        assert e.update(4.0) == pytest.approx(3.0)
+        assert e.update(3.0) == pytest.approx(3.0)
+        assert e.count == 3
+
+    def test_outlier_damped(self):
+        e = Ewma(0.3)
+        for _ in range(5):
+            e.update(1.0)
+        e.update(100.0)
+        # One 100x outlier moves the estimate by only alpha of the gap.
+        assert e.value == pytest.approx(1.0 + 0.3 * 99.0)
+
+    def test_alpha_validation(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ConfigurationError):
+                Ewma(bad)
+        assert Ewma(1.0).update(7.0) == 7.0  # alpha=1 tracks the last value

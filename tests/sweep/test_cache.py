@@ -34,6 +34,30 @@ def test_corrupt_entry_is_a_miss(cache):
     assert cache.get(DIGEST) is None
 
 
+def test_corrupt_counted_separately_from_plain_miss(cache):
+    assert cache.get(DIGEST) is None  # plain absence
+    assert cache.misses == 1 and cache.corrupt == 0
+    cache.put(DIGEST, {"metrics": {}})
+    (cache.entry_dir(DIGEST) / "result.json").write_text("{ torn json")
+    assert cache.get(DIGEST) is None  # genuinely corrupt object
+    assert cache.misses == 2 and cache.corrupt == 1
+    counts = cache.counts()
+    assert counts["corrupt"] == 1 and counts["misses"] == 2
+    assert set(counts) == {"hits", "misses", "corrupt", "stores",
+                           "bytes_promoted"}
+
+
+def test_bytes_promoted_accumulates(cache, tmp_path):
+    cache.put(DIGEST, {"metrics": {"x": 1}})
+    after_first = cache.bytes_promoted
+    assert after_first > 0  # at least the result.json body
+    art = tmp_path / "run.trace.json"
+    art.write_text('{"spans": []}\n')
+    cache.put(OTHER, {"metrics": {}}, artifacts=[art])
+    assert cache.bytes_promoted > after_first + len(art.read_bytes()) - 1
+    assert cache.counts()["bytes_promoted"] == cache.bytes_promoted
+
+
 def test_no_temp_droppings_after_put(cache):
     cache.put(DIGEST, {"metrics": {"x": 1}})
     leftovers = [
@@ -72,3 +96,31 @@ def test_prune(cache):
     assert cache.prune() == 2
     assert cache.entries() == []
     assert cache.get(DIGEST) is None
+
+
+def test_prune_removes_empty_fanout_dirs(cache):
+    cache.put(DIGEST, {"metrics": {}})
+    fanout = cache.entry_dir(DIGEST).parent
+    assert fanout.name == DIGEST[:2]
+    cache.prune()
+    assert not fanout.exists()
+
+
+def test_prune_warns_when_fleet_index_still_references_entries(cache):
+    from repro.obs.fleet import FleetIndex, RunManifest
+
+    cache.put(DIGEST, {"metrics": {}})
+    index = FleetIndex.at_cache_root(cache.root)
+    index.record(RunManifest(
+        run_id=DIGEST, source="sweep", experiment="pingpong", config={},
+        seed=0, code_version="v", makespan_s=1.0,
+    ))
+    with pytest.warns(RuntimeWarning, match="obs rebuild"):
+        assert cache.prune() == 1
+
+
+def test_prune_without_index_is_silent(cache, recwarn):
+    cache.put(DIGEST, {"metrics": {}})
+    assert cache.prune() == 1
+    assert [w for w in recwarn.list
+            if issubclass(w.category, RuntimeWarning)] == []

@@ -120,3 +120,110 @@ def test_zero_job_spec_rejected(tmp_path):
     spec = SweepSpec(experiments=[], seeds=[])
     with pytest.raises(ConfigurationError, match="zero jobs"):
         run_sweep(spec, cache=ResultCache(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# Harness telemetry
+# ---------------------------------------------------------------------------
+
+
+def test_telemetry_channel_records_the_sweep(tmp_path):
+    from repro.obs.telemetry import read_events
+
+    cache = ResultCache(tmp_path / "cache")
+    channel = tmp_path / "telemetry.jsonl"
+    report = run_sweep(SPEC, jobs=1, cache=cache, telemetry=channel)
+    events = read_events(channel)
+    kinds = [e["kind"] for e in events]
+    assert kinds[0] == "sweep.start" and kinds[-1] == "sweep.end"
+    assert kinds.count("job.submit") == 4
+    assert kinds.count("job.start") == 4
+    assert kinds.count("job.end") == 4
+    assert kinds.count("cache.promote") == 4  # every cold job is stored
+    assert "cache.hit" not in kinds
+    start = events[0]
+    assert start["n_jobs"] == 4 and start["n_workers"] == 1
+    assert set(start["experiments"]) == {"pingpong", "checkpoint_resilience"}
+    # Every record is ordered on one epoch axis and schema-stamped.
+    assert all(e["schema"] == 1 for e in events)
+    assert [e["t"] for e in events] == sorted(e["t"] for e in events)
+    # The report carries the folded summary; the sweep digest does not.
+    assert report.telemetry is not None
+    assert report.telemetry["n_jobs"] == 4
+    assert report.telemetry["n_ran"] == 4
+    assert "telemetry" in report.as_dict()
+
+
+def test_telemetry_warm_pass_reports_per_sweep_cache_deltas(tmp_path):
+    from repro.obs.telemetry import read_events
+
+    cache = ResultCache(tmp_path / "cache")
+    channel_cold = tmp_path / "cold.jsonl"
+    channel_warm = tmp_path / "warm.jsonl"
+    run_sweep(SPEC, jobs=1, cache=cache, telemetry=channel_cold)
+    warm = run_sweep(SPEC, jobs=1, cache=cache, telemetry=channel_warm)
+    kinds = [e["kind"] for e in read_events(channel_warm)]
+    assert kinds.count("cache.hit") == 4
+    assert "job.start" not in kinds  # nothing simulated on the warm pass
+    # Cumulative process-lifetime counters from the cold pass must not
+    # leak into the warm sweep's own totals.
+    assert warm.telemetry["cache"]["hits"] == 4
+    assert warm.telemetry["cache"]["misses"] == 0
+    assert warm.telemetry["cache"]["hit_rate"] == 1.0
+    assert warm.telemetry["n_cached"] == 4 and warm.telemetry["n_ran"] == 0
+
+
+def test_telemetry_does_not_perturb_digest(tmp_path):
+    plain = run_sweep(SPEC, jobs=1, cache=ResultCache(tmp_path / "a"))
+    with_tele = run_sweep(
+        SPEC, jobs=1, cache=ResultCache(tmp_path / "b"),
+        telemetry=tmp_path / "telemetry.jsonl",
+    )
+    assert plain.digest() == with_tele.digest()
+    for a, b in zip(plain.results, with_tele.results):
+        assert a.payload == b.payload
+    # ... and the summary doc itself is excluded from the digest: the
+    # as_dict differs only by the wall-clock telemetry block.
+    assert plain.telemetry is None and with_tele.telemetry is not None
+
+
+def test_telemetry_writes_summary_and_harness_record(tmp_path):
+    from repro.obs.fleet import FleetIndex
+
+    cache = ResultCache(tmp_path / "cache")
+    channel = tmp_path / "telemetry.jsonl"
+    report = run_sweep(SPEC, jobs=1, cache=cache, telemetry=channel)
+    summary = json.loads((tmp_path / "telemetry.json").read_text())
+    assert summary["n_jobs"] == 4
+    assert summary["n_completed"] == len(report.results)
+    assert summary["cache"]["stores"] == 4
+    harness = FleetIndex.at_cache_root(cache.root).load_harness()
+    assert len(harness) == 1
+    assert harness[0]["n_jobs"] == 4
+
+
+def test_telemetry_heartbeat_fires(tmp_path):
+    beats = []
+    run_sweep(
+        SPEC, jobs=1, cache=ResultCache(tmp_path / "cache"),
+        telemetry=tmp_path / "telemetry.jsonl",
+        heartbeat=lambda: beats.append(1),
+    )
+    assert beats  # called at least once per completion batch
+
+
+def test_run_smoke_with_telemetry_dir(tmp_path, capsys):
+    from repro.sweep.engine import run_smoke
+
+    code = run_smoke(
+        jobs=1, cache_root=tmp_path / "cache",
+        echo=print, telemetry_dir=tmp_path / "tele",
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "telemetry ok" in out
+    for name in ("cold.telemetry.jsonl", "cold.telemetry.json",
+                 "warm.telemetry.jsonl", "warm.telemetry.json"):
+        assert (tmp_path / "tele" / name).exists(), name
+    warm = json.loads((tmp_path / "tele" / "warm.telemetry.json").read_text())
+    assert warm["cache"]["hit_rate"] == 1.0

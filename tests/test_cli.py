@@ -102,3 +102,65 @@ class TestParseSeeds:
     def test_cli_exit_code_on_bad_seeds(self, capsys):
         assert main(["sweep", "--seeds", "5:2", "--experiments", "pingpong"]) == 2
         assert "empty" in capsys.readouterr().err
+
+
+# -- harness telemetry (sweep --telemetry/--progress, obs top) --------------
+
+
+class TestTelemetryCli:
+    SWEEP = ["sweep", "-e", "checkpoint_resilience", "-s", "0,1", "-j", "1",
+             "--set", "checkpoint_resilience.work_s=200.0",
+             "--set", "checkpoint_resilience.mtbf_s=120.0"]
+
+    def test_sweep_telemetry_writes_channel_and_summary(self, capsys, tmp_path):
+        import json
+
+        channel = tmp_path / "telemetry.jsonl"
+        assert main([*self.SWEEP, "--cache-dir", str(tmp_path / "cache"),
+                     "--telemetry", str(channel)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: wall" in out
+        assert "obs top" in out  # points the user at the viewer
+        assert channel.exists()
+        summary = json.loads((tmp_path / "telemetry.json").read_text())
+        assert summary["n_jobs"] == summary["n_completed"] == 2
+
+    def test_sweep_progress_implies_telemetry(self, capsys, tmp_path):
+        assert main([*self.SWEEP, "--cache-dir", str(tmp_path / "cache"),
+                     "--progress"]) == 0
+        err = capsys.readouterr().err
+        # The live view rendered at least its final block (non-TTY).
+        assert "2/2 jobs" in err
+        default = (tmp_path / "cache" / "v1" / "telemetry"
+                   / "sweep.telemetry.jsonl")
+        assert default.exists()
+
+    def test_obs_top_text_json_chrome(self, capsys, tmp_path):
+        import json
+
+        channel = tmp_path / "telemetry.jsonl"
+        assert main([*self.SWEEP, "--cache-dir", str(tmp_path / "cache"),
+                     "--telemetry", str(channel)]) == 0
+        capsys.readouterr()
+
+        assert main(["obs", "top", str(channel)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep done:" in out and "2/2 jobs" in out
+
+        assert main(["obs", "top", str(channel), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["finished"] is True
+        assert doc["n_completed"] == doc["n_total"] == 2
+
+        trace_path = tmp_path / "fleet.trace.json"
+        assert main(["obs", "top", str(channel),
+                     "--chrome-out", str(trace_path)]) == 0
+        capsys.readouterr()
+        trace = json.loads(trace_path.read_text())
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert len(spans) == 2
+        assert all(e["cat"] == "computed" for e in spans)
+
+    def test_obs_top_missing_channel_is_usage_error(self, capsys, tmp_path):
+        assert main(["obs", "top", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no telemetry channel" in capsys.readouterr().err
