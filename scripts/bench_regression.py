@@ -220,6 +220,62 @@ def telemetry_overhead_gate(repeats: int, budget: float = 0.03) -> list[str]:
     return []
 
 
+def policy_overhead_gate(repeats: int, budget: float = 0.03) -> list[str]:
+    """Wall-clock budget for the failure-policy wiring.
+
+    Times the same serial sweep (pingpong x 2 seeds, no cache) with no
+    policy and with a full :class:`FailurePolicy` armed (timeout,
+    retries, backoff — none of which should fire on healthy jobs),
+    interleaved best-of-N.  The policy path is bookkeeping around the
+    execute call — attempt counters, deadline stamps, dead chaos
+    branches — and must keep the sweep within *budget* (default 3%) of
+    the policy-free run.  A first failure is re-measured at 2N before
+    the gate trips.
+    """
+    import time
+
+    from repro.sweep.engine import SweepSpec, run_sweep
+    from repro.sweep.policy import FailurePolicy
+
+    spec = SweepSpec(
+        experiments=["pingpong"], seeds=[0, 1],
+        overrides={"pingpong": {"rounds": 120}},
+    )
+    policy = FailurePolicy(timeout_s=300.0, max_retries=3)
+
+    def measure(n: int) -> tuple[float, float]:
+        """Interleaved best-of-*n* sweep walls: (off, policy-armed)."""
+        off = on = float("inf")
+        for _ in range(n):
+            t0 = time.perf_counter()
+            run_sweep(spec, jobs=1)
+            off = min(off, time.perf_counter() - t0)
+
+            t0 = time.perf_counter()
+            report = run_sweep(spec, jobs=1, policy=policy)
+            on = min(on, time.perf_counter() - t0)
+            assert report.ok and report.n_retries == 0
+        return off, on
+
+    n = max(repeats, 5)
+    off, on = measure(n)
+    if on / off > 1.0 + budget:
+        print(f"  first pass {on / off:.3f}x over budget; "
+              f"re-measuring with best-of-{2 * n} ...")
+        off2, on2 = measure(2 * n)
+        off, on = min(off, off2), min(on, on2)
+    ratio = on / off
+    print(f"  policy off    best sweep wall {off * 1e3:8.2f} ms")
+    print(f"  policy armed  best sweep wall {on * 1e3:8.2f} ms  ({ratio:.3f}x)")
+    if ratio > 1.0 + budget:
+        return [
+            f"policy overhead gate: policy-armed sweep {ratio:.3f}x of "
+            f"policy-free (budget {1.0 + budget:.2f}x)"
+        ]
+    print(f"  within the {budget:.0%} failure-policy budget  [ok]")
+    return []
+
+
 def compare(results: dict, invariants: dict, baseline: dict,
             threshold: float, tiny: bool) -> list[str]:
     """Return a list of failure messages (empty = gate passes)."""
@@ -314,6 +370,11 @@ def main(argv=None) -> int:
         help="also assert the harness-telemetry channel keeps sweep wall "
              "time within 3%% of an untelemetered sweep",
     )
+    ap.add_argument(
+        "--policy-overhead-gate", action="store_true",
+        help="also assert an armed-but-idle failure policy keeps sweep "
+             "wall time within 3%% of a policy-free sweep",
+    )
     args = ap.parse_args(argv)
 
     if args.fidelity_guard:
@@ -337,6 +398,15 @@ def main(argv=None) -> int:
     if args.telemetry_overhead_gate:
         print("harness-telemetry overhead gate (sweep wall clock):")
         failures = telemetry_overhead_gate(repeats=args.repeats)
+        if failures:
+            print("\nBENCH REGRESSION GATE FAILED:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+
+    if args.policy_overhead_gate:
+        print("failure-policy overhead gate (sweep wall clock):")
+        failures = policy_overhead_gate(repeats=args.repeats)
         if failures:
             print("\nBENCH REGRESSION GATE FAILED:")
             for f in failures:

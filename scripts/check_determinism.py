@@ -199,6 +199,37 @@ def main(argv=None) -> int:
         print("TELEMETRY MISSING: sweep ran with a channel but no summary")
         return 1
     print(f"deterministic (harness telemetry): {td1}")
+
+    # The failure-policy layer must be inert when nothing fails: a
+    # policy-armed sweep of healthy jobs reports zero retries and the
+    # same digest as the plain run.
+    from repro.sweep.policy import FailurePolicy
+
+    armed_report = run_sweep(
+        spec, jobs=1, policy=FailurePolicy(timeout_s=60.0, max_retries=3)
+    )
+    pd = armed_report.digest()
+    if pd != td1:
+        print(
+            "FAILURE POLICY PERTURBED THE SWEEP: digest "
+            f"{td1} (off) != {pd} (on)"
+        )
+        return 1
+    if (
+        armed_report.n_retries
+        or armed_report.n_timeouts
+        or armed_report.n_pool_restarts
+        or armed_report.failures
+    ):
+        print(
+            "FAILURE POLICY NOT INERT: clean sweep reported "
+            f"{armed_report.n_retries} retries, "
+            f"{armed_report.n_timeouts} timeouts, "
+            f"{armed_report.n_pool_restarts} pool restarts, "
+            f"{len(armed_report.failures)} quarantined"
+        )
+        return 1
+    print(f"deterministic (failure policy on): {pd}")
     return 0
 
 

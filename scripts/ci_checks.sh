@@ -19,7 +19,7 @@ python benchmarks/bench_kernel_hotpath.py --tiny --out "$(mktemp)"
 
 echo "== bench regression gate =="
 python scripts/bench_regression.py --repeats 3 --fidelity-guard \
-    --obs-overhead-gate --telemetry-overhead-gate
+    --obs-overhead-gate --telemetry-overhead-gate --policy-overhead-gate
 
 FLEET_TMP=$(mktemp -d)
 TELE_TMP=$(mktemp -d)
@@ -27,6 +27,9 @@ trap 'rm -rf "$FLEET_TMP" "$TELE_TMP"' EXIT
 
 echo "== sweep smoke (cold + warm, cache-served, telemetry totals) =="
 python -m repro sweep --smoke --telemetry "$TELE_TMP"
+
+echo "== chaos parity smoke (injected faults must converge) =="
+python -m repro sweep --smoke-chaos
 
 echo "== harness telemetry: obs top + fleet Chrome export render =="
 python -m repro obs top "$TELE_TMP/cold.telemetry.jsonl" \

@@ -208,8 +208,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     """Run an experiment x seed sweep through the cache + process pool."""
     from repro.sweep import (
         EXPERIMENTS,
+        FailurePolicy,
         ResultCache,
         SweepSpec,
+        run_chaos_smoke,
         run_smoke,
         run_sweep,
     )
@@ -233,6 +235,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             jobs=args.jobs or 2, cache_root=args.cache_dir,
             telemetry_dir=args.telemetry,
         )
+    if args.smoke_chaos:
+        return run_chaos_smoke(jobs=args.jobs or 4)
 
     try:
         seeds = _parse_seeds(args.seeds)
@@ -290,6 +294,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    policy = None
+    if (
+        args.timeout is not None
+        or args.retries is not None
+        or args.fail_fast
+        or args.max_failures is not None
+    ):
+        try:
+            policy = FailurePolicy(
+                timeout_s=args.timeout,
+                max_retries=args.retries if args.retries is not None else 3,
+                fail_fast=args.fail_fast,
+                max_failures=args.max_failures,
+            )
+        except Exception as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
+            return 2
+
     per_job_lines = progress if not (args.quiet or args.progress) else None
     report = run_sweep(
         spec,
@@ -301,6 +323,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         isolate=args.isolate,
         telemetry=telemetry,
         heartbeat=heartbeat,
+        policy=policy,
     )
     if live is not None:
         live.close()
@@ -328,11 +351,34 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"(summary {summary_path_for(telemetry)}; inspect with "
             f"`python -m repro obs top {telemetry}`)"
         )
+    if report.n_retries or report.n_timeouts or report.n_pool_restarts:
+        print(
+            f"failure policy: {report.n_retries} retr"
+            f"{'y' if report.n_retries == 1 else 'ies'}, "
+            f"{report.n_timeouts} timeout(s), "
+            f"{report.n_pool_restarts} pool restart(s)",
+            file=sys.stderr,
+        )
+    for failure in report.failures:
+        print(
+            f"QUARANTINED {failure.label} after {failure.attempts} "
+            f"attempt(s): {failure.error_class}: {failure.message} "
+            f"(tb {failure.traceback_digest})",
+            file=sys.stderr,
+        )
+    if report.aborted:
+        print(
+            "sweep aborted by failure policy "
+            "(fail-fast or max-failures exceeded)",
+            file=sys.stderr,
+        )
     if args.summary_out:
         from repro.fsutil import atomic_write_json
 
         atomic_write_json(args.summary_out, report.as_dict())
         print(f"wrote summary to {args.summary_out}")
+    if report.failures or report.aborted:
+        return 4
     return 0
 
 
@@ -736,6 +782,29 @@ def main(argv=None) -> int:
     p_sweep.add_argument(
         "--smoke", action="store_true",
         help="CI smoke: cold + warm 2x2 sweep; warm must be >=95%% cached",
+    )
+    p_sweep.add_argument(
+        "--smoke-chaos", action="store_true",
+        help="CI chaos smoke: clean run vs REPRO_CHAOS-injected "
+             "crashes/hangs/corruptions must converge to the same digest",
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-job wall-clock budget in seconds; a job past it is "
+             "killed and retried (pooled sweeps only)",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="failed attempts a job may burn before quarantine "
+             "(default 3 when a failure policy is active)",
+    )
+    p_sweep.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the sweep at the first quarantined job",
+    )
+    p_sweep.add_argument(
+        "--max-failures", type=int, default=None, metavar="N",
+        help="abort once more than N jobs are quarantined",
     )
     p_obs = sub.add_parser(
         "obs",

@@ -80,6 +80,30 @@ class AllocationError(ResourceError):
     """Not enough nodes/cores available to satisfy a request."""
 
 
+class SweepError(ReproError):
+    """Sweep-harness failures (job execution, pooling, integrity)."""
+
+
+class JobTimeoutError(SweepError):
+    """A sweep job exceeded its wall-clock budget and was killed."""
+
+    def __init__(self, label: str, timeout_s: float, elapsed_s: float) -> None:
+        self.timeout_s = timeout_s
+        self.elapsed_s = elapsed_s
+        super().__init__(
+            f"job {label} exceeded the {timeout_s:.3g}s wall-clock budget "
+            f"(ran {elapsed_s:.3g}s before being killed)"
+        )
+
+
+class ResultIntegrityError(SweepError):
+    """A job payload failed its checksum on the way back to the parent."""
+
+
+class WorkerCrashError(SweepError):
+    """A pool worker died without returning a result."""
+
+
 class TaskError(ReproError):
     """OmpSs-like task-runtime failures."""
 

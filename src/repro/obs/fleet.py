@@ -117,6 +117,9 @@ class RunManifest:
     #: True when the trace ring dropped records or the blame walk was
     #: partial: the numbers cover only part of the run.
     partial: bool = False
+    #: Run status: ``"ok"`` for completed runs, ``"quarantined"`` for
+    #: sweep jobs that exhausted their failure-policy retry budget.
+    status: str = "ok"
     schema: int = MANIFEST_SCHEMA
 
     def config_digest(self) -> str:
@@ -138,6 +141,7 @@ class RunManifest:
             "blame_s": dict(self.blame_s),
             "blame_fractions": dict(self.blame_fractions),
             "partial": self.partial,
+            "status": self.status,
         }
 
     def line(self) -> str:
@@ -158,6 +162,7 @@ class RunManifest:
             blame_s=dict(doc.get("blame_s") or {}),
             blame_fractions=dict(doc.get("blame_fractions") or {}),
             partial=bool(doc.get("partial", False)),
+            status=str(doc.get("status", "ok")),
             schema=int(doc.get("schema", MANIFEST_SCHEMA)),
         )
 

@@ -14,12 +14,23 @@ fsync), and the parent — or a later ``python -m repro obs top`` — tails
 it with a torn-line-tolerant reader.  Record kinds::
 
     sweep.start    {t, n_jobs, n_workers, experiments}
-    job.submit     {t, job, digest, experiment, seed}      (parent)
-    job.start      {t, job, worker}                        (worker)
+    job.submit     {t, job, digest, experiment, seed, attempt}   (parent)
+    job.start      {t, job, worker, attempt}               (worker)
     job.end        {t, job, worker, wall_s}                (worker)
+    job.retry      {t, job, failures, delay_s, error}      (parent)
+    job.timeout    {t, job, attempt, elapsed_s, timeout_s} (parent)
+    job.quarantine {t, job, error, attempts, timed_out, experiment, seed}
+    pool.restart   {t, reason, restarts, n_requeued}       (parent)
     cache.hit      {t, job, digest, experiment, seed}      (parent)
     cache.promote  {t, job, digest, bytes, n_artifacts}    (parent)
-    sweep.end      {t, n_done, cache {hits,misses,corrupt,stores,bytes_promoted}}
+    sweep.end      {t, n_done, n_quarantined, aborted,
+                    cache {hits,misses,corrupt,stores,bytes_promoted}}
+
+The failure records (``job.retry`` / ``job.timeout`` /
+``job.quarantine`` / ``pool.restart``) come from the engine's
+:class:`~repro.sweep.policy.FailurePolicy` layer: a retried job goes
+back to queued (its next ``job.submit``/``job.start`` carries a higher
+attempt), a quarantined job leaves the fleet for good.
 
 Every record carries ``schema`` and an epoch-seconds ``t`` so events
 from different processes order on one axis.  **Telemetry is strictly
@@ -185,6 +196,12 @@ class JobTelemetry:
     wall_s: Optional[float] = None
     cached: bool = False
     promoted_bytes: int = 0
+    #: Failed attempts so far (folded from ``job.retry`` records).
+    failures: int = 0
+    #: Attempts killed on the wall-clock budget.
+    timeouts: int = 0
+    #: Terminal: the job exhausted its retry budget and left the fleet.
+    quarantined: bool = False
 
     @property
     def queue_wait_s(self) -> Optional[float]:
@@ -213,6 +230,10 @@ class FleetState:
         self.cache_counts: dict[str, int] = {}
         self.ewma = Ewma(ewma_alpha)
         self.t_last = 0.0
+        self.n_retries = 0
+        self.n_timeouts = 0
+        self.n_pool_restarts = 0
+        self.aborted = False
 
     # -- folding ---------------------------------------------------------
     def apply(self, event: Mapping[str, Any]) -> None:
@@ -233,8 +254,12 @@ class FleetState:
             return
         if kind == "sweep.end":
             self.t_sweep_end = t
+            self.aborted = self.aborted or bool(event.get("aborted"))
             for key, value in (event.get("cache") or {}).items():
                 self.cache_counts[key] = int(value)
+            return
+        if kind == "pool.restart":
+            self.n_pool_restarts += 1
             return
         index = event.get("job")
         if index is None:
@@ -253,6 +278,22 @@ class FleetState:
             job.worker = event.get("worker", job.worker)
             job.wall_s = float(event.get("wall_s", t - (job.t_start or t)))
             self.ewma.update(job.wall_s)
+        elif kind == "job.retry":
+            # The job leaves its worker and goes back to queued; its
+            # next job.submit/job.start restart the wall clock.
+            self.n_retries += 1
+            job.failures = int(event.get("failures", job.failures + 1))
+            job.t_start = None
+            job.t_end = None
+            job.worker = None
+        elif kind == "job.timeout":
+            self.n_timeouts += 1
+            job.timeouts += 1
+        elif kind == "job.quarantine":
+            job.quarantined = True
+            job.experiment = str(event.get("experiment", job.experiment))
+            job.seed = event.get("seed", job.seed)
+            job.failures = max(job.failures, int(event.get("attempts", 0)))
         elif kind == "cache.hit":
             job.cached = True
             job.t_submit = job.t_submit if job.t_submit is not None else t
@@ -277,11 +318,17 @@ class FleetState:
     def running(self) -> list[JobTelemetry]:
         return [
             j for j in self.jobs.values()
-            if j.t_start is not None and j.t_end is None
+            if j.t_start is not None and j.t_end is None and not j.quarantined
         ]
 
     def queued(self) -> list[JobTelemetry]:
-        return [j for j in self.jobs.values() if j.t_start is None]
+        return [
+            j for j in self.jobs.values()
+            if j.t_start is None and not j.quarantined
+        ]
+
+    def quarantined(self) -> list[JobTelemetry]:
+        return [j for j in self.jobs.values() if j.quarantined]
 
     @property
     def n_total(self) -> int:
@@ -323,7 +370,7 @@ class FleetState:
         now = self.t_last if now is None else now
         by_worker: dict[int, dict] = {}
         for j in sorted(self.jobs.values(), key=lambda j: j.t_start or 0.0):
-            if j.worker is None or j.t_start is None:
+            if j.worker is None or j.t_start is None or j.quarantined:
                 continue
             running = j.t_end is None
             by_worker[j.worker] = {
@@ -378,7 +425,7 @@ def stragglers(
     now = state.t_last if now is None else now
     flagged = []
     for j in sorted(state.jobs.values(), key=lambda j: j.index):
-        if j.cached or j.t_start is None:
+        if j.cached or j.t_start is None or j.quarantined:
             continue
         wall = j.wall_s if j.t_end is not None else max(now - j.t_start, 0.0)
         if wall is not None and wall > threshold:
@@ -419,6 +466,18 @@ def snapshot(state: FleetState, now: Optional[float] = None) -> dict:
         "workers": state.workers(now),
         "stragglers": stragglers(state, now=now),
         "experiments": list(state.experiments),
+        "failures": _failure_counts(state),
+    }
+
+
+def _failure_counts(state: FleetState) -> dict:
+    """The failure-policy block of snapshots and summaries."""
+    return {
+        "retries": state.n_retries,
+        "timeouts": state.n_timeouts,
+        "pool_restarts": state.n_pool_restarts,
+        "quarantined": len(state.quarantined()),
+        "aborted": state.aborted,
     }
 
 
@@ -480,6 +539,7 @@ def summarize(events: Iterable[Mapping[str, Any]]) -> dict:
                          "bytes_promoted")},
         },
         "stragglers": stragglers(state),
+        "failures": _failure_counts(state),
     }
 
 
@@ -595,6 +655,16 @@ def render_top(snap: Mapping[str, Any]) -> str:
         f"worker utilization "
         f"{'-' if util is None else f'{util:.0%}'}",
     ]
+    failures = snap.get("failures") or {}
+    if any(failures.get(k) for k in
+           ("retries", "timeouts", "pool_restarts", "quarantined")):
+        lines.append(
+            f"failures: {failures.get('retries', 0)} retries, "
+            f"{failures.get('timeouts', 0)} timeouts, "
+            f"{failures.get('pool_restarts', 0)} pool restarts, "
+            f"{failures.get('quarantined', 0)} quarantined"
+            + ("  [ABORTED]" if failures.get("aborted") else "")
+        )
     workers = snap.get("workers") or []
     if workers:
         lines.append("workers:")

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProcessKilled
 from repro.parastation.nodes import NodeState, Partition
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -71,23 +71,33 @@ class FaultInjector:
         self.on_failure = on_failure
         self.failures: list[tuple[float, str]] = []
         self._proc = None
+        self._repairs: list = []
 
     def start(self) -> None:
         """Begin injecting (spawns the injector process)."""
         self._proc = self.sim.process(self._run(), name="fault-injector")
 
     def stop(self) -> None:
-        """Stop injecting."""
+        """Stop injecting and cancel outstanding repairs.
+
+        A stopped injector must go fully quiet: without cancelling the
+        ``repair:*`` processes, nodes it downed would still pop back up
+        later — surprising state changes from a component the caller
+        just turned off.  Downed nodes stay down; bring them back
+        explicitly via ``partition.mark_up`` if the test wants them.
+        """
         if self._proc is not None and self._proc.is_alive:
             self._proc.kill("injector stopped")
+        for proc in self._repairs:
+            if proc.is_alive:
+                proc.kill("injector stopped")
+        self._repairs.clear()
 
     @property
     def failure_count(self) -> int:
         return len(self.failures)
 
     def _run(self):
-        from repro.errors import ProcessKilled
-
         rng = self.sim.rng.stream("fault-injector")
         try:
             while self.max_failures is None or len(self.failures) < self.max_failures:
@@ -120,12 +130,18 @@ class FaultInjector:
         if self.on_failure is not None:
             self.on_failure(node_name)
         if self.repair_time_s is not None:
-            self.sim.process(
-                self._repair(node_name), name=f"repair:{node_name}"
+            self._repairs = [p for p in self._repairs if p.is_alive]
+            self._repairs.append(
+                self.sim.process(
+                    self._repair(node_name), name=f"repair:{node_name}"
+                )
             )
 
     def _repair(self, node_name: str):
-        yield self.sim.timeout(self.repair_time_s)
+        try:
+            yield self.sim.timeout(self.repair_time_s)
+        except ProcessKilled:
+            return
         if self.partition.state_of(node_name) is NodeState.DOWN:
             self.partition.mark_up(node_name)
             # Fresh drivers will be registered on respawn; drop the

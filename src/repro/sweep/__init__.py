@@ -12,6 +12,10 @@ it at scale:
   on-disk result cache (repeated sweeps are ~free);
 * :mod:`repro.sweep.engine` — the process-pool executor, progress
   reporting and merged summary;
+* :mod:`repro.sweep.policy` — the failure policy (per-job timeouts,
+  bounded deterministic retries, pool-crash recovery, quarantine);
+* :mod:`repro.sweep.chaos` — the env-gated deterministic fault
+  injector CI uses to prove chaos-ridden sweeps converge;
 * :mod:`repro.sweep.obsglue` — shared observability-export helpers
   (also used by ``benchmarks/conftest.py``).
 
@@ -19,6 +23,7 @@ Front-end: ``python -m repro sweep`` (see ``docs/SWEEP.md``).
 """
 
 from repro.sweep.cache import ResultCache
+from repro.sweep.chaos import ChaosSpec
 from repro.sweep.digests import (
     canonical,
     canonical_json,
@@ -32,9 +37,11 @@ from repro.sweep.engine import (
     SweepReport,
     SweepSpec,
     execute_job,
+    run_chaos_smoke,
     run_smoke,
     run_sweep,
 )
+from repro.sweep.policy import FailurePolicy, JobFailure
 from repro.sweep.experiments import (
     EXPERIMENTS,
     Experiment,
@@ -46,8 +53,11 @@ from repro.sweep.experiments import (
 
 __all__ = [
     "EXPERIMENTS",
+    "ChaosSpec",
     "Experiment",
+    "FailurePolicy",
     "Job",
+    "JobFailure",
     "JobResult",
     "ResultCache",
     "SweepReport",
@@ -62,6 +72,7 @@ __all__ = [
     "get_experiment",
     "job_digest",
     "register",
+    "run_chaos_smoke",
     "run_smoke",
     "run_sweep",
 ]

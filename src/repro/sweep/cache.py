@@ -32,6 +32,13 @@ from repro.fsutil import atomic_write_bytes, atomic_write_json
 #: Bump when the entry format changes (old trees are then ignored).
 CACHE_FORMAT = "v1"
 
+#: Per-entry schema stamp inside ``result.json``.  Entries written by a
+#: *newer* schema are treated as corrupt misses rather than served
+#: verbatim — a downgraded reader must never hand back a payload whose
+#: format it cannot vouch for.  Entries without a stamp predate the
+#: field and are the current format.
+CACHE_SCHEMA = 1
+
 
 class ResultCache:
     """A content-addressed store of sweep-job results."""
@@ -81,9 +88,16 @@ class ResultCache:
         try:
             doc = json.loads(text)
             payload, meta = doc["payload"], doc.get("meta", {})
+            schema = doc.get("schema", CACHE_SCHEMA)
         except (ValueError, KeyError, TypeError):
             # The file exists but does not parse as a complete entry —
             # a genuinely corrupt object, not a plain absence.
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        if schema != CACHE_SCHEMA:
+            # An unknown (usually future) entry format: unreadable for
+            # this reader, so it counts as corrupt and the job re-runs.
             self.corrupt += 1
             self.misses += 1
             return None
@@ -112,6 +126,7 @@ class ResultCache:
             names.append(src.name)
             self.bytes_promoted += len(data)
         doc = {
+            "schema": CACHE_SCHEMA,
             "payload": payload,
             "meta": {
                 **(meta or {}),

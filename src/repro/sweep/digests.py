@@ -77,6 +77,27 @@ def config_digest(config: dict) -> str:
     return _sha256(canonical_json(config))
 
 
+def payload_checksum(payload: Any) -> str:
+    """SHA-256 of a job payload's canonical JSON.
+
+    Computed by the process that produced the payload, verified by the
+    parent — the sweep engine's end-to-end integrity check against
+    corruption between worker and report.
+    """
+    return _sha256(canonical_json(payload))
+
+
+def uniform(key: str) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` derived from *key*.
+
+    The backbone of reproducible jitter and fault injection: the same
+    key yields the same draw on every machine and every run, with no
+    process-global RNG state to leak between components.
+    """
+    h = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(h[:8], "big") / 2**64
+
+
 _code_version_cache: dict[str, str] = {}
 
 

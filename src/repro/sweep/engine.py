@@ -16,26 +16,56 @@ and a warm re-run is served entirely from the cache.
 
 from __future__ import annotations
 
+import hashlib
+import heapq
 import os
 import shutil
 import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import traceback as traceback_mod
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence
 
-from repro.errors import ConfigurationError
-from repro.obs.fleet import FLEET_INDEX_ENV, FleetIndex, manifest_from_artifacts
+from repro.errors import (
+    ConfigurationError,
+    JobTimeoutError,
+    ResultIntegrityError,
+    WorkerCrashError,
+)
+from repro.obs.fleet import (
+    FLEET_INDEX_ENV,
+    FleetIndex,
+    RunManifest,
+    manifest_from_artifacts,
+)
 from repro.sweep import digests
 from repro.sweep.cache import ResultCache
+from repro.sweep.chaos import (
+    CHAOS_ENV,
+    CHAOS_HANG_ENV,
+    CHAOS_SALT_ENV,
+    CRASH_EXIT_CODE,
+    ChaosCrash,
+    ChaosSpec,
+    corrupt_payload,
+)
 from repro.sweep.experiments import (
     effective_config,
     experiment_names,
     get_experiment,
 )
 from repro.sweep.obsglue import OBS_DIR_ENV
+from repro.sweep.policy import FailurePolicy, JobFailure
 
 #: Start method for worker processes.  ``spawn`` gives per-job isolation
 #: (no inherited simulator state, no forked locks); override with
@@ -68,6 +98,10 @@ class JobResult:
     cached: bool
     wall_s: float
     artifacts: list[str] = field(default_factory=list)
+    #: Executions it took to land this result (1 = first try; retries
+    #: under a :class:`FailurePolicy` bump it).  Harness metadata only —
+    #: never part of the payload or the report digest.
+    attempts: int = 1
 
 
 @dataclass(frozen=True)
@@ -113,7 +147,15 @@ class SweepSpec:
 
 @dataclass
 class SweepReport:
-    """All job results of one sweep invocation."""
+    """All job results of one sweep invocation.
+
+    Under a :class:`FailurePolicy` a sweep degrades gracefully instead
+    of aborting: jobs that exhausted their retries appear in
+    :attr:`failures` (with error class, attempt count and traceback
+    digest) while every settled job still carries a full result.  The
+    failure section, like telemetry, is harness metadata — strictly
+    outside :meth:`digest`.
+    """
 
     results: list[JobResult]
     #: Wall-clock harness telemetry summary (``None`` when the sweep
@@ -121,6 +163,18 @@ class SweepReport:
     #: :meth:`digest` — wall time legitimately differs between
     #: bit-identical sweeps.
     telemetry: Optional[dict] = None
+    #: Quarantined jobs (exhausted their retry budget), index-ordered.
+    failures: list[JobFailure] = field(default_factory=list)
+    #: Failed attempts that were retried (including those that later
+    #: ended in quarantine).
+    n_retries: int = 0
+    #: Attempts killed for exceeding the per-job wall-clock budget.
+    n_timeouts: int = 0
+    #: Times the worker pool was respawned after a crash or a kill.
+    n_pool_restarts: int = 0
+    #: ``True`` when ``fail_fast`` / ``max_failures`` stopped the sweep
+    #: before every job settled.
+    aborted: bool = False
 
     @property
     def n_cached(self) -> int:
@@ -129,6 +183,11 @@ class SweepReport:
     @property
     def n_ran(self) -> int:
         return len(self.results) - self.n_cached
+
+    @property
+    def ok(self) -> bool:
+        """Every job settled cleanly: nothing quarantined, no abort."""
+        return not self.failures and not self.aborted
 
     def digest(self) -> str:
         """Digest of every job's deterministic payload (order-free).
@@ -153,6 +212,11 @@ class SweepReport:
             "n_cached": self.n_cached,
             "n_ran": self.n_ran,
             "telemetry": self.telemetry,
+            "failures": [f.as_dict() for f in self.failures],
+            "n_retries": self.n_retries,
+            "n_timeouts": self.n_timeouts,
+            "n_pool_restarts": self.n_pool_restarts,
+            "aborted": self.aborted,
             "jobs": [
                 {
                     "experiment": r.job.experiment,
@@ -161,6 +225,7 @@ class SweepReport:
                     "digest": r.job.digest,
                     "cached": r.cached,
                     "wall_s": r.wall_s,
+                    "attempts": r.attempts,
                     "payload": r.payload,
                 }
                 for r in self.results
@@ -225,6 +290,43 @@ def execute_job(
     return {"metrics": digests.canonical(metrics)}
 
 
+def _execute_with_chaos(
+    experiment: str,
+    config: dict,
+    seed: int,
+    staging_dir: Optional[str],
+    digest: str,
+    attempt: int,
+    in_worker: bool,
+) -> tuple[dict, str]:
+    """Run one attempt, with env-gated fault injection around it.
+
+    Returns ``(payload, checksum)`` where the checksum is taken over
+    the *true* payload before any injected corruption — the parent's
+    integrity check is what turns a corrupted result into a retry
+    instead of a poisoned report.
+    """
+    spec = ChaosSpec.from_env()
+    mode = spec.draw(digest, attempt) if spec.active else None
+    if mode == "crash":
+        if in_worker:
+            # Die abruptly, mid-pool-protocol: the parent sees
+            # BrokenProcessPool, exactly like an OOM-killed worker.
+            os._exit(CRASH_EXIT_CODE)
+        raise ChaosCrash(
+            f"injected crash: job {digest[:12]} attempt {attempt}"
+        )
+    if mode == "hang":
+        # A straggler, not a wrong answer: sleep long enough to trip
+        # any per-job timeout, then (if still alive) answer correctly.
+        time.sleep(spec.hang_s)
+    payload = execute_job(experiment, config, seed, staging_dir)
+    checksum = digests.payload_checksum(payload)
+    if mode == "corrupt":
+        payload = corrupt_payload(payload, digest, attempt)
+    return payload, checksum
+
+
 def _pool_main(task: tuple) -> tuple:
     """Top-level pool entry point (must be picklable).
 
@@ -232,19 +334,21 @@ def _pool_main(task: tuple) -> tuple:
     ``job.end`` — that is what gives the parent (and ``obs top``) live
     worker occupancy instead of only after-the-fact completions.
     """
-    index, experiment, config, seed, staging_dir, telemetry_path = task
+    index, attempt, experiment, config, seed, digest, staging_dir, telemetry_path = task
     writer = None
     if telemetry_path is not None:
         from repro.obs.telemetry import TelemetryWriter
 
         writer = TelemetryWriter(telemetry_path)
-        writer.emit("job.start", job=index, worker=os.getpid())
+        writer.emit("job.start", job=index, worker=os.getpid(), attempt=attempt)
     t0 = time.perf_counter()
-    payload = execute_job(experiment, config, seed, staging_dir)
+    payload, checksum = _execute_with_chaos(
+        experiment, config, seed, staging_dir, digest, attempt, in_worker=True
+    )
     wall = time.perf_counter() - t0
     if writer is not None:
         writer.emit("job.end", job=index, worker=os.getpid(), wall_s=wall)
-    return index, payload, wall
+    return index, attempt, payload, checksum, wall
 
 
 # ---------------------------------------------------------------------------
@@ -252,6 +356,19 @@ def _pool_main(task: tuple) -> tuple:
 # ---------------------------------------------------------------------------
 
 ProgressFn = Callable[[int, int, JobResult], None]
+
+
+def _traceback_digest(exc: BaseException) -> str:
+    """Short stable digest of an exception's formatted traceback.
+
+    Summary JSON carries this instead of full tracebacks: enough to
+    recognise "the same crash" across runs and machines without
+    shipping stack text into reports.
+    """
+    text = "".join(
+        traceback_mod.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
 def run_sweep(
@@ -265,6 +382,7 @@ def run_sweep(
     telemetry: Optional[Path] = None,
     heartbeat: Optional[Callable[[], None]] = None,
     heartbeat_interval: float = 0.5,
+    policy: Optional[FailurePolicy] = None,
 ) -> SweepReport:
     """Run (or fetch) every job of *spec*; returns a :class:`SweepReport`.
 
@@ -298,9 +416,20 @@ def run_sweep(
         Zero-argument callable invoked between job completions (at
         least every *heartbeat_interval* seconds while workers are
         busy) — the hook that drives the live ``--progress`` view.
+    policy:
+        Failure policy (timeouts, bounded retries, pool respawn,
+        quarantine).  ``None`` keeps the legacy contract: the first job
+        exception propagates and aborts the sweep.  When ``REPRO_CHAOS``
+        is armed and no policy was given, a default policy is applied —
+        injected faults are meant to be absorbed, not fatal.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if policy is None and ChaosSpec.from_env().active:
+        # Armed chaos without an explicit policy gets the defaults:
+        # injected faults should surface as retries and quarantine
+        # records, not as a crashed harness.
+        policy = FailurePolicy()
     job_list = spec.resolve()
     if not job_list:
         # An empty resolution would otherwise "succeed" with an empty
@@ -353,8 +482,36 @@ def run_sweep(
         )
         fleet_index.record(manifest, known_ids=indexed_ids)
 
+    def record_quarantine_manifest(job: Job, failure: JobFailure) -> None:
+        # Quarantines are indexed under their own run id and source so
+        # they never shadow a later successful run of the same digest,
+        # and ``obs rebuild --check`` (which replays only cache-backed
+        # "sweep" manifests) stays byte-stable.
+        if fleet_index is None:
+            return
+        manifest = RunManifest(
+            run_id=f"{job.digest}:quarantine",
+            source="quarantine",
+            experiment=job.experiment,
+            config=job.config,
+            seed=job.seed,
+            code_version=code,
+            makespan_s=None,
+            partial=True,
+            status="quarantined",
+        )
+        fleet_index.record(manifest, known_ids=indexed_ids)
+
     results: dict[int, JobResult] = {}
     done = 0
+
+    # Failure-policy bookkeeping.  ``fail_counts`` is the retry budget
+    # (attributed failures only — an innocent job re-enqueued after a
+    # pool kill does not burn budget); ``quarantined`` is terminal.
+    fail_counts: dict[int, int] = {}
+    quarantined: dict[int, JobFailure] = {}
+    counters = {"retries": 0, "timeouts": 0, "pool_restarts": 0}
+    aborted = False
 
     def settle(index: int, result: JobResult) -> None:
         nonlocal done
@@ -363,6 +520,55 @@ def run_sweep(
         if progress is not None:
             progress(done, len(job_list), result)
         tick()
+
+    def quarantine(
+        index: int, job: Job, attempts: int, exc: BaseException,
+        timed_out: bool = False,
+    ) -> None:
+        nonlocal aborted
+        failure = JobFailure(
+            index=index,
+            experiment=job.experiment,
+            seed=job.seed,
+            digest=job.digest,
+            error_class=type(exc).__name__,
+            message=str(exc)[:500],
+            traceback_digest=_traceback_digest(exc),
+            attempts=attempts,
+            timed_out=timed_out,
+        )
+        quarantined[index] = failure
+        if tele is not None:
+            tele.emit(
+                "job.quarantine", job=index, error=failure.error_class,
+                attempts=attempts, timed_out=timed_out,
+                experiment=job.experiment, seed=job.seed,
+            )
+        record_quarantine_manifest(job, failure)
+        assert policy is not None
+        if policy.fail_fast:
+            aborted = True
+        if (
+            policy.max_failures is not None
+            and len(quarantined) > policy.max_failures
+        ):
+            aborted = True
+        tick()
+
+    def fail_decision(index: int, job: Job, exc: BaseException):
+        """Consume retry budget; ``("retry", delay)`` or ``("quarantine", _)``."""
+        assert policy is not None
+        fail_counts[index] = fail_counts.get(index, 0) + 1
+        if fail_counts[index] > policy.max_retries:
+            return ("quarantine", 0.0)
+        delay = policy.backoff_s(job.digest, fail_counts[index])
+        counters["retries"] += 1
+        if tele is not None:
+            tele.emit(
+                "job.retry", job=index, failures=fail_counts[index],
+                delay_s=delay, error=type(exc).__name__,
+            )
+        return ("retry", delay)
 
     # -- pass 1: cache lookups -----------------------------------------
     to_run: list[tuple[int, Job]] = []
@@ -405,14 +611,23 @@ def run_sweep(
         d.mkdir(parents=True, exist_ok=True)
         return str(d)
 
-    def submit_event(index: int, job: Job) -> None:
+    def submit_event(index: int, job: Job, attempt: int = 0) -> None:
         if tele is not None:
             tele.emit(
                 "job.submit", job=index, digest=job.digest,
-                experiment=job.experiment, seed=job.seed,
+                experiment=job.experiment, seed=job.seed, attempt=attempt,
             )
 
-    def finish_run(index: int, job: Job, payload: dict, wall: float) -> None:
+    def verify_payload(job: Job, payload: dict, checksum: str) -> None:
+        if digests.payload_checksum(payload) != checksum:
+            raise ResultIntegrityError(
+                f"payload of {job.label} failed its integrity checksum "
+                f"between worker and parent"
+            )
+
+    def finish_run(
+        index: int, job: Job, payload: dict, wall: float, attempts: int = 1
+    ) -> None:
         staged: list[Path] = []
         if staging_root is not None:
             staged = sorted((staging_root / f"job{index}").glob("*"))
@@ -441,24 +656,55 @@ def run_sweep(
         if want_obs:
             for src in staged:
                 shutil.copy2(src, obs_dir / src.name)
-        settle(index, JobResult(job, payload, False, wall, [p.name for p in staged]))
+        settle(
+            index,
+            JobResult(
+                job, payload, False, wall, [p.name for p in staged],
+                attempts=attempts,
+            ),
+        )
 
     try:
         if jobs == 1 or len(to_run) <= 1:
+            # Serial path.  Retries and quarantine apply; timeouts do
+            # not (a process cannot kill itself mid-job).
             for index, job in to_run:
-                submit_event(index, job)
-                if tele is not None:
-                    tele.emit("job.start", job=index, worker=os.getpid())
-                t0 = time.perf_counter()
-                payload = execute_job(
-                    job.experiment, job.config, job.seed, staging_for(index)
-                )
-                wall = time.perf_counter() - t0
-                if tele is not None:
-                    tele.emit(
-                        "job.end", job=index, worker=os.getpid(), wall_s=wall
-                    )
-                finish_run(index, job, payload, wall)
+                if aborted:
+                    break
+                attempt = 0
+                while True:
+                    submit_event(index, job, attempt)
+                    if tele is not None:
+                        tele.emit(
+                            "job.start", job=index, worker=os.getpid(),
+                            attempt=attempt,
+                        )
+                    t0 = time.perf_counter()
+                    try:
+                        payload, checksum = _execute_with_chaos(
+                            job.experiment, job.config, job.seed,
+                            staging_for(index), job.digest, attempt,
+                            in_worker=False,
+                        )
+                        verify_payload(job, payload, checksum)
+                    except Exception as exc:
+                        if policy is None:
+                            raise
+                        verdict, delay = fail_decision(index, job, exc)
+                        if verdict == "quarantine":
+                            quarantine(index, job, attempt + 1, exc)
+                            break
+                        time.sleep(delay)
+                        attempt += 1
+                        continue
+                    wall = time.perf_counter() - t0
+                    if tele is not None:
+                        tele.emit(
+                            "job.end", job=index, worker=os.getpid(),
+                            wall_s=wall,
+                        )
+                    finish_run(index, job, payload, wall, attempts=attempt + 1)
+                    break
         else:
             method = os.environ.get(START_METHOD_ENV, "spawn")
             ctx = get_context(method)
@@ -466,50 +712,272 @@ def run_sweep(
             if isolate:
                 pool_kwargs["max_tasks_per_child"] = 1
             tele_path = str(telemetry) if tele is not None else None
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(to_run)), mp_context=ctx, **pool_kwargs
-            ) as pool:
-                by_index = dict(to_run)
-                pending = set()
-                for i, job in to_run:
-                    submit_event(i, job)
-                    pending.add(pool.submit(
-                        _pool_main,
-                        (i, job.experiment, job.config, job.seed,
-                         staging_for(i), tele_path),
-                    ))
-                # With a heartbeat the wait times out periodically so
-                # the live view keeps ticking while workers are busy.
-                timeout = heartbeat_interval if heartbeat is not None else None
-                while pending:
-                    finished, pending = wait(
-                        pending, timeout=timeout, return_when=FIRST_COMPLETED
+            n_workers = min(jobs, len(to_run))
+
+            def make_pool() -> ProcessPoolExecutor:
+                return ProcessPoolExecutor(
+                    max_workers=n_workers, mp_context=ctx, **pool_kwargs
+                )
+
+            # Scheduler state: jobs ready to submit, jobs sleeping off a
+            # backoff delay (min-heap on release time), and in-flight
+            # futures with their submit timestamps (the timeout clock).
+            # Submission is throttled to the worker count so "in flight"
+            # means "actually running" and deadlines are honest.
+            ready: deque[tuple[int, Job, int]] = deque(
+                (i, job, 0) for i, job in to_run
+            )
+            delayed: list[tuple[float, int, Job, int]] = []
+            in_flight: dict[Future, tuple[int, Job, int, float]] = {}
+            pool = make_pool()
+
+            def kill_pool(reason: str, n_requeued: int) -> None:
+                # ProcessPoolExecutor cannot kill a single worker, so a
+                # timeout (or crash cleanup) takes down the whole pool;
+                # innocent in-flight jobs are re-enqueued at no cost to
+                # their retry budgets.
+                for proc in list(
+                    (getattr(pool, "_processes", None) or {}).values()
+                ):
+                    try:
+                        proc.terminate()
+                    except Exception:  # pragma: no cover - racing exit
+                        pass
+                pool.shutdown(wait=False, cancel_futures=True)
+                counters["pool_restarts"] += 1
+                if tele is not None:
+                    tele.emit(
+                        "pool.restart", reason=reason,
+                        restarts=counters["pool_restarts"],
+                        n_requeued=n_requeued,
                     )
-                    tick()
-                    for fut in finished:
-                        index, payload, wall = fut.result()
-                        finish_run(index, by_index[index], payload, wall)
+
+            def requeue(index: int, job: Job, attempt: int, delay: float) -> None:
+                if delay <= 0:
+                    ready.append((index, job, attempt))
+                else:
+                    heapq.heappush(
+                        delayed, (time.monotonic() + delay, index, job, attempt)
+                    )
+
+            def drain_in_flight() -> list[tuple[int, Job, int, float]]:
+                victims = list(in_flight.values())
+                in_flight.clear()
+                return victims
+
+            timeout_s = policy.timeout_s if policy is not None else None
+            # Crash respawns draw on policy.max_pool_restarts; timeout
+            # kills are policy-initiated and already bounded by the
+            # per-job retry budgets, so they do not consume it.
+            crash_restarts = 0
+            try:
+                while (ready or delayed or in_flight) and not aborted:
+                    now = time.monotonic()
+                    while delayed and delayed[0][0] <= now:
+                        _, i, job, att = heapq.heappop(delayed)
+                        ready.append((i, job, att))
+                    pool_broken = False
+                    while ready and len(in_flight) < n_workers:
+                        i, job, att = ready.popleft()
+                        submit_event(i, job, att)
+                        try:
+                            fut = pool.submit(
+                                _pool_main,
+                                (i, att, job.experiment, job.config, job.seed,
+                                 job.digest, staging_for(i), tele_path),
+                            )
+                        except BrokenExecutor:
+                            if policy is None:
+                                raise
+                            ready.appendleft((i, job, att))
+                            pool_broken = True
+                            break
+                        in_flight[fut] = (i, job, att, time.monotonic())
+                    if not pool_broken:
+                        if not in_flight:
+                            if delayed:
+                                # Everything is backing off; sleep until
+                                # the earliest release.
+                                time.sleep(
+                                    max(delayed[0][0] - time.monotonic(), 0.0)
+                                )
+                            continue
+                        # Wake up for the heartbeat, the earliest job
+                        # deadline, or the earliest backoff release —
+                        # whichever comes first.
+                        wait_t: Optional[float] = (
+                            heartbeat_interval if heartbeat is not None else None
+                        )
+                        if timeout_s is not None:
+                            next_deadline = min(
+                                t0 + timeout_s for (_, _, _, t0) in in_flight.values()
+                            )
+                            dt = max(next_deadline - time.monotonic(), 0.0) + 0.01
+                            wait_t = dt if wait_t is None else min(wait_t, dt)
+                        if delayed:
+                            dt = max(delayed[0][0] - time.monotonic(), 0.0) + 0.01
+                            wait_t = dt if wait_t is None else min(wait_t, dt)
+                        finished, _ = wait(
+                            set(in_flight),
+                            timeout=wait_t,
+                            return_when=FIRST_COMPLETED,
+                        )
+                        tick()
+                        first_break: Optional[BaseException] = None
+                        for fut in finished:
+                            index, job, att, _t0 = in_flight.pop(fut)
+                            try:
+                                _, _, payload, checksum, wall = fut.result()
+                                verify_payload(job, payload, checksum)
+                            except BrokenExecutor as exc:
+                                # The worker died mid-job: the pool is
+                                # toast and every sibling future breaks
+                                # with it.  The broken job is charged a
+                                # failure; siblings ride back for free.
+                                pool_broken = True
+                                first_break = exc
+                                crash = WorkerCrashError(
+                                    f"pool worker died while running "
+                                    f"{job.label}: {exc}"
+                                )
+                                if policy is not None:
+                                    verdict, delay = fail_decision(
+                                        index, job, crash
+                                    )
+                                    if verdict == "quarantine":
+                                        quarantine(index, job, att + 1, crash)
+                                    else:
+                                        requeue(index, job, att + 1, delay)
+                            except Exception as exc:
+                                if policy is None:
+                                    raise
+                                verdict, delay = fail_decision(index, job, exc)
+                                if verdict == "quarantine":
+                                    quarantine(index, job, att + 1, exc)
+                                else:
+                                    requeue(index, job, att + 1, delay)
+                            else:
+                                finish_run(
+                                    index, job, payload, wall,
+                                    attempts=att + 1,
+                                )
+                        if pool_broken and policy is None:
+                            raise first_break  # pragma: no cover - defensive
+                    if pool_broken:
+                        victims = drain_in_flight()
+                        kill_pool("crash", len(victims))
+                        crash_restarts += 1
+                        if crash_restarts > policy.max_pool_restarts:
+                            # Restart budget exhausted: quarantine the
+                            # stranded jobs and stop rather than thrash.
+                            crash = WorkerCrashError(
+                                "worker pool kept crashing; restart budget "
+                                f"({policy.max_pool_restarts}) exhausted"
+                            )
+                            for i, job, att, _t0 in victims:
+                                quarantine(i, job, att + 1, crash)
+                            for i, job, att in list(ready) + [
+                                (i, j, a) for (_, i, j, a) in delayed
+                            ]:
+                                quarantine(i, job, att + 1, crash)
+                            ready.clear()
+                            delayed.clear()
+                            aborted = True
+                        else:
+                            for i, job, att, _t0 in victims:
+                                requeue(i, job, att + 1, 0.0)
+                            pool = make_pool()
+                        continue
+                    # -- per-job wall-clock deadlines ------------------
+                    if timeout_s is not None and in_flight:
+                        now = time.monotonic()
+                        expired = [
+                            (fut, v)
+                            for fut, v in in_flight.items()
+                            if now - v[3] >= timeout_s and not fut.done()
+                        ]
+                        if expired:
+                            expired_futs = {fut for fut, _ in expired}
+                            survivors = [
+                                v for fut, v in in_flight.items()
+                                if fut not in expired_futs
+                            ]
+                            in_flight.clear()
+                            kill_pool(
+                                "timeout", len(expired) + len(survivors)
+                            )
+                            for _fut, (index, job, att, t0) in expired:
+                                counters["timeouts"] += 1
+                                exc = JobTimeoutError(
+                                    job.label, timeout_s, now - t0
+                                )
+                                if tele is not None:
+                                    tele.emit(
+                                        "job.timeout", job=index, attempt=att,
+                                        elapsed_s=now - t0,
+                                        timeout_s=timeout_s,
+                                    )
+                                verdict, delay = fail_decision(index, job, exc)
+                                if verdict == "quarantine":
+                                    quarantine(
+                                        index, job, att + 1, exc,
+                                        timed_out=True,
+                                    )
+                                else:
+                                    requeue(index, job, att + 1, delay)
+                            for index, job, att, _t0 in survivors:
+                                requeue(index, job, att + 1, 0.0)
+                            if not aborted and (ready or delayed):
+                                pool = make_pool()
+            finally:
+                if in_flight or aborted:
+                    # Hung or cancelled workers must not outlive the
+                    # sweep: tear the pool down hard.  (_processes is
+                    # None once the pool has been shut down.)
+                    for proc in list(
+                        (getattr(pool, "_processes", None) or {}).values()
+                    ):
+                        try:
+                            proc.terminate()
+                        except Exception:  # pragma: no cover
+                            pass
+                    pool.shutdown(wait=False, cancel_futures=True)
+                else:
+                    pool.shutdown(wait=True)
     finally:
         if staging_root is not None:
             shutil.rmtree(staging_root, ignore_errors=True)
 
-    report = SweepReport([results[i] for i in range(len(job_list))])
+    report = SweepReport(
+        [results[i] for i in sorted(results)],
+        failures=[quarantined[i] for i in sorted(quarantined)],
+        n_retries=counters["retries"],
+        n_timeouts=counters["timeouts"],
+        n_pool_restarts=counters["pool_restarts"],
+        aborted=aborted,
+    )
     if tele is not None:
         from repro.obs.telemetry import read_events, summarize, write_summary
 
         tele.emit(
             "sweep.end",
             n_done=done,
+            n_quarantined=len(quarantined),
+            aborted=aborted,
             cache={
                 k: v - cache_base.get(k, 0)
                 for k, v in cache.counts().items()
             } if cache is not None else {},
         )
-        tick()
         report.telemetry = summarize(read_events(telemetry))
         write_summary(telemetry, report.telemetry)
         if fleet_index is not None:
             fleet_index.record_harness(report.telemetry)
+    # One final heartbeat regardless of channel or outcome: a fully
+    # cache-served sweep must still drive the live view to its last
+    # frame (and emit the sweep.end totals above) instead of silently
+    # skipping the heartbeat path.
+    tick()
     return report
 
 
@@ -583,6 +1051,104 @@ def run_smoke(
     finally:
         if owns_root:
             shutil.rmtree(root, ignore_errors=True)
+
+
+#: Pinned chaos schedule for the CI chaos smoke.  The code-version pin
+#: freezes every job digest, and the digests freeze every fault draw —
+#: so the smoke injects the *same* crashes/hangs/corruptions on every
+#: machine and every commit, forever.
+CHAOS_SMOKE_CODE_VERSION = "chaos-smoke-v1"
+CHAOS_SMOKE_SPEC = "crash:0.3,hang:0.2,corrupt:0.3"
+CHAOS_SMOKE_SALT = "ci"
+# A pool crash fails every in-flight future, so each collateral victim
+# burns a retry too — the budget must absorb ~n_workers times the
+# actual fault count.
+CHAOS_SMOKE_POLICY = dict(
+    timeout_s=5.0,
+    max_retries=20,
+    backoff_base_s=0.02,
+    backoff_max_s=0.2,
+    max_pool_restarts=64,
+)
+
+
+def run_chaos_smoke(jobs: int = 4, echo=print) -> int:
+    """Chaos parity smoke; returns a process exit code.
+
+    Runs the smoke spec twice under one failure policy — once clean,
+    once with ``REPRO_CHAOS`` injecting worker crashes, hangs and
+    corrupted payloads — and asserts the sweep *converges*: every job
+    retries to completion, nothing is quarantined, and the chaos-ridden
+    report digest is bit-identical to the clean one.  The clean pass
+    must also report zero retries/timeouts/restarts, proving the policy
+    layer is inert when nothing fails.
+    """
+    spec = SweepSpec(experiments=list(SMOKE_EXPERIMENTS), seeds=list(SMOKE_SEEDS))
+    policy = FailurePolicy(**CHAOS_SMOKE_POLICY)
+    saved = {
+        key: os.environ.get(key)
+        for key in (
+            digests.CODE_VERSION_ENV, CHAOS_ENV, CHAOS_HANG_ENV,
+            CHAOS_SALT_ENV,
+        )
+    }
+    try:
+        os.environ[digests.CODE_VERSION_ENV] = CHAOS_SMOKE_CODE_VERSION
+        os.environ.pop(CHAOS_ENV, None)
+        clean = run_sweep(spec, jobs=jobs, policy=policy)
+        if not clean.ok or clean.n_retries or clean.n_timeouts \
+                or clean.n_pool_restarts:
+            echo(
+                "CHAOS SMOKE FAILED: clean run was not clean "
+                f"(retries {clean.n_retries}, timeouts {clean.n_timeouts}, "
+                f"restarts {clean.n_pool_restarts}, "
+                f"quarantined {len(clean.failures)})"
+            )
+            return 1
+        os.environ[CHAOS_ENV] = CHAOS_SMOKE_SPEC
+        os.environ[CHAOS_HANG_ENV] = "60"
+        os.environ[CHAOS_SALT_ENV] = CHAOS_SMOKE_SALT
+        t0 = time.perf_counter()
+        chaotic = run_sweep(spec, jobs=jobs, policy=policy)
+        t_chaos = time.perf_counter() - t0
+        echo(
+            f"chaos sweep: {len(chaotic.results)}/{len(clean.results)} jobs "
+            f"converged in {t_chaos:.1f}s — {chaotic.n_retries} retries, "
+            f"{chaotic.n_timeouts} timeouts, "
+            f"{chaotic.n_pool_restarts} pool restarts"
+        )
+        if chaotic.failures:
+            for f in chaotic.failures:
+                echo(
+                    f"CHAOS SMOKE FAILED: {f.label} quarantined after "
+                    f"{f.attempts} attempts ({f.error_class}: {f.message})"
+                )
+            return 1
+        if len(chaotic.results) != len(clean.results):
+            echo("CHAOS SMOKE FAILED: chaos run settled fewer jobs")
+            return 1
+        if chaotic.digest() != clean.digest():
+            echo(
+                "CHAOS SMOKE FAILED: chaos-ridden sweep digest differs "
+                f"from the clean run ({chaotic.digest()[:16]} != "
+                f"{clean.digest()[:16]})"
+            )
+            return 1
+        if not (chaotic.n_retries or chaotic.n_timeouts or chaotic.n_pool_restarts):
+            # A chaos run that injected nothing proves nothing.
+            echo("CHAOS SMOKE FAILED: chaos plane injected no faults")
+            return 1
+        echo(
+            f"chaos smoke passed: digest parity under injected faults "
+            f"({clean.digest()[:16]}…)"
+        )
+        return 0
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
 
 
 def _check_smoke_telemetry(

@@ -91,6 +91,22 @@ class TestBuildManifest:
         assert RunManifest.from_dict(m.as_dict()) == m
         assert RunManifest.from_dict(json.loads(m.line())) == m
 
+    def test_status_defaults_ok_and_round_trips(self):
+        m = mk()
+        assert m.status == "ok"
+        doc = m.as_dict()
+        assert doc["status"] == "ok"
+        # Manifests written before the status field existed load as ok.
+        del doc["status"]
+        assert RunManifest.from_dict(doc).status == "ok"
+        quarantined = RunManifest(
+            run_id="d:quarantine", source="quarantine", experiment="exp",
+            config={}, seed=0, code_version="cafe", makespan_s=None,
+            partial=True, status="quarantined",
+        )
+        back = RunManifest.from_dict(quarantined.as_dict())
+        assert back == quarantined and back.status == "quarantined"
+
 
 class TestManifestFromExports:
     def test_handles_inf_histogram_edges(self):

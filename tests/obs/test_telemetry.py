@@ -407,3 +407,112 @@ class TestRendering:
         text = out.getvalue()
         assert "4/4 jobs" in text
         assert "\x1b[" not in text  # no ANSI control on a non-TTY
+
+
+# ---------------------------------------------------------------------------
+# Failure-policy record folding
+# ---------------------------------------------------------------------------
+
+
+def failure_events():
+    """A 3-job sweep: job 0 retries then completes, job 1 times out and
+    is quarantined, job 2 completes; one pool restart along the way."""
+    return [
+        {"schema": 1, "kind": "sweep.start", "t": 100.0, "n_jobs": 3,
+         "n_workers": 2, "experiments": ["pingpong"]},
+        {"schema": 1, "kind": "job.submit", "t": 101.0, "job": 0,
+         "digest": "d0", "experiment": "pingpong", "seed": 0, "attempt": 0},
+        {"schema": 1, "kind": "job.submit", "t": 101.0, "job": 1,
+         "digest": "d1", "experiment": "pingpong", "seed": 1, "attempt": 0},
+        {"schema": 1, "kind": "job.submit", "t": 101.0, "job": 2,
+         "digest": "d2", "experiment": "pingpong", "seed": 2, "attempt": 0},
+        {"schema": 1, "kind": "job.start", "t": 102.0, "job": 0, "worker": 0,
+         "attempt": 0},
+        {"schema": 1, "kind": "job.start", "t": 102.0, "job": 1, "worker": 1,
+         "attempt": 0},
+        # Job 0 fails once and goes back to queued ...
+        {"schema": 1, "kind": "job.retry", "t": 103.0, "job": 0,
+         "failures": 1, "delay_s": 0.05, "error": "ChaosCrash"},
+        {"schema": 1, "kind": "pool.restart", "t": 103.1, "reason": "crash",
+         "restarts": 1, "n_requeued": 2},
+        # ... then runs to completion on a fresh attempt.
+        {"schema": 1, "kind": "job.submit", "t": 104.0, "job": 0,
+         "digest": "d0", "experiment": "pingpong", "seed": 0, "attempt": 1},
+        {"schema": 1, "kind": "job.start", "t": 104.5, "job": 0, "worker": 0,
+         "attempt": 1},
+        {"schema": 1, "kind": "job.end", "t": 106.5, "job": 0, "worker": 0,
+         "wall_s": 2.0},
+        # Job 1 trips the wall-clock budget and exhausts its retries.
+        {"schema": 1, "kind": "job.timeout", "t": 107.0, "job": 1,
+         "attempt": 0, "elapsed_s": 5.0, "timeout_s": 5.0},
+        {"schema": 1, "kind": "job.quarantine", "t": 107.1, "job": 1,
+         "error": "JobTimeoutError: budget", "attempts": 1,
+         "timed_out": True, "experiment": "pingpong", "seed": 1},
+        {"schema": 1, "kind": "job.start", "t": 108.0, "job": 2, "worker": 1,
+         "attempt": 0},
+        {"schema": 1, "kind": "job.end", "t": 110.0, "job": 2, "worker": 1,
+         "wall_s": 2.0},
+        {"schema": 1, "kind": "sweep.end", "t": 111.0, "n_done": 2,
+         "n_quarantined": 1, "aborted": False,
+         "cache": {"hits": 0, "misses": 3, "corrupt": 0, "stores": 2,
+                   "bytes_promoted": 0}},
+    ]
+
+
+class TestFailureFolding:
+    def test_retry_returns_job_to_queued(self):
+        events = [e for e in failure_events() if e["t"] <= 103.5]
+        state = FleetState().apply_all(events)
+        j0 = state.jobs[0]
+        assert j0.failures == 1
+        assert j0.t_start is None and j0.worker is None
+        assert 0 in {j.index for j in state.queued()}
+        assert state.n_retries == 1 and state.n_pool_restarts == 1
+
+    def test_quarantined_job_leaves_running_and_queued(self):
+        state = FleetState().apply_all(failure_events())
+        assert {j.index for j in state.quarantined()} == {1}
+        assert state.running() == [] and state.queued() == []
+        assert len(state.completed()) == 2
+        j1 = state.jobs[1]
+        assert j1.quarantined and j1.timeouts == 1
+        assert state.n_timeouts == 1 and state.aborted is False
+
+    def test_quarantined_jobs_excluded_from_workers_and_stragglers(self):
+        state = FleetState().apply_all(failure_events())
+        rows = state.workers()
+        # Worker 1's visible job is the completed job 2, not the
+        # quarantined job 1 it was running before the timeout.
+        w1 = next(r for r in rows if r["worker"] == 1)
+        assert w1["job"] == "pingpong seed=2"
+        assert all(s["job"] != 1 for s in stragglers(state))
+
+    def test_snapshot_and_summary_carry_failure_block(self):
+        state = FleetState().apply_all(failure_events())
+        for doc in (snapshot(state), summarize(failure_events())):
+            block = doc["failures"]
+            assert block == {
+                "retries": 1, "timeouts": 1, "pool_restarts": 1,
+                "quarantined": 1, "aborted": False,
+            }
+
+    def test_aborted_sweep_end_folds(self):
+        events = failure_events()
+        events[-1] = dict(events[-1], aborted=True)
+        state = FleetState().apply_all(events)
+        assert state.aborted is True
+        assert snapshot(state)["failures"]["aborted"] is True
+
+    def test_render_top_failure_line(self):
+        text = render_top(snapshot(FleetState().apply_all(failure_events())))
+        assert "failures: 1 retries, 1 timeouts, 1 pool restarts, " \
+               "1 quarantined" in text
+        assert "[ABORTED]" not in text
+        events = failure_events()
+        events[-1] = dict(events[-1], aborted=True)
+        aborted = render_top(snapshot(FleetState().apply_all(events)))
+        assert "[ABORTED]" in aborted
+
+    def test_clean_sweep_renders_no_failure_line(self):
+        text = render_top(snapshot(FleetState().apply_all(synthetic_events())))
+        assert "failures:" not in text

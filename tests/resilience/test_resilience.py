@@ -148,6 +148,73 @@ def test_fault_injector_validation():
         FaultInjector(system.sim, system.world, system.booster_partition, mtbf_s=0)
 
 
+def test_stopped_injector_cancels_pending_repairs():
+    # stop() must go fully quiet: a node downed before the stop may not
+    # pop back up afterwards via a still-live repair:* process.
+    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=4))
+    injector = FaultInjector(
+        system.sim, system.world, system.booster_partition,
+        mtbf_s=0.5, repair_time_s=2.0, max_failures=1,
+    )
+    injector.start()
+    system.run(until=1.5)
+    assert injector.failure_count == 1
+    _, victim = injector.failures[0]
+    assert system.booster_partition.state_of(victim) is NodeState.DOWN
+    injector.stop()
+    assert injector._repairs == []
+    system.run(until=20.0)  # far past repair_time_s
+    assert system.booster_partition.state_of(victim) is NodeState.DOWN
+
+
+def test_repaired_node_can_be_killed_again():
+    # After a repair the node is FREE again and must be a valid victim
+    # for the next injection — the repair path drops the dead drivers so
+    # a re-kill does not re-kill corpses.
+    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=1))
+    injector = FaultInjector(
+        system.sim, system.world, system.booster_partition,
+        mtbf_s=1.0, repair_time_s=0.5, max_failures=3,
+    )
+    injector.start()
+    system.run(until=30.0)
+    assert injector.failure_count == 3
+    victims = [name for _, name in injector.failures]
+    assert set(victims) == {"bn0"}  # single-node partition: same victim
+    times = [t for t, _ in injector.failures]
+    assert times == sorted(times) and len(set(times)) == 3
+
+
+def test_kill_endpoint_with_no_live_drivers_returns_zero():
+    system = DeepSystem(MachineConfig(n_cluster=2, n_booster=2))
+    assert kill_endpoint(system.world, "no-such-endpoint") == 0
+
+    def main(proc):
+        yield proc.sim.timeout(0.01)
+
+    system.launch(main)
+    system.run()  # all drivers finished -> none alive
+    assert kill_endpoint(system.world, "cn0") == 0
+
+
+def test_checkpointed_run_with_work_shorter_than_interval():
+    # work_s < interval_s: the run finishes inside the first interval —
+    # one final checkpoint, elapsed = work + one checkpoint cost.
+    sim = Simulator(seed=3)
+
+    def p(sim):
+        stats = yield from simulate_checkpointed_run(
+            sim, work_s=5.0, interval_s=25.0, checkpoint_cost_s=1.0,
+            restart_cost_s=5.0, mtbf_s=1e9,
+        )
+        return stats
+
+    stats = run_to_end(sim, p(sim))
+    assert stats.n_failures == 0
+    assert stats.n_checkpoints == 1
+    assert stats.elapsed_s == pytest.approx(6.0)
+
+
 # ---------------------------------------------------------------------------
 # resilient offload
 # ---------------------------------------------------------------------------

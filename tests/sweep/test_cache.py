@@ -47,6 +47,37 @@ def test_corrupt_counted_separately_from_plain_miss(cache):
                            "bytes_promoted"}
 
 
+def test_schema_version_is_stamped_on_put(cache):
+    from repro.sweep.cache import CACHE_SCHEMA
+
+    cache.put(DIGEST, {"metrics": {}})
+    doc = json.loads((cache.entry_dir(DIGEST) / "result.json").read_text())
+    assert doc["schema"] == CACHE_SCHEMA
+
+
+def test_unknown_schema_version_is_a_corrupt_miss(cache):
+    from repro.sweep.cache import CACHE_SCHEMA
+
+    cache.put(DIGEST, {"metrics": {}})
+    path = cache.entry_dir(DIGEST) / "result.json"
+    doc = json.loads(path.read_text())
+    doc["schema"] = CACHE_SCHEMA + 1  # written by a future repro
+    path.write_text(json.dumps(doc))
+    assert cache.get(DIGEST) is None
+    assert cache.misses == 1 and cache.corrupt == 1
+
+
+def test_legacy_entry_without_schema_still_served(cache):
+    cache.put(DIGEST, {"metrics": {"t": 2.0}})
+    path = cache.entry_dir(DIGEST) / "result.json"
+    doc = json.loads(path.read_text())
+    del doc["schema"]  # entry written before the stamp existed
+    path.write_text(json.dumps(doc))
+    payload, _ = cache.get(DIGEST)
+    assert payload == {"metrics": {"t": 2.0}}
+    assert cache.corrupt == 0
+
+
 def test_bytes_promoted_accumulates(cache, tmp_path):
     cache.put(DIGEST, {"metrics": {"x": 1}})
     after_first = cache.bytes_promoted

@@ -212,6 +212,27 @@ def test_telemetry_heartbeat_fires(tmp_path):
     assert beats  # called at least once per completion batch
 
 
+def test_heartbeat_and_end_totals_on_fully_cached_sweep(tmp_path):
+    # A sweep where every job is cache-served never enters the execute
+    # loop; the final tick and the sweep.end totals must fire anyway so
+    # live views land on a finished state instead of a stale one.
+    from repro.obs.telemetry import read_events
+
+    cache = ResultCache(tmp_path / "cache")
+    run_sweep(SPEC, jobs=1, cache=cache)
+    beats = []
+    warm = run_sweep(
+        SPEC, jobs=1, cache=cache,
+        telemetry=tmp_path / "warm.jsonl",
+        heartbeat=lambda: beats.append(1),
+    )
+    assert warm.n_cached == 4 and beats
+    end = read_events(tmp_path / "warm.jsonl")[-1]
+    assert end["kind"] == "sweep.end"
+    assert end["n_done"] == 4 and end["n_quarantined"] == 0
+    assert end["aborted"] is False
+
+
 def test_run_smoke_with_telemetry_dir(tmp_path, capsys):
     from repro.sweep.engine import run_smoke
 

@@ -104,6 +104,31 @@ class TestParseSeeds:
         assert "empty" in capsys.readouterr().err
 
 
+# -- failure policy (sweep --retries/--fail-fast, exit code 4) ---------------
+
+
+class TestFailurePolicyCli:
+    SWEEP = ["sweep", "-e", "pingpong", "-s", "0,1", "-j", "1", "--no-cache",
+             "--quiet", "--set", "pingpong.rounds=1",
+             "--set", "pingpong.sizes_kib=[1]", "--set", "pingpong.n_pairs=1"]
+
+    def test_quarantine_exits_4_and_reports(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "corrupt:1")
+        assert main([*self.SWEEP, "--retries", "0"]) == 4
+        err = capsys.readouterr().err
+        assert "QUARANTINED pingpong seed=0" in err
+        assert "ResultIntegrityError" in err
+
+    def test_bad_policy_flags_exit_2(self, capsys):
+        assert main([*self.SWEEP, "--timeout", "-1"]) == 2
+        assert "timeout_s" in capsys.readouterr().err
+
+    def test_clean_run_with_policy_flags_exits_0(self, capsys):
+        assert main([*self.SWEEP, "--retries", "2", "--fail-fast"]) == 0
+        err = capsys.readouterr().err
+        assert "QUARANTINED" not in err and "failure policy" not in err
+
+
 # -- harness telemetry (sweep --telemetry/--progress, obs top) --------------
 
 
